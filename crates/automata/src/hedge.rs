@@ -1,0 +1,387 @@
+//! Unranked (hedge) tree automata.
+//!
+//! A nondeterministic bottom-up automaton over unranked trees: a finite set
+//! of states, and rules `(ℓ, q, L)` where `L` is a regular *horizontal
+//! language* over states. A run assigns state `q` to an ℓ-labelled node iff
+//! some rule `(ℓ, q, L)` accepts the left-to-right word of its children's
+//! states. The paper's EXPTIME consistency procedures (Thm 5.2, Thm 7.1)
+//! are "non-emptiness of a product of tree automata"; this module provides
+//! exactly those primitives: membership, product, emptiness — the latter
+//! with witness-tree extraction, which is also how consistency checkers
+//! produce concrete counterexample documents.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use xmlmap_dtd::Dtd;
+use xmlmap_regex::Nfa;
+use xmlmap_trees::{Name, NodeId, Tree};
+
+/// A transition rule: an ℓ-labelled node may take state `state` if the word
+/// of its children's states belongs to `horizontal`.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Node label this rule applies to.
+    pub label: Name,
+    /// State assigned to the node.
+    pub state: usize,
+    /// Horizontal language over child states.
+    pub horizontal: Nfa<usize>,
+}
+
+/// A nondeterministic bottom-up hedge automaton.
+#[derive(Clone, Debug)]
+pub struct HedgeAutomaton {
+    /// Number of states (`0..num_states`).
+    pub num_states: usize,
+    /// Transition rules.
+    pub rules: Vec<Rule>,
+    /// `accepting[q]` iff a tree whose root evaluates to `q` is accepted.
+    pub accepting: Vec<bool>,
+}
+
+impl HedgeAutomaton {
+    /// Compiles a DTD into an equivalent automaton: one state per element
+    /// type, the root's state accepting. Attribute lists are not modelled
+    /// (automata see only the label structure).
+    pub fn from_dtd(dtd: &Dtd) -> HedgeAutomaton {
+        let labels: Vec<Name> = dtd.alphabet().cloned().collect();
+        let index: HashMap<&Name, usize> =
+            labels.iter().enumerate().map(|(i, l)| (l, i)).collect();
+        let rules = labels
+            .iter()
+            .enumerate()
+            .map(|(q, l)| Rule {
+                label: l.clone(),
+                state: q,
+                horizontal: Nfa::from_regex(dtd.production(l)).map(|name| index[name]),
+            })
+            .collect();
+        let mut accepting = vec![false; labels.len()];
+        accepting[index[dtd.root()]] = true;
+        HedgeAutomaton {
+            num_states: labels.len(),
+            rules,
+            accepting,
+        }
+    }
+
+    /// The set of states reachable at each node of `tree`, bottom-up.
+    fn state_sets(&self, tree: &Tree) -> HashMap<NodeId, HashSet<usize>> {
+        // Group rules by label for quick lookup.
+        let mut by_label: HashMap<&Name, Vec<&Rule>> = HashMap::new();
+        for r in &self.rules {
+            by_label.entry(&r.label).or_default().push(r);
+        }
+        let mut sets: HashMap<NodeId, HashSet<usize>> = HashMap::new();
+        // Process in reverse document order so children precede parents.
+        let order: Vec<NodeId> = tree.nodes().collect();
+        for &node in order.iter().rev() {
+            let mut states = HashSet::new();
+            if let Some(rules) = by_label.get(tree.label(node)) {
+                let child_sets: Vec<&HashSet<usize>> = tree
+                    .children(node)
+                    .iter()
+                    .map(|c| &sets[c])
+                    .collect();
+                for rule in rules {
+                    if accepts_sets(&rule.horizontal, &child_sets) {
+                        states.insert(rule.state);
+                    }
+                }
+            }
+            sets.insert(node, states);
+        }
+        sets
+    }
+
+    /// Does the automaton accept `tree`?
+    pub fn accepts(&self, tree: &Tree) -> bool {
+        self.state_sets(tree)[&Tree::ROOT]
+            .iter()
+            .any(|&q| self.accepting[q])
+    }
+
+    /// Product automaton: accepts the intersection of the two languages.
+    pub fn product(&self, other: &HedgeAutomaton) -> HedgeAutomaton {
+        let pair = |q1: usize, q2: usize| q1 * other.num_states + q2;
+        let mut rules = Vec::new();
+        for r1 in &self.rules {
+            for r2 in &other.rules {
+                if r1.label != r2.label {
+                    continue;
+                }
+                // Horizontal product over the paired state alphabet: lift
+                // each automaton to pair symbols, then intersect.
+                let h1 = r1
+                    .horizontal
+                    .expand(|&q1| (0..other.num_states).map(|q2| pair(q1, q2)).collect());
+                let h2 = r2
+                    .horizontal
+                    .expand(|&q2| (0..self.num_states).map(|q1| pair(q1, q2)).collect());
+                rules.push(Rule {
+                    label: r1.label.clone(),
+                    state: pair(r1.state, r2.state),
+                    horizontal: h1.intersect(&h2),
+                });
+            }
+        }
+        let num_states = self.num_states * other.num_states;
+        let mut accepting = vec![false; num_states];
+        for (q1, &a1) in self.accepting.iter().enumerate() {
+            for (q2, &a2) in other.accepting.iter().enumerate() {
+                accepting[pair(q1, q2)] = a1 && a2;
+            }
+        }
+        HedgeAutomaton {
+            num_states,
+            rules,
+            accepting,
+        }
+    }
+
+    /// Union automaton: accepts the union of the two languages (disjoint
+    /// sum of states and rules).
+    pub fn union(&self, other: &HedgeAutomaton) -> HedgeAutomaton {
+        let offset = self.num_states;
+        let mut rules = self.rules.clone();
+        rules.extend(other.rules.iter().map(|r| Rule {
+            label: r.label.clone(),
+            state: r.state + offset,
+            horizontal: r.horizontal.map(|&q| q + offset),
+        }));
+        let mut accepting = self.accepting.clone();
+        accepting.extend(other.accepting.iter().copied());
+        HedgeAutomaton {
+            num_states: self.num_states + other.num_states,
+            rules,
+            accepting,
+        }
+    }
+
+    /// Emptiness check with witness extraction: returns a smallest-effort
+    /// accepted tree, or `None` when the language is empty.
+    pub fn witness(&self) -> Option<Tree> {
+        // Fixpoint of inhabited states; for each newly inhabited state,
+        // remember (rule index, child-state word) to rebuild a witness.
+        let mut inhabited: HashSet<usize> = HashSet::new();
+        let mut builder: HashMap<usize, (usize, Vec<usize>)> = HashMap::new();
+        loop {
+            let mut grew = false;
+            for (ri, rule) in self.rules.iter().enumerate() {
+                if inhabited.contains(&rule.state) {
+                    continue;
+                }
+                if let Some(word) = shortest_word_over(&rule.horizontal, &inhabited) {
+                    inhabited.insert(rule.state);
+                    builder.insert(rule.state, (ri, word));
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        let root_state = (0..self.num_states)
+            .find(|&q| self.accepting[q] && inhabited.contains(&q))?;
+
+        fn build(
+            a: &HedgeAutomaton,
+            builder: &HashMap<usize, (usize, Vec<usize>)>,
+            state: usize,
+            tree: &mut Tree,
+            at: Option<NodeId>,
+        ) -> NodeId {
+            let (ri, word) = &builder[&state];
+            let rule = &a.rules[*ri];
+            let node = match at {
+                None => Tree::ROOT, // the root label is set by the caller
+                Some(p) => tree.add_elem(p, rule.label.clone()),
+            };
+            for &child_state in word {
+                build(a, builder, child_state, tree, Some(node));
+            }
+            node
+        }
+
+        let (ri, _) = &builder[&root_state];
+        let mut tree = Tree::new(self.rules[*ri].label.clone());
+        build(self, &builder, root_state, &mut tree, None);
+        Some(tree)
+    }
+
+    /// Is the language empty?
+    pub fn is_empty(&self) -> bool {
+        self.witness().is_none()
+    }
+}
+
+/// NFA simulation where position `i` of the word may be any state drawn from
+/// `sets[i]` (used for membership over child state-sets).
+fn accepts_sets(nfa: &Nfa<usize>, sets: &[&HashSet<usize>]) -> bool {
+    let mut current: HashSet<usize> = HashSet::from([0]);
+    for set in sets {
+        let mut next = HashSet::new();
+        for &q in &current {
+            for (sym, q2) in &nfa.transitions[q] {
+                if set.contains(sym) {
+                    next.insert(*q2);
+                }
+            }
+        }
+        if next.is_empty() {
+            return false;
+        }
+        current = next;
+    }
+    current.iter().any(|&q| nfa.accepting[q])
+}
+
+/// A shortest word of `nfa` using only symbols from `allowed` (BFS).
+fn shortest_word_over(nfa: &Nfa<usize>, allowed: &HashSet<usize>) -> Option<Vec<usize>> {
+    if nfa.accepting[0] {
+        return Some(Vec::new());
+    }
+    let mut pred: Vec<Option<(usize, usize)>> = vec![None; nfa.num_states];
+    let mut seen = vec![false; nfa.num_states];
+    let mut queue = VecDeque::from([0usize]);
+    seen[0] = true;
+    while let Some(q) = queue.pop_front() {
+        for (sym, q2) in &nfa.transitions[q] {
+            if allowed.contains(sym) && !seen[*q2] {
+                seen[*q2] = true;
+                pred[*q2] = Some((q, *sym));
+                if nfa.accepting[*q2] {
+                    let mut word = Vec::new();
+                    let mut cur = *q2;
+                    while let Some((p, s)) = pred[cur] {
+                        word.push(s);
+                        cur = p;
+                    }
+                    word.reverse();
+                    return Some(word);
+                }
+                queue.push_back(*q2);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlmap_trees::tree;
+
+    fn d1() -> Dtd {
+        xmlmap_dtd::parse(
+            "root r
+             r -> prof*
+             prof -> teach, supervise
+             teach -> year
+             year -> course, course
+             supervise -> student*",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dtd_automaton_membership() {
+        let a = HedgeAutomaton::from_dtd(&d1());
+        let good = tree! {
+            "r" [ "prof" [
+                "teach" [ "year" [ "course", "course" ] ],
+                "supervise" [ "student", "student" ],
+            ] ]
+        };
+        assert!(a.accepts(&good));
+        assert!(a.accepts(&tree!("r")));
+        assert!(!a.accepts(&tree!("prof")));
+        let bad = tree!("r" [ "prof" [ "teach", "supervise" ] ]);
+        assert!(!a.accepts(&bad)); // teach must contain a year
+    }
+
+    #[test]
+    fn witness_conforms_to_dtd() {
+        let d = d1();
+        let a = HedgeAutomaton::from_dtd(&d);
+        let w = a.witness().expect("DTD language non-empty");
+        // Attributes are not modelled; compare label structure only.
+        let stripped = xmlmap_dtd::parse(
+            "root r
+             r -> prof*
+             prof -> teach, supervise
+             teach -> year
+             year -> course, course
+             supervise -> student*",
+        )
+        .unwrap();
+        assert!(stripped.conforms(&w));
+        // Smallest witness: r alone (prof* allows zero professors).
+        assert_eq!(w.size(), 1);
+    }
+
+    #[test]
+    fn mandatory_children_in_witness() {
+        let d = xmlmap_dtd::parse("root r\nr -> a+\na -> b, c").unwrap();
+        let a = HedgeAutomaton::from_dtd(&d);
+        let w = a.witness().unwrap();
+        assert!(d.conforms(&w));
+        assert_eq!(w.size(), 4); // r, a, b, c
+    }
+
+    #[test]
+    fn empty_language() {
+        // r needs an `a` child, and `a` needs an `r`... which is forbidden.
+        // Simpler: mutual recursion with no base case.
+        let d = xmlmap_dtd::parse("root r\nr -> a\na -> b\nb -> a").unwrap();
+        let auto = HedgeAutomaton::from_dtd(&d);
+        assert!(auto.is_empty());
+    }
+
+    #[test]
+    fn product_is_intersection() {
+        let da = xmlmap_dtd::parse("root r\nr -> a*, b?").unwrap();
+        let db = xmlmap_dtd::parse("root r\nr -> a?, b").unwrap();
+        let pa = HedgeAutomaton::from_dtd(&da);
+        let pb = HedgeAutomaton::from_dtd(&db);
+        let prod = pa.product(&pb);
+
+        let both = tree!("r" [ "a", "b" ]);
+        let only_a = tree!("r" [ "a", "a" ]);
+        let only_b = tree!("r" [ "b" ]);
+        assert!(prod.accepts(&both));
+        assert!(prod.accepts(&only_b));
+        assert!(!prod.accepts(&only_a)); // db forbids two a's
+        let w = prod.witness().unwrap();
+        assert!(pa.accepts(&w) && pb.accepts(&w));
+    }
+
+    #[test]
+    fn product_emptiness() {
+        let da = xmlmap_dtd::parse("root r\nr -> a").unwrap();
+        let db = xmlmap_dtd::parse("root r\nr -> b").unwrap();
+        let prod = HedgeAutomaton::from_dtd(&da).product(&HedgeAutomaton::from_dtd(&db));
+        assert!(prod.is_empty());
+    }
+
+    #[test]
+    fn union_is_language_union() {
+        let da = xmlmap_dtd::parse("root r\nr -> a").unwrap();
+        let db = xmlmap_dtd::parse("root r\nr -> b").unwrap();
+        let u = HedgeAutomaton::from_dtd(&da).union(&HedgeAutomaton::from_dtd(&db));
+        assert!(u.accepts(&tree!("r" [ "a" ])));
+        assert!(u.accepts(&tree!("r" [ "b" ])));
+        assert!(!u.accepts(&tree!("r" [ "a", "b" ])));
+        assert!(!u.accepts(&tree!("r")));
+        let w = u.witness().unwrap();
+        assert!(u.accepts(&w));
+    }
+
+    #[test]
+    fn recursive_dtd_witness() {
+        let d = xmlmap_dtd::parse("root r\nr -> a\na -> a?").unwrap();
+        let auto = HedgeAutomaton::from_dtd(&d);
+        let w = auto.witness().unwrap();
+        assert!(d.conforms(&w));
+        assert_eq!(w.size(), 2); // r[a]
+    }
+}

@@ -1,0 +1,350 @@
+//! Language inclusion for hedge automata, with counterexample extraction —
+//! and DTD *subschema* checking on top.
+//!
+//! Inclusion `L(A) ⊆ L(B)` is decided by the classic product-with-
+//! determinised-complement construction, specialised to unranked trees:
+//! the algorithm computes the realizable pairs `(q_A, S_B)` — some tree has
+//! an `A`-run reaching `q_A` while the (deterministic) subset of `B`-states
+//! reachable on it is exactly `S_B` — as a least fixpoint. A realizable
+//! pair with `q_A` accepting and `S_B` disjoint from `B`'s accepting states
+//! is a counterexample, reconstructed as an actual tree.
+//!
+//! The state space is exponential in `B` (inclusion for tree automata is
+//! EXPTIME-complete), so the exploration carries an explicit budget.
+
+use crate::hedge::HedgeAutomaton;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use xmlmap_dtd::Dtd;
+use xmlmap_trees::{Name, NodeId, Tree, Value};
+
+/// The inclusion exploration exceeded its budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InclusionBudgetExceeded {
+    /// The exhausted budget (machine states explored).
+    pub budget: usize,
+}
+
+impl std::fmt::Display for InclusionBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inclusion check exceeded its budget of {} states", self.budget)
+    }
+}
+
+impl std::error::Error for InclusionBudgetExceeded {}
+
+/// A realizable pair: an `A`-state together with the deterministic `B`
+/// subset, plus the witness word that produced it.
+struct PairInfo {
+    label: Name,
+    qa: usize,
+    sb: BTreeSet<usize>,
+    /// Children realisation (ids of earlier realizable pairs).
+    word: Vec<usize>,
+}
+
+/// Decides `L(a) ⊆ L(b)` over trees labelled from `alphabet`.
+///
+/// Returns `Ok(None)` when included, `Ok(Some(t))` with `t ∈ L(a) ∖ L(b)`
+/// otherwise. Both automata's rules on labels outside `alphabet` are
+/// ignored (such trees are outside the compared universe).
+pub fn inclusion_counterexample(
+    a: &HedgeAutomaton,
+    b: &HedgeAutomaton,
+    alphabet: &[Name],
+    budget: usize,
+) -> Result<Option<Tree>, InclusionBudgetExceeded> {
+    let mut pairs: Vec<PairInfo> = Vec::new();
+    let mut pair_index: HashMap<(Name, usize, BTreeSet<usize>), usize> = HashMap::new();
+    let mut explored = 0usize;
+
+    loop {
+        let frozen = pairs.len();
+        let mut discovered: Vec<PairInfo> = Vec::new();
+
+        for label in alphabet {
+            let a_rules: Vec<_> = a.rules.iter().filter(|r| &r.label == label).collect();
+            let b_rules: Vec<_> = b.rules.iter().filter(|r| &r.label == label).collect();
+            for rule in &a_rules {
+                // Machine state: (subset of the A-rule NFA, per-B-rule NFA
+                // subsets). Words range over realizable pairs < frozen.
+                #[derive(Clone, PartialEq, Eq, Hash)]
+                struct MState {
+                    a: BTreeSet<usize>,
+                    b: Vec<BTreeSet<usize>>,
+                }
+                let initial = MState {
+                    a: BTreeSet::from([0usize]),
+                    b: vec![BTreeSet::from([0usize]); b_rules.len()],
+                };
+                let mut index: HashMap<MState, usize> = HashMap::new();
+                let mut states = vec![initial.clone()];
+                let mut parent: Vec<Option<(usize, usize)>> = vec![None];
+                let mut queue = VecDeque::from([0usize]);
+                index.insert(initial, 0);
+                let mut emitted: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
+
+                while let Some(si) = queue.pop_front() {
+                    explored += 1;
+                    if explored > budget {
+                        return Err(InclusionBudgetExceeded { budget });
+                    }
+                    let st = states[si].clone();
+
+                    // Complete word: the A-rule accepts here.
+                    if st.a.iter().any(|&q| rule.horizontal.accepting[q]) {
+                        // The deterministic B-subset: all B-states whose
+                        // rule accepts along this word.
+                        let sb: BTreeSet<usize> = b_rules
+                            .iter()
+                            .zip(&st.b)
+                            .filter(|(br, bs)| {
+                                bs.iter().any(|&q| br.horizontal.accepting[q])
+                            })
+                            .map(|(br, _)| br.state)
+                            .collect();
+                        let key = (label.clone(), rule.state, sb.clone());
+                        if emitted.insert(sb.clone()) && !pair_index.contains_key(&key) {
+                            let mut word = Vec::new();
+                            let mut cur = si;
+                            while let Some((prev, pid)) = parent[cur] {
+                                word.push(pid);
+                                cur = prev;
+                            }
+                            word.reverse();
+                            discovered.push(PairInfo {
+                                label: label.clone(),
+                                qa: rule.state,
+                                sb,
+                                word,
+                            });
+                        }
+                    }
+
+                    // Transitions on realizable pairs.
+                    for (pid, p) in pairs.iter().enumerate().take(frozen) {
+                        // A part: advance on the child's A-state.
+                        let mut na = BTreeSet::new();
+                        for &q in &st.a {
+                            for (sym, q2) in &rule.horizontal.transitions[q] {
+                                if *sym == p.qa {
+                                    na.insert(*q2);
+                                }
+                            }
+                        }
+                        if na.is_empty() {
+                            continue;
+                        }
+                        // B part: advance each B-rule's subset on any state
+                        // in the child's deterministic B-subset.
+                        let nb: Vec<BTreeSet<usize>> = b_rules
+                            .iter()
+                            .zip(&st.b)
+                            .map(|(br, bs)| {
+                                let mut next = BTreeSet::new();
+                                for &q in bs {
+                                    for (sym, q2) in &br.horizontal.transitions[q] {
+                                        if p.sb.contains(sym) {
+                                            next.insert(*q2);
+                                        }
+                                    }
+                                }
+                                next
+                            })
+                            .collect();
+                        let next = MState { a: na, b: nb };
+                        if !index.contains_key(&next) {
+                            let ni = states.len();
+                            index.insert(next.clone(), ni);
+                            states.push(next);
+                            parent.push(Some((si, pid)));
+                            queue.push_back(ni);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut grew = false;
+        for info in discovered {
+            let key = (info.label.clone(), info.qa, info.sb.clone());
+            if let std::collections::hash_map::Entry::Vacant(e) = pair_index.entry(key) {
+                e.insert(pairs.len());
+                pairs.push(info);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // A counterexample: accepting for A, rejecting for B.
+    let bad = pairs
+        .iter()
+        .position(|p| a.accepting[p.qa] && p.sb.iter().all(|&q| !b.accepting[q]));
+    Ok(bad.map(|root| build_tree(&pairs, root)))
+}
+
+fn build_tree(pairs: &[PairInfo], root: usize) -> Tree {
+    fn attach(pairs: &[PairInfo], tree: &mut Tree, at: NodeId, id: usize) {
+        for &child in &pairs[id].word {
+            let node = tree.add_elem(at, pairs[child].label.clone());
+            attach(pairs, tree, node, child);
+        }
+    }
+    let mut tree = Tree::new(pairs[root].label.clone());
+    attach(pairs, &mut tree, Tree::ROOT, root);
+    tree
+}
+
+/// Why one DTD is not a subschema of another.
+#[derive(Debug, Clone)]
+pub enum SubschemaViolation {
+    /// A document conforming to the first DTD but not the second (labels
+    /// only; its attributes are filled per the first DTD).
+    Document(Tree),
+    /// A label reachable in the first DTD whose attribute list differs.
+    AttributeMismatch {
+        /// The offending element type.
+        label: Name,
+        /// Attribute list in the first DTD.
+        left: Vec<Name>,
+        /// Attribute list in the second DTD.
+        right: Vec<Name>,
+    },
+}
+
+/// Is every document conforming to `d1` also conforming to `d2`?
+///
+/// Checks label-language inclusion via [`inclusion_counterexample`] and
+/// attribute-list equality on `d1`-reachable labels. Returns the violation
+/// if any — a concrete counterexample document, or the first mismatched
+/// attribute list.
+pub fn subschema(
+    d1: &Dtd,
+    d2: &Dtd,
+    budget: usize,
+) -> Result<Option<SubschemaViolation>, InclusionBudgetExceeded> {
+    // Attribute compatibility on reachable labels.
+    for label in d1.reachable() {
+        if d1.attrs(&label) != d2.attrs(&label) {
+            return Ok(Some(SubschemaViolation::AttributeMismatch {
+                left: d1.attrs(&label).to_vec(),
+                right: d2.attrs(&label).to_vec(),
+                label,
+            }));
+        }
+    }
+    let a = HedgeAutomaton::from_dtd(d1);
+    let b = HedgeAutomaton::from_dtd(d2);
+    let mut alphabet: Vec<Name> = d1.alphabet().cloned().collect();
+    for l in d2.alphabet() {
+        if !alphabet.contains(l) {
+            alphabet.push(l.clone());
+        }
+    }
+    match inclusion_counterexample(&a, &b, &alphabet, budget)? {
+        None => Ok(None),
+        Some(mut t) => {
+            // Fill the counterexample's attributes per d1 so it genuinely
+            // conforms to d1.
+            let nodes: Vec<NodeId> = t.nodes().collect();
+            for n in nodes {
+                let label = t.label(n).clone();
+                let attrs: Vec<(Name, Value)> = d1
+                    .attrs(&label)
+                    .iter()
+                    .map(|a| (a.clone(), Value::str("d")))
+                    .collect();
+                t.set_attrs(n, attrs);
+            }
+            debug_assert!(d1.conforms(&t));
+            debug_assert!(!d2.conforms(&t));
+            Ok(Some(SubschemaViolation::Document(t)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUDGET: usize = 1_000_000;
+
+    fn dtd(s: &str) -> Dtd {
+        xmlmap_dtd::parse(s).unwrap()
+    }
+
+    #[test]
+    fn widening_a_production_is_a_superschema() {
+        let narrow = dtd("root r\nr -> a, b");
+        let wide = dtd("root r\nr -> a?, b+, c*");
+        assert!(subschema(&narrow, &wide, BUDGET).unwrap().is_none());
+        // The converse fails; the counterexample conforms to wide only.
+        let v = subschema(&wide, &narrow, BUDGET).unwrap().expect("violation");
+        let SubschemaViolation::Document(t) = v else {
+            panic!("expected a document violation");
+        };
+        assert!(wide.conforms(&t));
+        assert!(!narrow.conforms(&t));
+    }
+
+    #[test]
+    fn identical_schemas_include_both_ways() {
+        let d = dtd("root r\nr -> (a|b)*, c?\na -> c*");
+        assert!(subschema(&d, &d, BUDGET).unwrap().is_none());
+    }
+
+    #[test]
+    fn attribute_mismatch_detected() {
+        let d1 = dtd("root r\nr -> a\na @ x");
+        let d2 = dtd("root r\nr -> a\na @ x, y");
+        let v = subschema(&d1, &d2, BUDGET).unwrap().expect("violation");
+        assert!(matches!(v, SubschemaViolation::AttributeMismatch { .. }));
+    }
+
+    #[test]
+    fn unreachable_labels_do_not_matter() {
+        // `orphan` differs but is unreachable in d1.
+        let d1 = dtd("root r\nr -> a\norphan @ z");
+        let d2 = dtd("root r\nr -> a|b");
+        assert!(subschema(&d1, &d2, BUDGET).unwrap().is_none());
+    }
+
+    #[test]
+    fn recursive_schema_inclusion() {
+        let list = dtd("root r\nr -> item\nitem -> item?");
+        let tree_shape = dtd("root r\nr -> item\nitem -> item*");
+        assert!(subschema(&list, &tree_shape, BUDGET).unwrap().is_none());
+        let v = subschema(&tree_shape, &list, BUDGET).unwrap().expect("violation");
+        let SubschemaViolation::Document(t) = v else { panic!() };
+        // Some node has two item children.
+        assert!(t.nodes().any(|n| t.children(n).len() >= 2));
+    }
+
+    #[test]
+    fn horizontal_order_differences() {
+        let ab = dtd("root r\nr -> a, b");
+        let ba = dtd("root r\nr -> b, a");
+        let v = subschema(&ab, &ba, BUDGET).unwrap().expect("violation");
+        let SubschemaViolation::Document(t) = v else { panic!() };
+        assert!(ab.conforms(&t) && !ba.conforms(&t));
+    }
+
+    #[test]
+    fn raw_inclusion_counterexample() {
+        let a = HedgeAutomaton::from_dtd(&dtd("root r\nr -> x*"));
+        let b = HedgeAutomaton::from_dtd(&dtd("root r\nr -> x?"));
+        let alphabet = vec![Name::new("r"), Name::new("x")];
+        // r[x,x] ∈ L(a) ∖ L(b).
+        let t = inclusion_counterexample(&a, &b, &alphabet, BUDGET)
+            .unwrap()
+            .expect("not included");
+        assert!(a.accepts(&t));
+        assert!(!b.accepts(&t));
+        // And the converse inclusion holds.
+        assert!(inclusion_counterexample(&b, &a, &alphabet, BUDGET)
+            .unwrap()
+            .is_none());
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! # xmlmap-automata
+//!
+//! Unranked (hedge) tree automata with regular horizontal languages: the
+//! automata-theoretic substrate behind the consistency procedures of
+//! *XML Schema Mappings* (PODS 2009) — membership, product, and emptiness
+//! with witness extraction.
+
+pub mod compile;
+pub mod hedge;
+pub mod inclusion;
+
+pub use compile::pattern_automaton;
+pub use hedge::{HedgeAutomaton, Rule};
+pub use inclusion::{inclusion_counterexample, subschema, InclusionBudgetExceeded, SubschemaViolation};

@@ -1,0 +1,91 @@
+//! Ablations over the implementation's own design choices (DESIGN.md).
+//!
+//! * `eval_dp_vs_backtracking` — Boolean matching of failing multi-item
+//!   patterns: the polynomial structural DP vs. the backtracking visitor
+//!   (which re-enumerates item matches combinatorially);
+//! * `chase_vs_bounded` — per-document solution existence: the chase vs.
+//!   exhaustive bounded search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlmap_patterns::{Pattern, Valuation, Var};
+use xmlmap_trees::{Tree, Value};
+
+/// A failing pattern with `n` independent //-obligations over a flat tree:
+/// exponential for the backtracking evaluator, linear for the DP.
+fn adversarial(n: usize, width: usize) -> (Tree, Pattern) {
+    let mut t = Tree::new("r");
+    for i in 0..width {
+        t.add_child(Tree::ROOT, "a", [("v", Value::int(i as i64))]);
+    }
+    let mut p = Pattern::leaf("r", Vec::<Var>::new());
+    for i in 0..n {
+        p = p.descendant(Pattern::leaf("a", [format!("u{i}")]));
+    }
+    p = p.descendant(Pattern::leaf("zz", Vec::<Var>::new())); // always fails
+    (t, p)
+}
+
+fn eval_dp_vs_backtracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/eval_dp_vs_backtracking");
+    group.sample_size(10);
+    for n in [1usize, 2, 3, 4] {
+        let (t, p) = adversarial(n, 24);
+        group.bench_with_input(BenchmarkId::new("backtracking", n), &(t, p), |b, (t, p)| {
+            b.iter(|| {
+                // Force the backtracking path via a seeded (empty) search.
+                assert!(!xmlmap_patterns::matches_with(
+                    black_box(t),
+                    black_box(p),
+                    &Valuation::new()
+                ));
+            })
+        });
+    }
+    for n in [1usize, 2, 3, 4, 8, 16] {
+        let (t, p) = adversarial(n, 24);
+        group.bench_with_input(BenchmarkId::new("dp", n), &(t, p), |b, (t, p)| {
+            b.iter(|| {
+                assert_eq!(
+                    xmlmap_patterns::matches_structural(black_box(t), black_box(p)),
+                    Some(false)
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+fn chase_vs_bounded(c: &mut Criterion) {
+    let m = xmlmap_core::Mapping::new(
+        xmlmap_dtd::parse("root r\nr -> a*\na @ v").unwrap(),
+        xmlmap_dtd::parse("root r\nr -> b*\nb @ w").unwrap(),
+        vec![xmlmap_core::Std::parse("r/a(x) --> r/b(x)").unwrap()],
+    );
+    let mut group = c.benchmark_group("ablation/chase_vs_bounded");
+    group.sample_size(10);
+    for k in [1usize, 2, 3] {
+        let mut src = Tree::new("r");
+        for i in 0..k {
+            src.add_child(Tree::ROOT, "a", [("v", Value::str(format!("v{i}")))]);
+        }
+        group.bench_with_input(BenchmarkId::new("chase", k), &src, |b, src| {
+            b.iter(|| {
+                let sol = xmlmap_core::canonical_solution(black_box(&m), black_box(src)).unwrap();
+                assert_eq!(sol.size(), k + 1);
+            })
+        });
+        let src2 = src.clone();
+        group.bench_with_input(BenchmarkId::new("bounded", k), &src2, |b, src| {
+            b.iter(|| {
+                let sol =
+                    xmlmap_core::bounded::solution_exists(black_box(&m), black_box(src), k + 1);
+                assert!(sol.is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, eval_dp_vs_backtracking, chase_vs_bounded);
+criterion_main!(ablation);

@@ -1,0 +1,157 @@
+//! Figure 1 — consistency results.
+//!
+//! One bench group per cell of the paper's consistency grid:
+//!
+//! | id | cell | paper claim | expected shape |
+//! |---|---|---|---|
+//! | `cons_dn_nr` | CONS(⇓), nested-relational | PTIME (cubic) | polynomial in mapping size |
+//! | `cons_dn_arbitrary` | CONS(⇓), arbitrary DTDs | EXPTIME-complete | exponential in #stds on the hard family |
+//! | `cons_horiz` | CONS(⇓,⇒) | EXPTIME-complete | grows with chain length |
+//! | `cons_nextsib_nr` | CONS(⇓,→), nested-relational | PSPACE-hard | super-polynomial on the chain family |
+//! | `cons_data_bounded` | CONS(⇓,∼) | undecidable (Thm 5.4) | bounded semi-procedure, exponential in bound |
+//! | `abscons_ptime` | ABSCONS(⇓), NR + fully specified | PTIME (Thm 6.3) | polynomial in chain depth |
+//! | `abscons_structural` | ABSCONS°(⇓) | Π₂ᵖ (Prop 6.1) | exponential in #patterns |
+//! | `conscomp` | CONSCOMP | EXPTIME (Thm 7.1) | grows with mapping size |
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlmap_core::{bounded, consistency};
+use xmlmap_gen::hard;
+
+const BUDGET: usize = 50_000_000;
+
+fn cons_dn_nr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/cons_dn_nr");
+    for n in [2usize, 4, 8, 16, 32] {
+        let m = hard::abscons_chain(n); // NR, downward, fully specified
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                let ans = consistency::consistent_nr_ptime(black_box(m)).expect("fragment");
+                assert!(ans);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cons_dn_arbitrary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/cons_dn_arbitrary");
+    group.sample_size(10);
+    for n in [2usize, 4, 6, 8] {
+        let m = hard::cons_exptime(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                let ans = consistency::consistent(black_box(m), BUDGET).unwrap();
+                assert!(!ans.is_consistent());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cons_horiz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/cons_nextsib_nr");
+    group.sample_size(10);
+    for n in [1usize, 2, 3, 4] {
+        let m = hard::cons_nextsib(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                let ans = consistency::consistent(black_box(m), BUDGET).unwrap();
+                assert!(ans.is_consistent());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cons_data_bounded(c: &mut Criterion) {
+    // The undecidable cell: the bounded semi-procedure, cost vs. bound on
+    // an inconsistent instance (the search exhausts the space).
+    let m = xmlmap_core::Mapping::new(
+        xmlmap_dtd::parse("root r\nr -> a+\na @ v").unwrap(),
+        xmlmap_dtd::parse("root r\nr -> b\nb @ w").unwrap(),
+        vec![
+            xmlmap_core::Std::parse("r/a(x) --> r/b(x)").unwrap(),
+            xmlmap_core::Std::parse("r[a(x), a(y)] ; x != y --> r/nosuch(x)").unwrap(),
+            xmlmap_core::Std::parse("r[a(x), a(y)] ; x = y --> r/nosuch(x)").unwrap(),
+        ],
+    );
+    let mut group = c.benchmark_group("fig1/cons_data_bounded");
+    group.sample_size(10);
+    for bound in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+            b.iter(|| {
+                let out = bounded::consistent_bounded(black_box(&m), bound, bound + 1);
+                assert!(matches!(out, bounded::BoundedOutcome::ExhaustedBounds));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn abscons_ptime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/abscons_ptime");
+    for n in [2usize, 4, 8, 16, 32] {
+        let m = hard::abscons_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                let ans = xmlmap_core::abscons_nr_ptime(black_box(m)).expect("fragment");
+                assert!(ans.holds());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn abscons_structural(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/abscons_structural");
+    group.sample_size(10);
+    for n in [2usize, 4, 6, 8] {
+        // n value-free stds over an (a1|…|an)* source: 2^n match sets.
+        let labels: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+        let ds = xmlmap_dtd::parse(&format!("root r\nr -> ({})*", labels.join("|"))).unwrap();
+        let dt = xmlmap_dtd::parse("root r\nr -> c*").unwrap();
+        let stds = (0..n)
+            .map(|i| xmlmap_core::Std::parse(&format!("r/a{i} --> r/c")).unwrap())
+            .collect();
+        let m = xmlmap_core::Mapping::new(ds, dt, stds);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                let ans = xmlmap_core::abscons_structural(black_box(m), BUDGET)
+                    .unwrap()
+                    .unwrap();
+                assert!(ans.holds());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn conscomp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/conscomp");
+    group.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let (m12, m23) = hard::compose_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(m12, m23), |b, (m12, m23)| {
+            b.iter(|| {
+                let ok =
+                    consistency::composition_consistent(black_box(m12), black_box(m23), BUDGET)
+                        .unwrap();
+                assert!(ok);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    fig1,
+    cons_dn_nr,
+    cons_dn_arbitrary,
+    cons_horiz,
+    cons_data_bounded,
+    abscons_ptime,
+    abscons_structural,
+    conscomp
+);
+criterion_main!(fig1);

@@ -1,0 +1,160 @@
+//! Figure 2 — complexity results.
+//!
+//! | id | cell | paper claim | expected shape |
+//! |---|---|---|---|
+//! | `pattern_eval_data` | tree-pattern evaluation, data complexity | DLOGSPACE | ~linear in the document |
+//! | `pattern_eval_combined` | …, combined complexity | PTIME | polynomial in doc × pattern |
+//! | `membership_data` | ⟦M⟧ membership, data complexity | DLOGSPACE | ~linear in the documents |
+//! | `membership_combined_fixed_vars` | …, fixed #vars | PTIME (Thm 4.3) | polynomial |
+//! | `membership_combined_vars` | …, growing #vars | Π₂ᵖ-complete | exponential in #variables |
+//! | `composition_data` | composition membership over SM(⇓,⇒) | EXPTIME-complete | grows with the documents |
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlmap_gen::hard;
+use xmlmap_patterns::Valuation;
+
+fn pattern_eval_data(c: &mut Criterion) {
+    // Fixed pattern (the intro π with order), growing university document.
+    let pattern = xmlmap_patterns::parse(
+        "r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], supervise[student(s)]]]",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("fig2/pattern_eval_data");
+    for profs in [10usize, 40, 160, 640] {
+        let tree = xmlmap_gen::university_tree(profs, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tree.size()),
+            &tree,
+            |b, tree| {
+                b.iter(|| {
+                    let ms = xmlmap_patterns::all_matches(black_box(tree), black_box(&pattern));
+                    assert_eq!(ms.len(), profs * 3);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn pattern_eval_combined(c: &mut Criterion) {
+    // Pattern and document grow together (chains of students).
+    let mut group = c.benchmark_group("fig2/pattern_eval_combined");
+    for n in [2usize, 4, 8, 16] {
+        let tree = xmlmap_gen::university_tree(n, n);
+        // Pattern: n student conjuncts under one professor.
+        let mut prof = xmlmap_patterns::Pattern::leaf("prof", ["x"]);
+        let mut sup = xmlmap_patterns::Pattern::leaf("supervise", Vec::<xmlmap_patterns::Var>::new());
+        for i in 0..n {
+            sup = sup.child(xmlmap_patterns::Pattern::leaf("student", [format!("s{i}")]));
+        }
+        prof = prof.child(sup);
+        let pattern = xmlmap_patterns::Pattern::leaf("r", Vec::<xmlmap_patterns::Var>::new())
+            .child(prof);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(tree, pattern),
+            |b, (tree, pattern)| {
+                b.iter(|| {
+                    // Boolean matching (the decision problem): PTIME.
+                    assert!(xmlmap_patterns::matches_with(
+                        black_box(tree),
+                        black_box(pattern),
+                        &Valuation::new()
+                    ));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn membership_data(c: &mut Criterion) {
+    // Fixed mapping (2 variables), growing documents.
+    let m = hard::membership_vars(2);
+    let mut group = c.benchmark_group("fig2/membership_data");
+    for k in [8usize, 32, 128, 512] {
+        let (t1, t3) = hard::membership_instance(k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &(t1, t3),
+            |b, (t1, t3)| {
+                b.iter(|| {
+                    assert!(m.is_solution(black_box(t1), black_box(t3)));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn membership_combined_vars(c: &mut Criterion) {
+    // Growing #variables: kⁿ firings over k = 4 values — the Π₂ᵖ wall.
+    let mut group = c.benchmark_group("fig2/membership_combined_vars");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let m = hard::membership_vars_hard(n);
+        let (t1, t3) = hard::membership_hard_instance(n, 4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(m, t1, t3),
+            |b, (m, t1, t3)| {
+                b.iter(|| {
+                    assert!(m.is_solution(black_box(t1), black_box(t3)));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn composition_data(c: &mut Criterion) {
+    // Fixed mappings, growing documents (data complexity of composition).
+    let (m12, m23) = hard::compose_chain(0);
+    let mut group = c.benchmark_group("fig2/composition_data");
+    group.sample_size(10);
+    for k in [2usize, 4, 8, 16] {
+        // k source values through the a0→b0→c0 chain.
+        let mut t1 = xmlmap_trees::Tree::new("r");
+        let mut t3 = xmlmap_trees::Tree::new("w");
+        for i in 0..k {
+            t1.add_child(
+                xmlmap_trees::Tree::ROOT,
+                "a0",
+                [("v", xmlmap_trees::Value::str(format!("v{i}")))],
+            );
+            t3.add_child(
+                xmlmap_trees::Tree::ROOT,
+                "c0",
+                [("u", xmlmap_trees::Value::str(format!("v{i}")))],
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &(t1, t3),
+            |b, (t1, t3)| {
+                b.iter(|| {
+                    let middle = xmlmap_core::composition_member(
+                        black_box(&m12),
+                        black_box(&m23),
+                        black_box(t1),
+                        black_box(t3),
+                        k + 2,
+                    );
+                    assert!(middle.is_some());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    fig2,
+    pattern_eval_data,
+    pattern_eval_combined,
+    membership_data,
+    membership_combined_vars,
+    composition_data
+);
+criterion_main!(fig2);

@@ -1,0 +1,65 @@
+//! Lemma 4.1 — pattern satisfiability w.r.t. a DTD is NP-complete.
+//!
+//! * `sat_hard` — the descendant-obligation family: the type-fixpoint
+//!   engine's state space doubles with each obligation (the NP wall);
+//! * `sat_nr_ptime` — the same question restricted to nested-relational
+//!   DTDs and downward patterns, where `satisfiable_nr` is polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlmap_gen::hard;
+
+fn sat_hard_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma41/sat_hard");
+    group.sample_size(10);
+    for n in [2usize, 4, 6, 8] {
+        let (dtd, pattern) = hard::sat_hard(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(dtd, pattern),
+            |b, (dtd, pattern)| {
+                b.iter(|| {
+                    let w = xmlmap_patterns::satisfiable(
+                        black_box(dtd),
+                        black_box(pattern),
+                        100_000_000,
+                    )
+                    .unwrap();
+                    assert!(w.is_some());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn sat_nr_ptime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma41/sat_nr_ptime");
+    for n in [4usize, 8, 16, 32] {
+        // Chain DTD of depth n; pattern probes the deepest element.
+        let mut lines = vec!["root r".to_string()];
+        let mut parent = "r".to_string();
+        for i in 0..n {
+            lines.push(format!("{parent} -> e{i}?"));
+            parent = format!("e{i}");
+        }
+        let dtd = xmlmap_dtd::parse(&lines.join("\n")).unwrap();
+        let pattern = xmlmap_patterns::parse(&format!("r//e{}", n - 1)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(dtd, pattern),
+            |b, (dtd, pattern)| {
+                b.iter(|| {
+                    let ans =
+                        xmlmap_patterns::sat::satisfiable_nr(black_box(dtd), black_box(pattern))
+                            .expect("fragment");
+                    assert!(ans);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(lemma41, sat_hard_family, sat_nr_ptime);
+criterion_main!(lemma41);

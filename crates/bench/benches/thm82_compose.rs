@@ -1,0 +1,72 @@
+//! Theorem 8.2 — syntactic composition of Skolem mappings.
+//!
+//! * `compose_chain` — cost of composing copy chains as the number of stds
+//!   grows (the composed mapping enumerates matches of each Σ₂₃ source
+//!   into the symbolic canonical target);
+//! * `composed_membership` — evaluating the composed mapping vs. searching
+//!   for a middle document semantically: the composed mapping answers
+//!   membership without ever materialising the middle schema.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlmap_core::SkolemMapping;
+use xmlmap_gen::hard;
+
+fn compose_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm82/compose_chain");
+    for n in [1usize, 2, 4, 8, 16] {
+        let (m12, m23) = hard::compose_chain(n);
+        let s12 = SkolemMapping::from_mapping(&m12).unwrap();
+        let s23 = SkolemMapping::from_mapping(&m23).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(s12, s23),
+            |b, (s12, s23)| {
+                b.iter(|| {
+                    let s13 = xmlmap_core::compose(black_box(s12), black_box(s23)).unwrap();
+                    assert_eq!(s13.stds.len(), n + 1);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn composed_membership(c: &mut Criterion) {
+    let (m12, m23) = hard::compose_chain(1);
+    let s13 = xmlmap_core::compose(
+        &SkolemMapping::from_mapping(&m12).unwrap(),
+        &SkolemMapping::from_mapping(&m23).unwrap(),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("thm82/composed_membership");
+    for k in [2usize, 4, 8, 16] {
+        let mut t1 = xmlmap_trees::Tree::new("r");
+        let mut t3 = xmlmap_trees::Tree::new("w");
+        for i in 0..k {
+            t1.add_child(
+                xmlmap_trees::Tree::ROOT,
+                "a0",
+                [("v", xmlmap_trees::Value::str(format!("v{i}")))],
+            );
+            t3.add_child(
+                xmlmap_trees::Tree::ROOT,
+                "c0",
+                [("u", xmlmap_trees::Value::str(format!("v{i}")))],
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &(t1, t3),
+            |b, (t1, t3)| {
+                b.iter(|| {
+                    assert!(s13.is_solution(black_box(t1), black_box(t3)));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(thm82, compose_chain, composed_membership);
+criterion_main!(thm82);

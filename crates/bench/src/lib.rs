@@ -1,0 +1,52 @@
+//! # xmlmap-bench
+//!
+//! Benchmark harness regenerating the evaluation artefacts of
+//! *XML Schema Mappings* (PODS 2009): the consistency-results grid
+//! (Figure 1), the complexity-results grid (Figure 2), and the scaling
+//! behaviours behind Lemma 4.1 and Theorem 8.2.
+//!
+//! * `cargo bench -p xmlmap-bench` runs the Criterion benches;
+//! * `cargo run -p xmlmap-bench --bin tables --release` prints the
+//!   paper-style empirical grids recorded in `EXPERIMENTS.md`.
+
+use std::time::{Duration, Instant};
+
+/// Times a closure once (the `tables` binary wants single-shot wall-clock
+/// measurements of procedures whose cost spans six orders of magnitude).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration compactly for table cells.
+pub fn fmt_duration(d: Duration) -> String {
+    let micros = d.as_micros();
+    if micros < 1_000 {
+        format!("{micros}µs")
+    } else if micros < 1_000_000 {
+        format!("{:.1}ms", micros as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", micros as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(250)), "250µs");
+        assert_eq!(fmt_duration(Duration::from_micros(1_500)), "1.5ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2_300)), "2.30s");
+    }
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, d) = time_once(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,414 @@
+//! Bounded brute-force procedures.
+//!
+//! Several problems the paper proves undecidable (Thm 5.4, Thm 7.3(2)) or
+//! of very high complexity (Thm 6.2) still need *executable* form here: as
+//! semi-decision procedures with explicit bounds, and as reference oracles
+//! that the fast fragment algorithms are property-tested against.
+//!
+//! The enumerators are exhaustive up to their bounds:
+//!
+//! * [`tree_shapes`] — every label shape conforming to a DTD with at most
+//!   `max_nodes` nodes (attribute slots carry placeholder nulls);
+//! * [`for_each_valued_tree`] — every assignment of values from a pool to a
+//!   shape's attribute slots (a pool with as many values as slots covers all
+//!   equality types, which is all that matters: patterns compare values
+//!   only by `=`/`≠`);
+//! * [`solution_exists`] — does a fixed source tree have *some* solution of
+//!   bounded size? Complete for the bound because target values can be
+//!   restricted to the source's active domain plus fresh values, one per
+//!   target attribute slot.
+
+use crate::stds::Mapping;
+use std::collections::VecDeque;
+use xmlmap_dtd::Dtd;
+use xmlmap_regex::Nfa;
+use xmlmap_trees::{Name, NodeId, Tree, Value};
+
+/// All words accepted by `nfa` with length ≤ `max_len`.
+fn accepted_words(nfa: &Nfa<Name>, max_len: usize) -> Vec<Vec<Name>> {
+    let mut out = Vec::new();
+    // BFS over (state-set, word).
+    let mut queue: VecDeque<(Vec<usize>, Vec<Name>)> = VecDeque::new();
+    queue.push_back((vec![0], Vec::new()));
+    let alphabet: Vec<Name> = {
+        let mut v: Vec<Name> = nfa.alphabet().into_iter().collect();
+        v.sort();
+        v
+    };
+    while let Some((states, word)) = queue.pop_front() {
+        if states.iter().any(|&q| nfa.accepting[q]) {
+            out.push(word.clone());
+        }
+        if word.len() == max_len {
+            continue;
+        }
+        for sym in &alphabet {
+            let mut next: Vec<usize> = states
+                .iter()
+                .flat_map(|&q| {
+                    nfa.transitions[q]
+                        .iter()
+                        .filter(|(a, _)| a == sym)
+                        .map(|(_, q2)| *q2)
+                })
+                .collect();
+            next.sort_unstable();
+            next.dedup();
+            if !next.is_empty() {
+                let mut w2 = word.clone();
+                w2.push(sym.clone());
+                queue.push_back((next, w2));
+            }
+        }
+    }
+    out
+}
+
+/// All shapes of trees rooted at `label` with at most `budget` nodes.
+fn shapes_for(dtd: &Dtd, label: &Name, budget: usize, nulls: &mut u64) -> Vec<Tree> {
+    if budget == 0 {
+        return Vec::new();
+    }
+    let make_root = |nulls: &mut u64| {
+        let attrs: Vec<(Name, Value)> = dtd
+            .attrs(label)
+            .iter()
+            .map(|a| {
+                let v = Value::null(*nulls);
+                *nulls += 1;
+                (a.clone(), v)
+            })
+            .collect();
+        Tree::with_root_attrs(label.clone(), attrs)
+    };
+    let epsilon = Nfa::epsilon();
+    let nfa = dtd.horizontal(label).unwrap_or(&epsilon);
+    let mut out = Vec::new();
+    for word in accepted_words(nfa, budget - 1) {
+        // Distribute the remaining node budget over the children.
+        fn assign(
+            dtd: &Dtd,
+            word: &[Name],
+            k: usize,
+            budget_left: usize,
+            acc: &mut Vec<Tree>,
+            out: &mut Vec<Vec<Tree>>,
+            nulls: &mut u64,
+        ) {
+            if k == word.len() {
+                out.push(acc.clone());
+                return;
+            }
+            // Reserve one node for each remaining child.
+            let reserve = word.len() - k - 1;
+            for sub in shapes_for(dtd, &word[k], budget_left.saturating_sub(reserve), nulls) {
+                let used = sub.size();
+                acc.push(sub);
+                assign(dtd, word, k + 1, budget_left - used, acc, out, nulls);
+                acc.pop();
+            }
+        }
+        let mut children_sets = Vec::new();
+        assign(
+            dtd,
+            &word,
+            0,
+            budget - 1,
+            &mut Vec::new(),
+            &mut children_sets,
+            nulls,
+        );
+        for children in children_sets {
+            let mut t = make_root(nulls);
+            for c in &children {
+                t.graft(Tree::ROOT, c);
+            }
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Every label shape conforming to `dtd` with at most `max_nodes` nodes.
+/// Attribute slots hold pairwise-distinct placeholder nulls.
+pub fn tree_shapes(dtd: &Dtd, max_nodes: usize) -> Vec<Tree> {
+    let mut nulls = 0;
+    shapes_for(dtd, dtd.root(), max_nodes, &mut nulls)
+        .into_iter()
+        .filter(|t| dtd.conforms(t))
+        .collect()
+}
+
+/// Calls `f` with every assignment of values from `pool` to the attribute
+/// slots of `shape` (slots are visited in document order). `f` returns
+/// `false` to stop; returns `true` iff stopped early.
+pub fn for_each_valued_tree(
+    shape: &Tree,
+    pool: &[Value],
+    f: &mut dyn FnMut(&Tree) -> bool,
+) -> bool {
+    let slots: Vec<(NodeId, Name)> = shape
+        .nodes()
+        .flat_map(|n| {
+            shape
+                .attrs(n)
+                .iter()
+                .map(move |(a, _)| (n, a.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    fn go(
+        tree: &mut Tree,
+        slots: &[(NodeId, Name)],
+        k: usize,
+        pool: &[Value],
+        f: &mut dyn FnMut(&Tree) -> bool,
+    ) -> bool {
+        if k == slots.len() {
+            return !f(tree);
+        }
+        for v in pool {
+            tree.set_attr(slots[k].0, slots[k].1.as_str(), v.clone());
+            if go(tree, slots, k + 1, pool, f) {
+                return true;
+            }
+        }
+        false
+    }
+    let mut tree = shape.clone();
+    go(&mut tree, &slots, 0, pool, f)
+}
+
+/// The number of attribute slots in a tree.
+pub fn attr_slot_count(tree: &Tree) -> usize {
+    tree.nodes().map(|n| tree.attrs(n).len()).sum()
+}
+
+/// A generic value pool `v1..vk` for exhaustive small-model search: since
+/// patterns see values only through equality, `k` distinct values cover all
+/// equality types of `k` slots.
+pub fn generic_pool(k: usize) -> Vec<Value> {
+    (0..k).map(|i| Value::str(format!("v{i}"))).collect()
+}
+
+/// Does `source` have a solution under `m` with at most `max_target_nodes`
+/// nodes? Values are drawn from the source's active domain plus enough
+/// fresh values (one per target slot), which is exhaustive for that size.
+pub fn solution_exists(m: &Mapping, source: &Tree, max_target_nodes: usize) -> Option<Tree> {
+    if !m.source_dtd.conforms(source) {
+        return None;
+    }
+    let mut pool: Vec<Value> = source.data_values().cloned().collect();
+    pool.sort();
+    pool.dedup();
+    for shape in tree_shapes(&m.target_dtd, max_target_nodes) {
+        let slots = attr_slot_count(&shape);
+        let mut full_pool = pool.clone();
+        full_pool.extend((0..slots as u64).map(|i| Value::Null(1_000_000 + i)));
+        let mut found: Option<Tree> = None;
+        for_each_valued_tree(&shape, &full_pool, &mut |t| {
+            if m.is_solution(source, t) {
+                found = Some(t.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+/// Outcome of a bounded search over source documents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundedOutcome {
+    /// A witness was found (consistency: a source with a solution;
+    /// absolute consistency violation: a source *without* one).
+    Witness(Tree),
+    /// No witness up to the bounds; the property may still fail beyond them.
+    ExhaustedBounds,
+}
+
+/// Bounded consistency: searches for `T ⊨ D_s` (≤ `max_source_nodes`) with a
+/// solution of ≤ `max_target_nodes` nodes. Sound for "consistent"; the
+/// `ExhaustedBounds` outcome is inconclusive (the problem is undecidable in
+/// general, Thm 5.4).
+pub fn consistent_bounded(
+    m: &Mapping,
+    max_source_nodes: usize,
+    max_target_nodes: usize,
+) -> BoundedOutcome {
+    for shape in tree_shapes(&m.source_dtd, max_source_nodes) {
+        let pool = generic_pool(attr_slot_count(&shape).max(1));
+        let mut witness = None;
+        for_each_valued_tree(&shape, &pool, &mut |t| {
+            if solution_exists(m, t, max_target_nodes).is_some() {
+                witness = Some(t.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(w) = witness {
+            return BoundedOutcome::Witness(w);
+        }
+    }
+    BoundedOutcome::ExhaustedBounds
+}
+
+/// Bounded absolute-consistency refutation: searches for a source document
+/// (≤ `max_source_nodes`) with **no** solution of ≤ `max_target_nodes`
+/// nodes. Sound for "not absolutely consistent" provided `max_target_nodes`
+/// is large enough for genuine solutions; used as the reference oracle for
+/// the PTIME fragment (Thm 6.3).
+pub fn abscons_violation_bounded(
+    m: &Mapping,
+    max_source_nodes: usize,
+    max_target_nodes: usize,
+) -> BoundedOutcome {
+    for shape in tree_shapes(&m.source_dtd, max_source_nodes) {
+        let pool = generic_pool(attr_slot_count(&shape).max(1));
+        let mut violation = None;
+        for_each_valued_tree(&shape, &pool, &mut |t| {
+            if solution_exists(m, t, max_target_nodes).is_none() {
+                violation = Some(t.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(w) = violation {
+            return BoundedOutcome::Witness(w);
+        }
+    }
+    BoundedOutcome::ExhaustedBounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stds::Std;
+
+    fn dtd(s: &str) -> Dtd {
+        xmlmap_dtd::parse(s).unwrap()
+    }
+
+    #[test]
+    fn shape_enumeration_counts() {
+        let d = dtd("root r\nr -> a*");
+        let shapes = tree_shapes(&d, 4);
+        // r, r[a], r[a,a], r[a,a,a]
+        assert_eq!(shapes.len(), 4);
+        for t in &shapes {
+            assert!(d.conforms(t));
+        }
+
+        let d2 = dtd("root r\nr -> a?, b?");
+        let sizes: Vec<usize> = tree_shapes(&d2, 3).iter().map(Tree::size).collect();
+        assert_eq!(sizes.len(), 4); // ε, a, b, ab
+    }
+
+    #[test]
+    fn nested_shapes() {
+        let d = dtd("root r\nr -> a+\na -> b?");
+        let shapes = tree_shapes(&d, 5);
+        // a-counts with optional b's under each, total ≤ 5 nodes:
+        // r[a] r[a[b]] r[a,a] r[a[b],a] r[a,a[b]] r[a[b],a[b]] r[a,a,a]
+        // r[a[b],a,a] r[a,a[b],a] r[a,a,a[b]] r[a,a,a,a]
+        assert_eq!(shapes.len(), 11);
+        for t in &shapes {
+            assert!(d.conforms(t), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn valued_tree_enumeration() {
+        let d = dtd("root r\nr -> a, a\na @ v");
+        let shapes = tree_shapes(&d, 3);
+        assert_eq!(shapes.len(), 1);
+        let mut count = 0;
+        for_each_valued_tree(&shapes[0], &generic_pool(2), &mut |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 4); // 2 slots × 2 values
+    }
+
+    #[test]
+    fn solution_search_positive() {
+        let m = Mapping::new(
+            dtd("root r\nr -> a*\na @ v"),
+            dtd("root r\nr -> b*\nb @ w"),
+            vec![Std::parse("r/a(x) --> r/b(x)").unwrap()],
+        );
+        let src = {
+            let mut t = Tree::new("r");
+            t.add_child(Tree::ROOT, "a", [("v", Value::str("1"))]);
+            t.add_child(Tree::ROOT, "a", [("v", Value::str("2"))]);
+            t
+        };
+        let sol = solution_exists(&m, &src, 4).expect("solution exists");
+        assert!(m.is_solution(&src, &sol));
+    }
+
+    #[test]
+    fn solution_search_negative() {
+        // Target allows only ONE b: two distinct source values unsolvable.
+        let m = Mapping::new(
+            dtd("root r\nr -> a*\na @ v"),
+            dtd("root r\nr -> b\nb @ w"),
+            vec![Std::parse("r/a(x) --> r/b(x)").unwrap()],
+        );
+        let src = {
+            let mut t = Tree::new("r");
+            t.add_child(Tree::ROOT, "a", [("v", Value::str("1"))]);
+            t.add_child(Tree::ROOT, "a", [("v", Value::str("2"))]);
+            t
+        };
+        assert!(solution_exists(&m, &src, 6).is_none());
+        // One source value (or none) is fine.
+        let src1 = {
+            let mut t = Tree::new("r");
+            t.add_child(Tree::ROOT, "a", [("v", Value::str("1"))]);
+            t
+        };
+        assert!(solution_exists(&m, &src1, 6).is_some());
+    }
+
+    #[test]
+    fn bounded_consistency_and_abscons() {
+        // The paper's §6 example: source r → a*, target r → a, std
+        // r/a(x) → r/a(x). Consistent (empty source works) but NOT
+        // absolutely consistent (two distinct values).
+        let m = Mapping::new(
+            dtd("root r\nr -> a*\na @ v"),
+            dtd("root r\nr -> a\na @ v"),
+            vec![Std::parse("r/a(x) --> r/a(x)").unwrap()],
+        );
+        assert!(matches!(
+            consistent_bounded(&m, 3, 3),
+            BoundedOutcome::Witness(_)
+        ));
+        let BoundedOutcome::Witness(violation) = abscons_violation_bounded(&m, 3, 4) else {
+            panic!("expected an absolute-consistency violation");
+        };
+        // The violating source has two a-children with distinct values.
+        assert_eq!(violation.children(Tree::ROOT).len(), 2);
+        assert!(solution_exists(&m, &violation, 4).is_none());
+    }
+
+    #[test]
+    fn vacuous_mapping_is_absolutely_consistent_up_to_bounds() {
+        let m = Mapping::new(
+            dtd("root r\nr -> a*\na @ v"),
+            dtd("root r\nr -> b*\nb @ w"),
+            vec![Std::parse("r/a(x) --> r/b(x)").unwrap()],
+        );
+        assert_eq!(
+            abscons_violation_bounded(&m, 3, 4),
+            BoundedOutcome::ExhaustedBounds
+        );
+    }
+}

@@ -1,0 +1,625 @@
+//! Canonical-solution construction (the chase).
+//!
+//! The paper's §9 names "constructing target instances" as the key next
+//! step for XML data exchange; for the tractable class the paper builds
+//! (fully-specified stds over nested-relational target DTDs, the same
+//! class that is closed under composition in §8) the classic chase works:
+//!
+//! 1. for every std and every firing, instantiate the target pattern into
+//!    the partial document — children in **repeatable** slots (`*`/`+`) get
+//!    fresh nodes per firing, children in **non-repeatable** slots (`ℓ`,
+//!    `ℓ?`) are unified with the existing node (labelled nulls unify with
+//!    anything, constants only with themselves);
+//! 2. complete the document: missing mandatory children are added with
+//!    fresh-null attributes, children are ordered by the production's slot
+//!    order;
+//! 3. check the deferred `≠` obligations.
+//!
+//! Failure at any step means **no** solution exists (the chase only merges
+//! when the DTD forces it), so [`canonical_solution`] doubles as a
+//! per-document solution-existence check — the semantics behind absolute
+//! consistency.
+
+use crate::cond::CompOp;
+use crate::stds::{Mapping, Std};
+use std::collections::{BTreeMap, HashMap};
+use xmlmap_dtd::Mult;
+use xmlmap_patterns::{LabelTest, ListItem, Pattern, Valuation, Var};
+use xmlmap_trees::{Name, NodeId, Tree, Value};
+
+/// Why the chase failed — equivalently, why `source` has no solution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaseError {
+    /// The source document does not conform to the source DTD.
+    SourceNotConforming,
+    /// The mapping is outside the chaseable fragment.
+    OutsideFragment(String),
+    /// Two constants were forced into the same attribute slot.
+    ValueConflict(String),
+    /// A target pattern cannot embed into the target DTD.
+    NotEmbeddable(String),
+    /// A non-repeatable slot would need two or more children.
+    MultiplicityConflict(String),
+    /// A target `≠` condition is violated by forced equalities.
+    InequalityViolated(String),
+    /// An equality condition equates two different source constants.
+    EqualityUnsatisfiable(String),
+}
+
+impl std::fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaseError::SourceNotConforming => write!(f, "source does not conform"),
+            ChaseError::OutsideFragment(s) => write!(f, "outside the chaseable fragment: {s}"),
+            ChaseError::ValueConflict(s) => write!(f, "value conflict: {s}"),
+            ChaseError::NotEmbeddable(s) => write!(f, "target pattern not embeddable: {s}"),
+            ChaseError::MultiplicityConflict(s) => write!(f, "multiplicity conflict: {s}"),
+            ChaseError::InequalityViolated(s) => write!(f, "≠ condition violated: {s}"),
+            ChaseError::EqualityUnsatisfiable(s) => write!(f, "= condition unsatisfiable: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+/// Union-find-ish substitution over labelled nulls.
+#[derive(Default)]
+struct Subst {
+    map: HashMap<u64, Value>,
+}
+
+impl Subst {
+    fn resolve(&self, v: &Value) -> Value {
+        let mut cur = v.clone();
+        let mut steps = 0;
+        while let Value::Null(k) = cur {
+            match self.map.get(&k) {
+                Some(next) => {
+                    cur = next.clone();
+                    steps += 1;
+                    debug_assert!(steps <= self.map.len() + 1, "substitution cycle");
+                }
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// Unifies two values; returns false on constant/constant conflict.
+    fn unify(&mut self, a: &Value, b: &Value) -> bool {
+        let (ra, rb) = (self.resolve(a), self.resolve(b));
+        if ra == rb {
+            return true;
+        }
+        match (ra, rb) {
+            (Value::Null(k), other) | (other, Value::Null(k)) => {
+                self.map.insert(k, other);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+struct Chaser<'m> {
+    mapping: &'m Mapping,
+    tree: Tree,
+    subst: Subst,
+    next_null: u64,
+    /// Deferred ≠ obligations (checked after all unifications).
+    neq_obligations: Vec<(Value, Value, String)>,
+}
+
+impl<'m> Chaser<'m> {
+    fn fresh(&mut self) -> Value {
+        let v = Value::Null(self.next_null);
+        self.next_null += 1;
+        v
+    }
+
+    /// Resolves the values every target variable takes for one firing.
+    fn firing_values(
+        &mut self,
+        std: &Std,
+        firing: &Valuation,
+        std_idx: usize,
+    ) -> Result<BTreeMap<Var, Value>, ChaseError> {
+        // Equivalence classes of target variables under α′₌.
+        let vars = std.target.variables();
+        let mut rep: BTreeMap<Var, Var> = vars.iter().map(|v| (v.clone(), v.clone())).collect();
+        fn find(rep: &mut BTreeMap<Var, Var>, v: &Var) -> Var {
+            let p = rep.get(v).cloned().unwrap_or_else(|| v.clone());
+            if &p == v {
+                return p;
+            }
+            let root = find(rep, &p);
+            rep.insert(v.clone(), root.clone());
+            root
+        }
+        for c in &std.target_cond {
+            if c.op == CompOp::Eq {
+                let (ra, rb) = (find(&mut rep, &c.left), find(&mut rep, &c.right));
+                if ra != rb {
+                    rep.insert(ra, rb);
+                }
+            }
+        }
+        // Value per class: the source binding if any member is shared.
+        let mut class_value: BTreeMap<Var, Value> = BTreeMap::new();
+        for v in &vars {
+            let root = find(&mut rep, v);
+            if let Some(bound) = firing.get(v) {
+                match class_value.get(&root) {
+                    Some(existing) if existing != bound => {
+                        return Err(ChaseError::EqualityUnsatisfiable(format!(
+                            "std #{std_idx}: α′₌ equates {existing} and {bound}"
+                        )));
+                    }
+                    _ => {
+                        class_value.insert(root, bound.clone());
+                    }
+                }
+            }
+        }
+        let mut out = BTreeMap::new();
+        for v in &vars {
+            let root = find(&mut rep, v);
+            let val = match class_value.get(&root) {
+                Some(v) => v.clone(),
+                None => {
+                    let fresh = self.fresh();
+                    class_value.insert(root, fresh.clone());
+                    fresh
+                }
+            };
+            out.insert(v.clone(), val);
+        }
+        // Record ≠ obligations for the final check.
+        for c in &std.target_cond {
+            if c.op == CompOp::Neq {
+                let (a, b) = (out[&c.left].clone(), out[&c.right].clone());
+                self.neq_obligations
+                    .push((a, b, format!("std #{std_idx}: {c}")));
+            }
+        }
+        Ok(out)
+    }
+
+    fn unify_attrs(
+        &mut self,
+        node: NodeId,
+        pattern: &Pattern,
+        values: &BTreeMap<Var, Value>,
+    ) -> Result<(), ChaseError> {
+        if pattern.vars.is_empty() {
+            return Ok(()); // no attribute constraint
+        }
+        let existing: Vec<(Name, Value)> = self.tree.attrs(node).to_vec();
+        if existing.len() != pattern.vars.len() {
+            return Err(ChaseError::NotEmbeddable(format!(
+                "pattern node {pattern} has {} variables but element {} has {} attributes",
+                pattern.vars.len(),
+                self.tree.label(node),
+                existing.len()
+            )));
+        }
+        for ((attr, old), var) in existing.iter().zip(&pattern.vars) {
+            let new = values[var].clone();
+            if !self.subst.unify(old, &new) {
+                return Err(ChaseError::ValueConflict(format!(
+                    "attribute {attr} of {}: {} vs {}",
+                    self.tree.label(node),
+                    self.subst.resolve(old),
+                    self.subst.resolve(&new)
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a node for `label` under `parent` with fresh-null attributes.
+    fn create(&mut self, parent: NodeId, label: &Name) -> NodeId {
+        let attrs: Vec<(Name, Value)> = self
+            .mapping
+            .target_dtd
+            .attrs(label)
+            .iter()
+            .map(|a| (a.clone(), {
+                let v = Value::Null(self.next_null);
+                self.next_null += 1;
+                v
+            }))
+            .collect();
+        self.tree.add_child(parent, label.clone(), attrs)
+    }
+
+    fn instantiate(
+        &mut self,
+        node: NodeId,
+        pattern: &Pattern,
+        values: &BTreeMap<Var, Value>,
+    ) -> Result<(), ChaseError> {
+        self.unify_attrs(node, pattern, values)?;
+        let parent_label = self.tree.label(node).clone();
+        for item in &pattern.list {
+            let ListItem::Seq { members, .. } = item else {
+                return Err(ChaseError::OutsideFragment(
+                    "descendant items are not fully specified".into(),
+                ));
+            };
+            // Fully-specified patterns have single-member sequences.
+            let child_pat = &members[0];
+            let LabelTest::Label(label) = &child_pat.label else {
+                return Err(ChaseError::OutsideFragment("wildcard label".into()));
+            };
+            // The slot must exist under the parent label.
+            let nr = self
+                .mapping
+                .target_dtd
+                .nested_relational()
+                .expect("checked in canonical_solution");
+            let Some((_, mult)) = nr
+                .slots(&parent_label)
+                .iter()
+                .find(|(l, _)| l == label)
+                .cloned()
+            else {
+                return Err(ChaseError::NotEmbeddable(format!(
+                    "{label} is not a child slot of {parent_label}"
+                )));
+            };
+            let child_node = if mult.repeatable() {
+                self.create(node, label)
+            } else {
+                // The unique per-parent node: reuse if present.
+                match self
+                    .tree
+                    .children(node)
+                    .iter()
+                    .find(|&&c| self.tree.label(c) == label)
+                    .copied()
+                {
+                    Some(c) => c,
+                    None => self.create(node, label),
+                }
+            };
+            self.instantiate(child_node, child_pat, values)?;
+        }
+        Ok(())
+    }
+
+    /// Adds missing mandatory children, recursively, and orders children by
+    /// the production's slot order.
+    fn complete(&mut self, node: NodeId) -> Result<(), ChaseError> {
+        let label = self.tree.label(node).clone();
+        let nr = self
+            .mapping
+            .target_dtd
+            .nested_relational()
+            .expect("checked in canonical_solution");
+        let slots: Vec<(Name, Mult)> = nr.slots(&label).to_vec();
+        // Count children per label; verify every child has a slot.
+        let mut by_label: BTreeMap<Name, Vec<NodeId>> = BTreeMap::new();
+        for &c in self.tree.children(node) {
+            by_label
+                .entry(self.tree.label(c).clone())
+                .or_default()
+                .push(c);
+        }
+        let mut ordered: Vec<NodeId> = Vec::new();
+        for (slot_label, mult) in &slots {
+            let kids = by_label.remove(slot_label).unwrap_or_default();
+            match (mult, kids.len()) {
+                (Mult::One | Mult::Opt, n) if n > 1 => {
+                    return Err(ChaseError::MultiplicityConflict(format!(
+                        "{n} children labelled {slot_label} under {label}, slot allows one"
+                    )));
+                }
+                (Mult::One | Mult::Plus, 0) => {
+                    ordered.push(self.create(node, slot_label));
+                }
+                _ => {}
+            }
+            ordered.extend(kids);
+        }
+        if let Some((stray, _)) = by_label.into_iter().next() {
+            return Err(ChaseError::NotEmbeddable(format!(
+                "{stray} is not a child slot of {label}"
+            )));
+        }
+        self.reorder_children(node, ordered);
+        for c in self.tree.children(node).to_vec() {
+            self.complete(c)?;
+        }
+        Ok(())
+    }
+
+    fn reorder_children(&mut self, node: NodeId, ordered: Vec<NodeId>) {
+        // Rebuild the child list in slot order (same multiset of ids).
+        debug_assert_eq!(ordered.len(), self.tree.children(node).len());
+        self.tree.set_children(node, ordered);
+    }
+}
+
+/// Builds the canonical solution of `source` under `m`, or proves none
+/// exists. Fragment: fully-specified stds, nested-relational tree-shaped
+/// target DTD, no *source-side* inequalities restrictions are needed —
+/// source conditions only filter firings and are handled by [`Std::firings`].
+pub fn canonical_solution(m: &Mapping, source: &Tree) -> Result<Tree, ChaseError> {
+    if !m.source_dtd.conforms(source) {
+        return Err(ChaseError::SourceNotConforming);
+    }
+    let Some(nr) = m.target_dtd.nested_relational() else {
+        return Err(ChaseError::OutsideFragment(
+            "target DTD is not nested-relational".into(),
+        ));
+    };
+    if !nr.is_tree_shaped() {
+        return Err(ChaseError::OutsideFragment(
+            "target DTD is not tree-shaped".into(),
+        ));
+    }
+    for s in &m.stds {
+        if !s.target.is_fully_specified() {
+            return Err(ChaseError::OutsideFragment(format!(
+                "target pattern of `{s}` is not fully specified"
+            )));
+        }
+    }
+
+    // Root node with fresh-null attributes.
+    let mut chaser = Chaser {
+        mapping: m,
+        tree: Tree::new(m.target_dtd.root().clone()),
+        subst: Subst::default(),
+        next_null: 0,
+        neq_obligations: Vec::new(),
+    };
+    let root_attrs: Vec<(Name, Value)> = m
+        .target_dtd
+        .attrs(m.target_dtd.root())
+        .iter()
+        .map(|a| (a.clone(), {
+            let v = Value::Null(chaser.next_null);
+            chaser.next_null += 1;
+            v
+        }))
+        .collect();
+    chaser.tree.set_attrs(Tree::ROOT, root_attrs);
+
+    for (si, s) in m.stds.iter().enumerate() {
+        for firing in s.firings(source) {
+            let values = chaser.firing_values(s, &firing, si)?;
+            // The target pattern is rooted at the document root.
+            let LabelTest::Label(root_label) = &s.target.label else {
+                return Err(ChaseError::OutsideFragment("wildcard root".into()));
+            };
+            if root_label != m.target_dtd.root() {
+                return Err(ChaseError::NotEmbeddable(format!(
+                    "target pattern of std #{si} is rooted at {root_label}, \
+                     the target DTD root is {}",
+                    m.target_dtd.root()
+                )));
+            }
+            chaser.instantiate(Tree::ROOT, &s.target, &values)?;
+        }
+    }
+    chaser.complete(Tree::ROOT)?;
+
+    // Deferred ≠ obligations under the final substitution.
+    for (a, b, what) in &chaser.neq_obligations {
+        if chaser.subst.resolve(a) == chaser.subst.resolve(b) {
+            return Err(ChaseError::InequalityViolated(what.clone()));
+        }
+    }
+
+    // Apply the substitution to the document.
+    let mut tree = chaser.tree.clone();
+    for node in tree.nodes().collect::<Vec<_>>() {
+        let resolved: Vec<(Name, Value)> = tree
+            .attrs(node)
+            .iter()
+            .map(|(a, v)| (a.clone(), chaser.subst.resolve(v)))
+            .collect();
+        tree.set_attrs(node, resolved);
+    }
+    debug_assert!(m.target_dtd.conforms(&tree), "chase output must conform");
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stds::Std;
+    use xmlmap_dtd::Dtd;
+    use xmlmap_trees::tree;
+
+    fn dtd(s: &str) -> Dtd {
+        xmlmap_dtd::parse(s).unwrap()
+    }
+
+    fn mapping(ds: &str, dt: &str, stds: &[&str]) -> Mapping {
+        Mapping::new(
+            dtd(ds),
+            dtd(dt),
+            stds.iter().map(|s| Std::parse(s).unwrap()).collect(),
+        )
+    }
+
+    #[test]
+    fn basic_copy_mapping() {
+        let m = mapping(
+            "root r\nr -> a*\na @ v",
+            "root r\nr -> b*\nb @ w",
+            &["r/a(x) --> r/b(x)"],
+        );
+        let src = tree!("r" [ "a"("v" = "1"), "a"("v" = "2") ]);
+        let sol = canonical_solution(&m, &src).unwrap();
+        assert!(m.is_solution(&src, &sol));
+        assert_eq!(sol.children(Tree::ROOT).len(), 2);
+    }
+
+    #[test]
+    fn completion_fills_mandatory_nodes() {
+        // Even with no firings, the target skeleton must exist.
+        let m = mapping(
+            "root r\nr -> a*\na @ v",
+            "root r\nr -> b, c?\nb -> d\nd @ w",
+            &["r/a(x) --> r/b/d(x)"],
+        );
+        let sol = canonical_solution(&m, &tree!("r")).unwrap();
+        assert!(m.target_dtd.conforms(&sol));
+        assert_eq!(sol.size(), 3); // r, b, d — d's attribute is a null
+        let d_node = sol.children(sol.children(Tree::ROOT)[0])[0];
+        assert!(sol.attr(d_node, "w").unwrap().is_null());
+
+        // With a firing, the shared value lands in d.
+        let src = tree!("r" [ "a"("v" = "42") ]);
+        let sol = canonical_solution(&m, &src).unwrap();
+        let d_node = sol.children(sol.children(Tree::ROOT)[0])[0];
+        assert_eq!(sol.attr(d_node, "w"), Some(&Value::str("42")));
+        assert!(m.is_solution(&src, &sol));
+    }
+
+    #[test]
+    fn rigid_conflict_has_no_solution() {
+        let m = mapping(
+            "root r\nr -> a*\na @ v",
+            "root r\nr -> b\nb @ w",
+            &["r/a(x) --> r/b(x)"],
+        );
+        let src = tree!("r" [ "a"("v" = "1"), "a"("v" = "2") ]);
+        let err = canonical_solution(&m, &src).unwrap_err();
+        assert!(matches!(err, ChaseError::ValueConflict(_)), "{err}");
+        // Agrees with the bounded oracle.
+        assert!(crate::bounded::solution_exists(&m, &src, 4).is_none());
+        // One value is fine.
+        let src1 = tree!("r" [ "a"("v" = "1"), "a"("v" = "1") ]);
+        let sol = canonical_solution(&m, &src1).unwrap();
+        assert!(m.is_solution(&src1, &sol));
+    }
+
+    #[test]
+    fn repeatable_slots_keep_tuples_separate() {
+        let m = mapping(
+            "root r\nr -> a*\na @ v, w",
+            "root r\nr -> b*\nb -> c\nb @ x\nc @ y",
+            &["r/a(x, y) --> r/b(x)/c(y)"],
+        );
+        let src = tree! {
+            "r" [ "a"("v" = "1", "w" = "one"), "a"("v" = "1", "w" = "uno") ]
+        };
+        let sol = canonical_solution(&m, &src).unwrap();
+        assert!(m.is_solution(&src, &sol));
+        // Two b nodes even though their x values coincide: the chase only
+        // merges when the DTD forces it.
+        assert_eq!(sol.children(Tree::ROOT).len(), 2);
+    }
+
+    #[test]
+    fn existential_variables_get_nulls() {
+        let m = mapping(
+            "root r\nr -> a*\na @ v",
+            "root r\nr -> b*\nb @ x, y",
+            &["r/a(x) --> r/b(x, z)"],
+        );
+        let src = tree!("r" [ "a"("v" = "1") ]);
+        let sol = canonical_solution(&m, &src).unwrap();
+        let b = sol.children(Tree::ROOT)[0];
+        assert_eq!(sol.attr(b, "x"), Some(&Value::str("1")));
+        assert!(sol.attr(b, "y").unwrap().is_null());
+        assert!(m.is_solution(&src, &sol));
+    }
+
+    #[test]
+    fn target_equalities_propagate() {
+        let m = mapping(
+            "root r\nr -> a*\na @ v",
+            "root r\nr -> b*\nb @ x, y",
+            &["r/a(x) --> r[b(x, z)] ; z = x"],
+        );
+        let src = tree!("r" [ "a"("v" = "7") ]);
+        let sol = canonical_solution(&m, &src).unwrap();
+        let b = sol.children(Tree::ROOT)[0];
+        assert_eq!(sol.attr(b, "y"), Some(&Value::str("7")));
+        assert!(m.is_solution(&src, &sol));
+    }
+
+    #[test]
+    fn target_inequality_violation_detected() {
+        let m = mapping(
+            "root r\nr -> a\na @ v",
+            "root r\nr -> b\nb @ x, y",
+            &["r/a(x) --> r[b(x, z)] ; z = x, z != x"],
+        );
+        let src = tree!("r" [ "a"("v" = "7") ]);
+        let err = canonical_solution(&m, &src).unwrap_err();
+        assert!(matches!(err, ChaseError::InequalityViolated(_)), "{err}");
+    }
+
+    #[test]
+    fn satisfiable_inequality_passes() {
+        let m = mapping(
+            "root r\nr -> a\na @ v",
+            "root r\nr -> b\nb @ x, y",
+            &["r/a(x) --> r[b(x, z)] ; z != x"],
+        );
+        let src = tree!("r" [ "a"("v" = "7") ]);
+        let sol = canonical_solution(&m, &src).unwrap();
+        assert!(m.is_solution(&src, &sol));
+    }
+
+    #[test]
+    fn unembeddable_pattern() {
+        let m = mapping(
+            "root r\nr -> a\na @ v",
+            "root r\nr -> b",
+            &["r/a(x) --> r/nosuch(x)"],
+        );
+        let src = tree!("r" [ "a"("v" = "1") ]);
+        assert!(matches!(
+            canonical_solution(&m, &src),
+            Err(ChaseError::NotEmbeddable(_))
+        ));
+    }
+
+    #[test]
+    fn outside_fragment_errors() {
+        let m = mapping(
+            "root r\nr -> a\na @ v",
+            "root r\nr -> b*\nb @ w",
+            &["r/a(x) --> r//b(x)"],
+        );
+        assert!(matches!(
+            canonical_solution(&m, &tree!("r" [ "a"("v" = "1") ])),
+            Err(ChaseError::OutsideFragment(_))
+        ));
+        let m2 = mapping(
+            "root r\nr -> a\na @ v",
+            "root r\nr -> b|c",
+            &["r/a(x) --> r/b"],
+        );
+        assert!(matches!(
+            canonical_solution(&m2, &tree!("r" [ "a"("v" = "1") ])),
+            Err(ChaseError::OutsideFragment(_))
+        ));
+    }
+
+    #[test]
+    fn source_conditions_filter_firings() {
+        let m = mapping(
+            "root r\nr -> a, a\na @ v",
+            "root r\nr -> b*\nb @ w",
+            &["r[a(x) -> a(y)] ; x != y --> r/b(x)"],
+        );
+        // Equal values: std does not fire; canonical solution is skeletal.
+        let src_eq = tree!("r" [ "a"("v" = "1"), "a"("v" = "1") ]);
+        let sol = canonical_solution(&m, &src_eq).unwrap();
+        assert_eq!(sol.size(), 1);
+        // Distinct values: fires once.
+        let src_ne = tree!("r" [ "a"("v" = "1"), "a"("v" = "2") ]);
+        let sol = canonical_solution(&m, &src_ne).unwrap();
+        assert_eq!(sol.size(), 2);
+        assert!(m.is_solution(&src_ne, &sol));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # xmlmap-core
+//!
+//! The primary contribution of *XML Schema Mappings* (Amano, Libkin,
+//! Murlak; PODS 2009): expressive schema mappings between DTDs, their
+//! membership problem, static analysis (consistency and absolute
+//! consistency), and composition (semantic and syntactic, with Skolem
+//! functions).
+
+pub mod abscons;
+pub mod bounded;
+pub mod chase;
+pub mod compose;
+pub mod cond;
+pub mod exchange;
+pub mod consistency;
+pub mod signature;
+pub mod skolem;
+pub mod stds;
+
+pub use abscons::{abscons_nr_ptime, abscons_structural, AbsConsAnswer};
+pub use bounded::{abscons_violation_bounded, consistent_bounded, solution_exists, tree_shapes, BoundedOutcome};
+pub use consistency::{composition_chain_consistent, composition_consistent, consistent, consistent_nr_ptime, minimal_nr_tree, ConsAnswer, ConsError};
+pub use chase::{canonical_solution, ChaseError};
+pub use compose::{compose, composition_member, ComposeError};
+pub use exchange::{certain_answers, nest_solution, reduce_solution, reduced_solution, CertainAnswersError};
+pub use cond::{all_hold, parse_conditions, CompOp, Comparison};
+pub use signature::Signature;
+pub use skolem::{SkolemMapping, SkolemStd, Term, TermPattern};
+pub use stds::{Mapping, Std};

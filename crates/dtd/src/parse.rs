@@ -1,0 +1,202 @@
+//! Textual DTD syntax.
+//!
+//! A compact line-oriented format mirroring how the paper writes DTDs:
+//!
+//! ```text
+//! root r
+//! r    -> prof*
+//! prof -> teach, supervise
+//! teach -> year
+//! year -> course, course
+//! supervise -> student*
+//! prof    @ name
+//! student @ sid
+//! year    @ y
+//! course  @ cno
+//! ```
+//!
+//! * `root ℓ` declares the root (optional: defaults to the LHS of the first
+//!   production);
+//! * `ℓ -> e` is a production with `e` in `xmlmap-regex` syntax (an empty
+//!   body means ε);
+//! * `ℓ @ a₁, a₂, …` declares the ordered attribute list of `ℓ`;
+//! * `#` starts a comment; blank lines are ignored.
+
+use crate::dtd::{Dtd, DtdError};
+use std::fmt;
+use xmlmap_regex::Regex;
+use xmlmap_trees::Name;
+
+/// Errors raised while parsing the textual DTD format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDtdError {
+    /// A line could not be interpreted.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// No production or root declaration was found.
+    Empty,
+    /// The assembled DTD failed validation.
+    Invalid(DtdError),
+}
+
+impl fmt::Display for ParseDtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDtdError::BadLine { line, message } => {
+                write!(f, "DTD parse error on line {line}: {message}")
+            }
+            ParseDtdError::Empty => write!(f, "DTD text contains no productions"),
+            ParseDtdError::Invalid(e) => write!(f, "invalid DTD: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDtdError {}
+
+fn is_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.'))
+}
+
+/// Parses the line-oriented DTD format described at the module level.
+pub fn parse(input: &str) -> Result<Dtd, ParseDtdError> {
+    let mut root: Option<Name> = None;
+    let mut productions: Vec<(Name, Regex)> = Vec::new();
+    let mut attributes: Vec<(Name, Vec<Name>)> = Vec::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |message: String| ParseDtdError::BadLine {
+            line: line_no,
+            message,
+        };
+
+        if let Some(rest) = line.strip_prefix("root ") {
+            let name = rest.trim();
+            if !is_name(name) {
+                return Err(bad(format!("bad root name {name:?}")));
+            }
+            if root.is_some() {
+                return Err(bad("duplicate root declaration".into()));
+            }
+            root = Some(Name::new(name));
+        } else if let Some((lhs, rhs)) = line.split_once("->") {
+            let lhs = lhs.trim();
+            if !is_name(lhs) {
+                return Err(bad(format!("bad element name {lhs:?}")));
+            }
+            let body = xmlmap_regex::parse(rhs.trim())
+                .map_err(|e| bad(format!("bad production body: {e}")))?;
+            if productions.iter().any(|(l, _)| l.as_str() == lhs) {
+                return Err(bad(format!("duplicate production for {lhs}")));
+            }
+            productions.push((Name::new(lhs), body));
+        } else if let Some((lhs, rhs)) = line.split_once('@') {
+            let lhs = lhs.trim();
+            if !is_name(lhs) {
+                return Err(bad(format!("bad element name {lhs:?}")));
+            }
+            let mut attrs = Vec::new();
+            for a in rhs.split(',') {
+                let a = a.trim();
+                if !is_name(a) {
+                    return Err(bad(format!("bad attribute name {a:?}")));
+                }
+                attrs.push(Name::new(a));
+            }
+            if attributes.iter().any(|(l, _)| l.as_str() == lhs) {
+                return Err(bad(format!("duplicate attribute list for {lhs}")));
+            }
+            attributes.push((Name::new(lhs), attrs));
+        } else {
+            return Err(bad("expected `root ℓ`, `ℓ -> e` or `ℓ @ a, …`".into()));
+        }
+    }
+
+    let root = match root.or_else(|| productions.first().map(|(l, _)| l.clone())) {
+        Some(r) => r,
+        None => return Err(ParseDtdError::Empty),
+    };
+    let mut b = Dtd::builder(root);
+    for (l, r) in productions {
+        b = b.production(l, r);
+    }
+    for (l, attrs) in attributes {
+        b = b.attrs(l, attrs);
+    }
+    b.build().map_err(ParseDtdError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D1: &str = "
+        # D1 from the paper's introduction
+        root r
+        r    -> prof*
+        prof -> teach, supervise
+        teach -> year
+        year -> course, course
+        supervise -> student*
+        prof    @ name
+        student @ sid
+        year    @ y
+        course  @ cno
+    ";
+
+    #[test]
+    fn parses_paper_d1() {
+        let d = parse(D1).unwrap();
+        assert_eq!(d.root().as_str(), "r");
+        assert_eq!(d.arity(&Name::new("course")), 1);
+        assert_eq!(d.production(&Name::new("teach")).to_string(), "year");
+    }
+
+    #[test]
+    fn root_defaults_to_first_lhs() {
+        let d = parse("top -> a*\na -> ").unwrap();
+        assert_eq!(d.root().as_str(), "top");
+        assert_eq!(d.production(&Name::new("a")), &Regex::Epsilon);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let d = parse(D1).unwrap();
+        let d2 = parse(&d.to_string()).unwrap();
+        assert_eq!(d.to_string(), d2.to_string());
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(matches!(
+            parse("whatever"),
+            Err(ParseDtdError::BadLine { line: 1, .. })
+        ));
+        assert!(parse("r -> (a").is_err());
+        assert!(parse("r -> a\nr -> b").is_err());
+        assert!(parse("r @ x\nr @ y").is_err());
+        assert!(parse("root r\nroot s").is_err());
+        assert!(matches!(parse(""), Err(ParseDtdError::Empty)));
+        assert!(matches!(parse("root r\na -> r"), Err(ParseDtdError::Invalid(_))));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let d = parse("# header\n\nr -> a* # trailing\n").unwrap();
+        assert_eq!(d.root().as_str(), "r");
+    }
+}

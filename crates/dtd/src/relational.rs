@@ -1,0 +1,143 @@
+//! Encoding relational schemas as DTDs (paper §3).
+//!
+//! A relational schema `{S₁(A,B), S₂(C,D)}` becomes the DTD
+//! `r → s₁, s₂; s₁ → t₁*; s₂ → t₂*` where `t₁` carries attributes `A, B`
+//! and `t₂` carries `C, D`. This is how the paper shows XML schema mappings
+//! generalise relational schema mappings, and it gives us relational
+//! workloads for benches.
+
+use crate::dtd::{Dtd, DtdError};
+use xmlmap_regex::Regex;
+use xmlmap_trees::{Name, Tree, Value};
+
+/// A relation name with its ordered attribute list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    /// Relation name, e.g. `S1`.
+    pub name: Name,
+    /// Ordered attribute names.
+    pub attrs: Vec<Name>,
+}
+
+impl Relation {
+    /// Builds a relation descriptor.
+    pub fn new<N, I>(name: impl Into<Name>, attrs: I) -> Self
+    where
+        N: Into<Name>,
+        I: IntoIterator<Item = N>,
+    {
+        Relation {
+            name: name.into(),
+            attrs: attrs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The label of the container element (`s_i`): the lower-cased name.
+    pub fn container_label(&self) -> Name {
+        Name::new(self.name.as_str().to_lowercase())
+    }
+
+    /// The label of tuple elements (`t_i`): `tuple_` + lower-cased name.
+    pub fn tuple_label(&self) -> Name {
+        Name::new(format!("tuple_{}", self.name.as_str().to_lowercase()))
+    }
+}
+
+/// Encodes a relational schema as a DTD per §3 of the paper.
+///
+/// The resulting DTD is always *strictly* nested-relational: tuple elements
+/// are starred, containers and the root carry no attributes.
+pub fn schema_to_dtd(relations: &[Relation]) -> Result<Dtd, DtdError> {
+    let mut b = Dtd::builder("r").production(
+        "r",
+        Regex::concat(
+            relations
+                .iter()
+                .map(|rel| Regex::Symbol(rel.container_label())),
+        ),
+    );
+    for rel in relations {
+        b = b
+            .production(
+                rel.container_label(),
+                Regex::Symbol(rel.tuple_label()).star(),
+            )
+            .attrs(rel.tuple_label(), rel.attrs.clone());
+    }
+    b.build()
+}
+
+/// A relational instance: per relation, a list of tuples.
+pub type Instance<'a> = &'a [(Relation, Vec<Vec<Value>>)];
+
+/// Encodes a relational instance as a document conforming to
+/// [`schema_to_dtd`] of its schema.
+pub fn instance_to_tree(instance: Instance<'_>) -> Tree {
+    let mut t = Tree::new("r");
+    for (rel, tuples) in instance {
+        let container = t.add_elem(Tree::ROOT, rel.container_label());
+        for tuple in tuples {
+            debug_assert_eq!(tuple.len(), rel.attrs.len());
+            t.add_child(
+                container,
+                rel.tuple_label(),
+                rel.attrs.iter().cloned().zip(tuple.iter().cloned()),
+            );
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s1s2() -> Vec<Relation> {
+        vec![
+            Relation::new("S1", ["A", "B"]),
+            Relation::new("S2", ["C", "D"]),
+        ]
+    }
+
+    #[test]
+    fn paper_example_schema() {
+        let d = schema_to_dtd(&s1s2()).unwrap();
+        assert_eq!(d.production(&Name::new("r")).to_string(), "s1, s2");
+        assert_eq!(d.production(&Name::new("s1")).to_string(), "tuple_s1*");
+        assert_eq!(d.arity(&Name::new("tuple_s2")), 2);
+        assert!(d.is_strictly_nested_relational());
+    }
+
+    #[test]
+    fn instance_conforms() {
+        let rels = s1s2();
+        let inst = vec![
+            (
+                rels[0].clone(),
+                vec![
+                    vec![Value::str("a"), Value::str("b")],
+                    vec![Value::str("a2"), Value::str("b2")],
+                ],
+            ),
+            (rels[1].clone(), vec![vec![Value::str("c"), Value::str("d")]]),
+        ];
+        let t = instance_to_tree(&inst);
+        let d = schema_to_dtd(&rels).unwrap();
+        assert_eq!(d.check(&t), Ok(()));
+        assert_eq!(t.size(), 6);
+    }
+
+    #[test]
+    fn empty_instance_conforms() {
+        let rels = s1s2();
+        let inst = vec![(rels[0].clone(), vec![]), (rels[1].clone(), vec![])];
+        let t = instance_to_tree(&inst);
+        assert!(schema_to_dtd(&rels).unwrap().conforms(&t));
+    }
+
+    #[test]
+    fn empty_schema() {
+        let d = schema_to_dtd(&[]).unwrap();
+        assert!(d.conforms(&Tree::new("r")));
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! # xmlmap-gen
+//!
+//! Workload generators for the *XML Schema Mappings* reproduction: random
+//! conforming documents, random nested-relational mappings, the paper's
+//! running university scenario, and the hard instance families behind the
+//! complexity benches (Figures 1 and 2).
+
+pub mod hard;
+pub mod mappings;
+pub mod trees;
+
+pub use mappings::{random_nr_dtd, random_nr_mapping, MappingGenConfig};
+pub use trees::{
+    random_tree, university_dtd, university_target_dtd, university_tree, TreeGenConfig,
+};

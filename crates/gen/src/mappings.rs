@@ -1,0 +1,248 @@
+//! Random schema-mapping generation, parameterised by signature.
+//!
+//! Used by the benches (data/combined complexity sweeps) and by the
+//! cross-validation property tests (fast fragment algorithms vs. the
+//! bounded brute-force oracles).
+
+use rand::prelude::*;
+use xmlmap_core::{Mapping, Std};
+use xmlmap_dtd::{Dtd, Mult};
+use xmlmap_patterns::{Pattern, Var};
+use xmlmap_trees::Name;
+
+/// Parameters for random mapping generation.
+#[derive(Clone, Debug)]
+pub struct MappingGenConfig {
+    /// Number of stds.
+    pub stds: usize,
+    /// Maximum pattern depth on each side.
+    pub depth: usize,
+    /// Probability that a slot is included when growing a pattern.
+    pub branch_probability: f64,
+}
+
+impl Default for MappingGenConfig {
+    fn default() -> Self {
+        MappingGenConfig {
+            stds: 3,
+            depth: 4,
+            branch_probability: 0.7,
+        }
+    }
+}
+
+/// Generates a random *fully-specified, downward* mapping between two
+/// nested-relational DTDs: source patterns sample subtrees of the source
+/// DTD, target patterns sample subtrees of the target DTD, and source
+/// variables are threaded into target slots where arities allow.
+///
+/// Returns `None` if either DTD is not nested-relational.
+pub fn random_nr_mapping(
+    source_dtd: &Dtd,
+    target_dtd: &Dtd,
+    config: &MappingGenConfig,
+    rng: &mut impl Rng,
+) -> Option<Mapping> {
+    source_dtd.nested_relational()?;
+    target_dtd.nested_relational()?;
+    let mut stds = Vec::new();
+    let mut var_counter = 0usize;
+    for _ in 0..config.stds {
+        let mut source_vars = Vec::new();
+        let source = random_nr_pattern(
+            source_dtd,
+            source_dtd.root(),
+            config.depth,
+            config,
+            &mut var_counter,
+            &mut source_vars,
+            rng,
+        );
+        // Target: fresh existential variables, then substitute some by
+        // shared source variables (arity-compatible positions).
+        let mut target_vars = Vec::new();
+        let mut target = random_nr_pattern(
+            target_dtd,
+            target_dtd.root(),
+            config.depth,
+            config,
+            &mut var_counter,
+            &mut target_vars,
+            rng,
+        );
+        if !source_vars.is_empty() {
+            rewire_vars(&mut target, &source_vars, rng);
+        }
+        stds.push(Std::new(source, target));
+    }
+    Some(Mapping::new(source_dtd.clone(), target_dtd.clone(), stds))
+}
+
+/// Grows a fully-specified pattern downwards from `label`.
+#[allow(clippy::too_many_arguments)]
+fn random_nr_pattern(
+    dtd: &Dtd,
+    label: &Name,
+    depth: usize,
+    config: &MappingGenConfig,
+    var_counter: &mut usize,
+    vars_out: &mut Vec<Var>,
+    rng: &mut impl Rng,
+) -> Pattern {
+    let vars: Vec<Var> = dtd
+        .attrs(label)
+        .iter()
+        .map(|_| {
+            let v = Var::new(format!("x{}", *var_counter));
+            *var_counter += 1;
+            vars_out.push(v.clone());
+            v
+        })
+        .collect();
+    let mut pattern = Pattern::leaf(label.clone(), vars);
+    if depth == 0 {
+        return pattern;
+    }
+    let nr = dtd.nested_relational().expect("checked by caller");
+    let slots: Vec<(Name, Mult)> = nr.slots(label).to_vec();
+    for (child, _) in slots {
+        if rng.gen_bool(config.branch_probability) {
+            let sub =
+                random_nr_pattern(dtd, &child, depth - 1, config, var_counter, vars_out, rng);
+            pattern = pattern.child(sub);
+        }
+    }
+    pattern
+}
+
+/// Replaces each variable of the pattern by a random source variable with
+/// probability 1/2 (making it shared), keeping it existential otherwise.
+fn rewire_vars(pattern: &mut Pattern, source_vars: &[Var], rng: &mut impl Rng) {
+    for v in pattern.vars.iter_mut() {
+        if rng.gen_bool(0.5) {
+            *v = source_vars[rng.gen_range(0..source_vars.len())].clone();
+        }
+    }
+    for item in pattern.list.iter_mut() {
+        match item {
+            xmlmap_patterns::ListItem::Seq { members, .. } => {
+                for m in members {
+                    rewire_vars(m, source_vars, rng);
+                }
+            }
+            xmlmap_patterns::ListItem::Descendant(d) => rewire_vars(d, source_vars, rng),
+        }
+    }
+}
+
+/// A random nested-relational DTD: a label tree of the given depth and
+/// fanout, with random multiplicities and attribute counts.
+pub fn random_nr_dtd(
+    depth: usize,
+    fanout: usize,
+    attr_probability: f64,
+    rng: &mut impl Rng,
+) -> Dtd {
+    let mut builder = Dtd::builder("r");
+    let mut counter = 0usize;
+    // Breadth-first construction of a label tree.
+    let mut frontier: Vec<(Name, usize)> = vec![(Name::new("r"), 0)];
+    let mut productions: Vec<(Name, Vec<(Name, Mult)>)> = Vec::new();
+    let mut attr_lists: Vec<(Name, usize)> = Vec::new();
+    while let Some((label, level)) = frontier.pop() {
+        if label.as_str() != "r" && rng.gen_bool(attr_probability) {
+            attr_lists.push((label.clone(), rng.gen_range(1..=2)));
+        }
+        if level >= depth {
+            continue;
+        }
+        let n = rng.gen_range(1..=fanout);
+        let mut slots = Vec::new();
+        for _ in 0..n {
+            counter += 1;
+            let child = Name::new(format!("e{counter}"));
+            let mult = match rng.gen_range(0..4) {
+                0 => Mult::One,
+                1 => Mult::Opt,
+                2 => Mult::Star,
+                _ => Mult::Plus,
+            };
+            slots.push((child.clone(), mult));
+            frontier.push((child, level + 1));
+        }
+        productions.push((label, slots));
+    }
+    for (label, slots) in productions {
+        let body = slots
+            .iter()
+            .map(|(l, m)| {
+                let sym = xmlmap_regex::Regex::Symbol(l.clone());
+                match m {
+                    Mult::One => sym,
+                    Mult::Opt => sym.opt(),
+                    Mult::Star => sym.star(),
+                    Mult::Plus => sym.plus(),
+                }
+            })
+            .collect::<Vec<_>>();
+        builder = builder.production(label, xmlmap_regex::Regex::concat(body));
+    }
+    for (label, n) in attr_lists {
+        let attrs: Vec<Name> = (0..n).map(|i| Name::new(format!("a{i}"))).collect();
+        builder = builder.attrs(label, attrs);
+    }
+    builder.build().expect("generated DTD is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_dtds_are_nested_relational() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let d = random_nr_dtd(3, 3, 0.5, &mut rng);
+            assert!(d.is_nested_relational(), "{d}");
+            assert!(!d.is_recursive());
+        }
+    }
+
+    #[test]
+    fn random_mappings_are_downward_fully_specified() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let ds = random_nr_dtd(3, 2, 0.6, &mut rng);
+            let dt = random_nr_dtd(3, 2, 0.6, &mut rng);
+            let m = random_nr_mapping(&ds, &dt, &MappingGenConfig::default(), &mut rng)
+                .expect("NR inputs");
+            assert!(m.is_fully_specified());
+            let sig = m.signature();
+            assert!(sig.is_downward());
+            assert!(!sig.descendant && !sig.neq && !sig.wildcard);
+        }
+    }
+
+    #[test]
+    fn generated_source_patterns_fire_on_random_documents() {
+        // Smoke test: patterns grown from the DTD match a reasonably
+        // generous random document often enough to be useful workloads.
+        let mut rng = StdRng::seed_from_u64(5);
+        let ds = random_nr_dtd(2, 2, 0.8, &mut rng);
+        let m = random_nr_mapping(&ds, &ds, &MappingGenConfig::default(), &mut rng).unwrap();
+        let config = crate::trees::TreeGenConfig {
+            continue_probability: 0.8,
+            ..Default::default()
+        };
+        let mut fired = 0;
+        for _ in 0..50 {
+            let t = crate::trees::random_tree(&ds, &config, &mut rng);
+            for s in &m.stds {
+                fired += usize::from(!s.firings(&t).is_empty());
+            }
+        }
+        assert!(fired > 0, "no std ever fired across 50 documents");
+    }
+}

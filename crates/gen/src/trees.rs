@@ -1,0 +1,293 @@
+//! Random document generation.
+//!
+//! Samples conforming documents for a DTD: children words are drawn by a
+//! random walk on the production's Glushkov NFA (biased towards acceptance
+//! so documents stay finite), attribute values come from a bounded pool so
+//! that equality joins actually fire in benchmarks.
+
+use rand::prelude::*;
+use xmlmap_dtd::Dtd;
+use xmlmap_trees::{Name, NodeId, Tree, Value};
+
+/// Parameters for random document generation.
+#[derive(Clone, Debug)]
+pub struct TreeGenConfig {
+    /// Probability of *continuing* a repeatable construct at each step
+    /// (also the bias towards taking transitions over stopping early).
+    pub continue_probability: f64,
+    /// Number of distinct attribute values to draw from.
+    pub value_pool: usize,
+    /// Hard cap on the number of nodes (generation stops expanding).
+    pub max_nodes: usize,
+}
+
+impl Default for TreeGenConfig {
+    fn default() -> Self {
+        TreeGenConfig {
+            continue_probability: 0.5,
+            value_pool: 8,
+            max_nodes: 10_000,
+        }
+    }
+}
+
+/// Samples a document conforming to `dtd`.
+///
+/// The walk chooses, at each NFA state of the current production, either to
+/// stop (if the state accepts) or to follow a uniformly random transition;
+/// dead ends restart the word. Recursive DTDs stay finite because every
+/// production walk is itself finite and the node cap bounds expansion (the
+/// cap trims only repeatable constructs, so the result still conforms).
+pub fn random_tree(dtd: &Dtd, config: &TreeGenConfig, rng: &mut impl Rng) -> Tree {
+    let mut tree = Tree::with_root_attrs(
+        dtd.root().clone(),
+        random_attrs(dtd, dtd.root(), config, rng),
+    );
+    let mut queue: Vec<NodeId> = vec![Tree::ROOT];
+    while let Some(node) = queue.pop() {
+        let label = tree.label(node).clone();
+        // Over the cap, emit the shortest (mandatory-only) word so the
+        // document still conforms.
+        let word = if tree.size() >= config.max_nodes {
+            dtd.horizontal(&label)
+                .and_then(|nfa| nfa.shortest_word())
+                .unwrap_or_default()
+        } else {
+            random_word(dtd, &label, config, rng)
+        };
+        for child_label in word {
+            let attrs = random_attrs(dtd, &child_label, config, rng);
+            let child = tree.add_child(node, child_label, attrs);
+            queue.push(child);
+        }
+    }
+    tree
+}
+
+fn random_attrs(
+    dtd: &Dtd,
+    label: &Name,
+    config: &TreeGenConfig,
+    rng: &mut impl Rng,
+) -> Vec<(Name, Value)> {
+    dtd.attrs(label)
+        .iter()
+        .map(|a| {
+            let v = rng.gen_range(0..config.value_pool.max(1));
+            (a.clone(), Value::str(format!("v{v}")))
+        })
+        .collect()
+}
+
+/// Random accepted word of the production of `label`.
+fn random_word(dtd: &Dtd, label: &Name, config: &TreeGenConfig, rng: &mut impl Rng) -> Vec<Name> {
+    let Some(nfa) = dtd.horizontal(label) else {
+        return Vec::new();
+    };
+    // Distance-to-acceptance per state, to steer dead ends home.
+    let dist = distances_to_acceptance(nfa);
+    'retry: for _ in 0..64 {
+        let mut word = Vec::new();
+        let mut state = 0usize;
+        loop {
+            let can_stop = nfa.accepting[state];
+            let transitions = &nfa.transitions[state];
+            if transitions.is_empty() {
+                if can_stop {
+                    return word;
+                }
+                continue 'retry; // dead end (shouldn't happen with dist)
+            }
+            if can_stop && (word.len() >= 64 || !rng.gen_bool(config.continue_probability)) {
+                return word;
+            }
+            // Prefer transitions that lead somewhere useful.
+            let viable: Vec<&(Name, usize)> = transitions
+                .iter()
+                .filter(|(_, q)| dist[*q] < usize::MAX)
+                .collect();
+            if viable.is_empty() {
+                continue 'retry;
+            }
+            // Past the soft cap, steer towards acceptance.
+            let pick = if word.len() >= 64 {
+                viable
+                    .iter()
+                    .min_by_key(|(_, q)| dist[*q])
+                    .expect("viable nonempty")
+            } else {
+                viable[rng.gen_range(0..viable.len())]
+            };
+            word.push(pick.0.clone());
+            state = pick.1;
+        }
+    }
+    // Fall back to a shortest accepted word.
+    nfa.shortest_word().unwrap_or_default()
+}
+
+fn distances_to_acceptance(nfa: &xmlmap_regex::Nfa<Name>) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; nfa.num_states];
+    // Reverse BFS from accepting states.
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); nfa.num_states];
+    for (q, ts) in nfa.transitions.iter().enumerate() {
+        for (_, q2) in ts {
+            reverse[*q2].push(q);
+        }
+    }
+    let mut queue = std::collections::VecDeque::new();
+    for (q, d) in dist.iter_mut().enumerate() {
+        if nfa.accepting[q] {
+            *d = 0;
+            queue.push_back(q);
+        }
+    }
+    while let Some(q) = queue.pop_front() {
+        for &p in &reverse[q] {
+            if dist[p] == usize::MAX {
+                dist[p] = dist[q] + 1;
+                queue.push_back(p);
+            }
+        }
+    }
+    dist
+}
+
+/// Deterministically builds a university document (the paper's intro
+/// scenario) with `professors` professors, 2 courses each, and `students`
+/// students per professor — the standard source workload for benches.
+pub fn university_tree(professors: usize, students: usize) -> Tree {
+    let mut t = Tree::new("r");
+    for p in 0..professors {
+        let prof = t.add_child(Tree::ROOT, "prof", [("name", Value::str(format!("p{p}")))]);
+        let teach = t.add_elem(prof, "teach");
+        let year = t.add_child(teach, "year", [("y", Value::str(format!("y{}", p % 4)))]);
+        t.add_child(year, "course", [("cno", Value::str(format!("c{}", 2 * p)))]);
+        t.add_child(
+            year,
+            "course",
+            [("cno", Value::str(format!("c{}", 2 * p + 1)))],
+        );
+        let sup = t.add_elem(prof, "supervise");
+        for s in 0..students {
+            t.add_child(sup, "student", [("sid", Value::str(format!("s{p}_{s}")))]);
+        }
+    }
+    t
+}
+
+/// The university source DTD `D₁` from the paper's introduction.
+pub fn university_dtd() -> Dtd {
+    xmlmap_dtd::parse(
+        "root r
+         r -> prof*
+         prof -> teach, supervise
+         teach -> year
+         year -> course, course
+         supervise -> student*
+         prof @ name
+         student @ sid
+         year @ y
+         course @ cno",
+    )
+    .expect("static DTD")
+}
+
+/// The university target DTD `D₂` from the paper's introduction.
+pub fn university_target_dtd() -> Dtd {
+    xmlmap_dtd::parse(
+        "root r
+         r -> course*, student*
+         course -> taughtby
+         student -> supervisor
+         course @ cno, year
+         student @ sid
+         taughtby @ teacher
+         supervisor @ name",
+    )
+    .expect("static DTD")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_trees_conform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let dtds = [
+            university_dtd(),
+            university_target_dtd(),
+            xmlmap_dtd::parse("root r\nr -> (a|b)*, c?\na -> c*\nc @ v").unwrap(),
+            xmlmap_dtd::parse("root r\nr -> a\na -> a?, b\nb @ x, y").unwrap(), // recursive
+        ];
+        for dtd in &dtds {
+            for _ in 0..25 {
+                let t = random_tree(dtd, &TreeGenConfig::default(), &mut rng);
+                assert!(dtd.conforms(&t), "{dtd}\n{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_scales_with_continue_probability() {
+        let dtd = xmlmap_dtd::parse("root r\nr -> a*").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let small: usize = (0..50)
+            .map(|_| {
+                random_tree(
+                    &dtd,
+                    &TreeGenConfig {
+                        continue_probability: 0.2,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                )
+                .size()
+            })
+            .sum();
+        let large: usize = (0..50)
+            .map(|_| {
+                random_tree(
+                    &dtd,
+                    &TreeGenConfig {
+                        continue_probability: 0.9,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                )
+                .size()
+            })
+            .sum();
+        assert!(large > small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn node_cap_respected_on_recursive_dtds() {
+        let dtd = xmlmap_dtd::parse("root r\nr -> a\na -> a*, b?\nb -> ").unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = TreeGenConfig {
+            continue_probability: 0.95,
+            max_nodes: 200,
+            ..Default::default()
+        };
+        for _ in 0..10 {
+            let t = random_tree(&dtd, &config, &mut rng);
+            // Cap plus one production's worth of slack.
+            assert!(t.size() <= 200 + 64, "{}", t.size());
+            assert!(dtd.conforms(&t));
+        }
+    }
+
+    #[test]
+    fn university_tree_conforms_and_scales() {
+        let d = university_dtd();
+        for (p, s) in [(0, 0), (1, 1), (5, 3), (20, 10)] {
+            let t = university_tree(p, s);
+            assert!(d.conforms(&t));
+            assert_eq!(t.size(), 1 + p * (6 + s));
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Pattern semantics: `(T, s) ⊨ π(ā)` (paper §3).
+//!
+//! The evaluator enumerates the valuations `π(T) = { ā | T ⊨ π(ā) }`
+//! (patterns are witnessed at the root) and supports matching under a
+//! partial valuation — the existential check needed on the target side of
+//! an std. Variable reuse inside a pattern imposes implicit equality, as in
+//! the `SM(…, =)` classes.
+
+use crate::ast::{ListItem, Pattern, SeqOp, Var};
+use std::collections::BTreeMap;
+use xmlmap_trees::{NodeId, Tree, Value};
+
+/// A (partial) assignment of values to pattern variables.
+pub type Valuation = BTreeMap<Var, Value>;
+
+/// Evaluates `π(T)`: all valuations witnessing the pattern at the root.
+///
+/// Duplicates arising from different tree embeddings of the same valuation
+/// are collapsed; the result is sorted (valuations are ordered maps).
+pub fn all_matches(tree: &Tree, pattern: &Pattern) -> Vec<Valuation> {
+    let mut out = std::collections::BTreeSet::new();
+    visit_pattern(tree, Tree::ROOT, pattern, &Valuation::new(), &mut |env| {
+        out.insert(env.clone());
+        true
+    });
+    out.into_iter().collect()
+}
+
+/// Does some valuation extending `fixed` witness the pattern at the root?
+pub fn matches_with(tree: &Tree, pattern: &Pattern, fixed: &Valuation) -> bool {
+    !visit_pattern(tree, Tree::ROOT, pattern, fixed, &mut |_| false)
+}
+
+/// Does the tree match the pattern under any valuation (`π(T) ≠ ∅`)?
+///
+/// Uses the polynomial dynamic program of [`matches_structural`] when the
+/// pattern has no repeated variables (then values never constrain the
+/// match), falling back to the backtracking search otherwise.
+pub fn matches(tree: &Tree, pattern: &Pattern) -> bool {
+    match matches_structural(tree, pattern) {
+        Some(ans) => ans,
+        None => matches_with(tree, pattern, &Valuation::new()),
+    }
+}
+
+/// Polynomial-time Boolean matching for patterns without repeated
+/// variables — the PTIME combined-complexity bound of Prop 4.2 made
+/// concrete. Returns `None` when the pattern reuses a variable (implicit
+/// equality: values matter, so the DP does not apply).
+///
+/// The DP computes, bottom-up, for every (tree node, pattern node) pair
+/// whether the pattern subtree matches there; sequence items are placed by
+/// a left-to-right scan over the child list, descendant items via a
+/// subtree-closure table. Worst-case `O(|T| · |π| · width)`, in contrast
+/// to the backtracking evaluator, which can take exponential time on
+/// failing multi-item patterns.
+pub fn matches_structural(tree: &Tree, pattern: &Pattern) -> Option<bool> {
+    if pattern.has_repeated_variable() {
+        return None;
+    }
+    // Index pattern nodes (post-order via explicit stack).
+    let mut nodes: Vec<&Pattern> = Vec::new();
+    fn collect<'p>(p: &'p Pattern, out: &mut Vec<&'p Pattern>) {
+        for item in &p.list {
+            match item {
+                ListItem::Seq { members, .. } => {
+                    for m in members {
+                        collect(m, out);
+                    }
+                }
+                ListItem::Descendant(d) => collect(d, out),
+            }
+        }
+        out.push(p); // children before parents
+    }
+    collect(pattern, &mut nodes);
+    let index_of = |p: &Pattern| -> usize {
+        nodes
+            .iter()
+            .position(|q| std::ptr::eq(*q, p))
+            .expect("collected")
+    };
+
+    let tree_order: Vec<NodeId> = tree.nodes().collect();
+    let n_tree = tree.size();
+    let n_pat = nodes.len();
+    // ok[t][p]: pattern node p matches at tree node t.
+    let mut ok = vec![vec![false; n_pat]; n_tree];
+    // sub[t][p]: p matches somewhere in t's subtree (self included).
+    let mut sub = vec![vec![false; n_pat]; n_tree];
+
+    for &t in tree_order.iter().rev() {
+        let ti = t.index();
+        let children = tree.children(t);
+        for (pi, p) in nodes.iter().enumerate() {
+            if !p.label.accepts(tree.label(t)) {
+                continue;
+            }
+            if !p.vars.is_empty() && tree.attrs(t).len() != p.vars.len() {
+                continue;
+            }
+            let all_items = p.list.iter().all(|item| match item {
+                ListItem::Descendant(d) => {
+                    let di = index_of(d);
+                    children.iter().any(|c| sub[c.index()][di])
+                }
+                ListItem::Seq { members, ops } => {
+                    seq_places(children, members, ops, &ok, &index_of)
+                }
+            });
+            if all_items {
+                ok[ti][pi] = true;
+            }
+        }
+        for pi in 0..n_pat {
+            sub[ti][pi] =
+                ok[ti][pi] || children.iter().any(|c| sub[c.index()][pi]);
+        }
+    }
+    let root_pi = n_pat - 1; // the root is pushed last in post-order
+    debug_assert!(std::ptr::eq(nodes[root_pi], pattern));
+    Some(ok[Tree::ROOT.index()][root_pi])
+}
+
+/// Can the sequence be placed along `children`? Right-to-left DP:
+/// `can[i]` = "members[m..] placeable with members[m] at position i",
+/// rolled backwards over m — `→` forces adjacency, `→*` takes a suffix-OR.
+/// `O(|members| · |children|)`.
+fn seq_places(
+    children: &[NodeId],
+    members: &[Pattern],
+    ops: &[crate::ast::SeqOp],
+    ok: &[Vec<bool>],
+    index_of: &impl Fn(&Pattern) -> usize,
+) -> bool {
+    if children.is_empty() {
+        return false;
+    }
+    let width = children.len();
+    let member_ok = |m: usize, i: usize| ok[children[i].index()][index_of(&members[m])];
+    // Last member: placeable wherever it matches.
+    let mut can: Vec<bool> = (0..width).map(|i| member_ok(members.len() - 1, i)).collect();
+    for m in (0..members.len() - 1).rev() {
+        let mut next = vec![false; width];
+        match ops[m] {
+            SeqOp::Next => {
+                for (i, slot) in next.iter_mut().enumerate().take(width - 1) {
+                    *slot = member_ok(m, i) && can[i + 1];
+                }
+            }
+            SeqOp::Following => {
+                // suffix[i] = ∃j ≥ i: can[j]
+                let mut suffix = vec![false; width + 1];
+                for i in (0..width).rev() {
+                    suffix[i] = suffix[i + 1] || can[i];
+                }
+                for (i, slot) in next.iter_mut().enumerate().take(width - 1) {
+                    *slot = member_ok(m, i) && suffix[i + 1];
+                }
+            }
+        }
+        can = next;
+    }
+    can.iter().any(|&b| b)
+}
+
+/// Like [`matches_with`], but anchored at an arbitrary node.
+pub fn matches_at(tree: &Tree, node: NodeId, pattern: &Pattern, fixed: &Valuation) -> bool {
+    !visit_pattern(tree, node, pattern, fixed, &mut |_| false)
+}
+
+/// Calls `found` on every valuation extending `seed` that witnesses the
+/// pattern at the root; `found` returns `false` to stop the enumeration.
+/// Returns `true` iff the enumeration was stopped early.
+///
+/// This is the building block for checking stds: the target side asks for
+/// *some* match extending the source bindings that also satisfies the
+/// target's equality/inequality conditions.
+pub fn for_each_match(
+    tree: &Tree,
+    pattern: &Pattern,
+    seed: &Valuation,
+    found: &mut dyn FnMut(&Valuation) -> bool,
+) -> bool {
+    !visit_pattern(tree, Tree::ROOT, pattern, seed, found)
+}
+
+/// Core visitor: calls `found` on every valuation extending `env` that
+/// witnesses `pattern` at `node`. `found` returns `true` to continue the
+/// enumeration; the visitor returns `false` iff the search was aborted.
+fn visit_pattern(
+    tree: &Tree,
+    node: NodeId,
+    pattern: &Pattern,
+    env: &Valuation,
+    found: &mut dyn FnMut(&Valuation) -> bool,
+) -> bool {
+    // Label test.
+    if !pattern.label.accepts(tree.label(node)) {
+        return true;
+    }
+    // Arity test: a nonempty x̄ is bound to *the* attribute tuple of the
+    // node, so lengths must agree. An empty tuple imposes no attribute
+    // requirement — this is how the paper's value-free (SM°) patterns like
+    // `r/a → r/a` read, and how the paper itself abbreviates nodes whose
+    // attributes are irrelevant.
+    let attrs: Vec<&Value> = tree.attr_values(node).collect();
+    if !pattern.vars.is_empty() && attrs.len() != pattern.vars.len() {
+        return true;
+    }
+    // Bind the variable tuple; reused variables must agree.
+    let mut env = env.clone();
+    for (var, value) in pattern.vars.iter().zip(&attrs) {
+        match env.get(var) {
+            Some(bound) if bound != *value => return true,
+            Some(_) => {}
+            None => {
+                env.insert(var.clone(), (*value).clone());
+            }
+        }
+    }
+    visit_items(tree, node, &pattern.list, 0, &env, found)
+}
+
+/// Satisfies list items `items[k..]` in order, threading the valuation.
+fn visit_items(
+    tree: &Tree,
+    node: NodeId,
+    items: &[ListItem],
+    k: usize,
+    env: &Valuation,
+    found: &mut dyn FnMut(&Valuation) -> bool,
+) -> bool {
+    if k == items.len() {
+        return found(env);
+    }
+    match &items[k] {
+        ListItem::Descendant(sub) => {
+            // Some proper descendant matches `sub`.
+            for d in tree.descendants(node) {
+                let alive = visit_pattern(tree, d, sub, env, &mut |env2| {
+                    visit_items(tree, node, items, k + 1, env2, found)
+                });
+                if !alive {
+                    return false;
+                }
+            }
+            true
+        }
+        ListItem::Seq { members, ops } => {
+            // The sequence is anchored at some child of `node`.
+            let children = tree.children(node);
+            for (i, _) in children.iter().enumerate() {
+                let alive = visit_seq(tree, children, i, members, ops, 0, env, &mut |env2| {
+                    visit_items(tree, node, items, k + 1, env2, found)
+                });
+                if !alive {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Matches `members[m..]` starting with `members[m]` at `children[i]`,
+/// respecting the horizontal operators.
+#[allow(clippy::too_many_arguments)]
+fn visit_seq(
+    tree: &Tree,
+    children: &[NodeId],
+    i: usize,
+    members: &[Pattern],
+    ops: &[SeqOp],
+    m: usize,
+    env: &Valuation,
+    found: &mut dyn FnMut(&Valuation) -> bool,
+) -> bool {
+    visit_pattern(tree, children[i], &members[m], env, &mut |env2| {
+        if m + 1 == members.len() {
+            return found(env2);
+        }
+        match ops[m] {
+            SeqOp::Next => {
+                // The very next sibling.
+                if i + 1 < children.len() {
+                    visit_seq(tree, children, i + 1, members, ops, m + 1, env2, found)
+                } else {
+                    true
+                }
+            }
+            SeqOp::Following => {
+                // Some strictly-later sibling.
+                for j in i + 1..children.len() {
+                    if !visit_seq(tree, children, j, members, ops, m + 1, env2, found) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use xmlmap_trees::tree;
+
+    fn val(pairs: &[(&str, &str)]) -> Valuation {
+        pairs
+            .iter()
+            .map(|(k, v)| (Var::new(k), Value::str(v)))
+            .collect()
+    }
+
+    /// The intro document: Ada teaches cs1 then cs2 in 2008, supervises Sue.
+    fn intro_tree() -> Tree {
+        tree! {
+            "r" [
+                "prof"("name" = "Ada") [
+                    "teach" [ "year"("y" = "2008") [
+                        "course"("cno" = "cs1"),
+                        "course"("cno" = "cs2"),
+                    ] ],
+                    "supervise" [ "student"("sid" = "Sue"), "student"("sid" = "Bob") ],
+                ],
+            ]
+        }
+    }
+
+    #[test]
+    fn paper_pattern_pi1_enumerates_all_tuples() {
+        // π₁ with both course variables: each (cn1, cn2) pair of child
+        // courses of the same year, in any order (no horizontal constraint).
+        let p = parse(
+            "r[prof(x)[teach[year(y)[course(cn1), course(cn2)]], supervise[student(s)]]]",
+        )
+        .unwrap();
+        let ms = all_matches(&intro_tree(), &p);
+        // cn1, cn2 ∈ {cs1, cs2} (4 combinations) × s ∈ {Sue, Bob}.
+        assert_eq!(ms.len(), 8);
+        assert!(ms.contains(&val(&[
+            ("x", "Ada"),
+            ("y", "2008"),
+            ("cn1", "cs2"),
+            ("cn2", "cs1"),
+            ("s", "Sue")
+        ])));
+    }
+
+    #[test]
+    fn next_sibling_restricts_order() {
+        let p = parse("r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], supervise[student(s)]]]")
+            .unwrap();
+        let ms = all_matches(&intro_tree(), &p);
+        // Only cs1 → cs2 in document order; two students.
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            assert_eq!(m[&Var::new("cn1")], Value::str("cs1"));
+            assert_eq!(m[&Var::new("cn2")], Value::str("cs2"));
+        }
+    }
+
+    #[test]
+    fn following_sibling_vs_next_sibling() {
+        let t = tree!("r" [ "a"("v" = "1"), "b"("v" = "2"), "a"("v" = "3") ]);
+        let next = parse("r[a(x) -> a(y)]").unwrap();
+        assert!(all_matches(&t, &next).is_empty()); // a's are not adjacent
+        let following = parse("r[a(x) ->* a(y)]").unwrap();
+        let ms = all_matches(&t, &following);
+        assert_eq!(ms, vec![val(&[("x", "1"), ("y", "3")])]);
+        // Following-sibling includes the immediate next sibling.
+        let ab = parse("r[a(x) ->* b(y)]").unwrap();
+        assert_eq!(all_matches(&t, &ab), vec![val(&[("x", "1"), ("y", "2")])]);
+    }
+
+    #[test]
+    fn descendant_matches_any_depth() {
+        let p = parse("r//course(c)").unwrap();
+        let ms = all_matches(&intro_tree(), &p);
+        assert_eq!(ms.len(), 2);
+        // Descendant is strict: r itself is not its own descendant.
+        let strict = parse("r[//_]").unwrap();
+        let single = tree!("r");
+        assert!(!matches(&single, &strict));
+        assert!(matches(&intro_tree(), &strict));
+    }
+
+    #[test]
+    fn wildcard_and_arity() {
+        // _(v) matches any node with exactly one attribute.
+        let p = parse("r//_(v)").unwrap();
+        let ms = all_matches(&intro_tree(), &p);
+        // prof, year, 2 courses, 2 students have exactly one attribute.
+        let values: Vec<String> = ms.iter().map(|m| m[&Var::new("v")].to_string()).collect();
+        assert_eq!(ms.len(), 6, "{values:?}");
+        // Arity mismatch: course(x, y) never matches one-attribute nodes.
+        let bad = parse("r//course(x, y)").unwrap();
+        assert!(all_matches(&intro_tree(), &bad).is_empty());
+        // A bare node test (empty tuple) imposes no attribute requirement.
+        let bare = parse("r//course").unwrap();
+        assert!(matches(&intro_tree(), &bare));
+    }
+
+    #[test]
+    fn variable_reuse_is_implicit_equality() {
+        // Same course number twice — never true on distinct-value courses.
+        let twice = parse("r//year(y)[course(c), course(c)]").unwrap();
+        let ms = all_matches(&intro_tree(), &twice);
+        // c can match the same node twice: course(c), course(c) allows both
+        // conjuncts to map to one node — equality satisfied.
+        assert_eq!(ms.len(), 2);
+
+        let t = tree!("r" [ "a"("v" = "7"), "b"("w" = "7") ]);
+        let join = parse("r[a(x), b(x)]").unwrap();
+        assert_eq!(all_matches(&t, &join), vec![val(&[("x", "7")])]);
+        let t2 = tree!("r" [ "a"("v" = "7"), "b"("w" = "8") ]);
+        assert!(all_matches(&t2, &join).is_empty());
+    }
+
+    #[test]
+    fn partial_valuation_seeds_the_search() {
+        let p = parse("r//student(s)").unwrap();
+        let t = intro_tree();
+        assert!(matches_with(&t, &p, &val(&[("s", "Sue")])));
+        assert!(matches_with(&t, &p, &val(&[("s", "Bob")])));
+        assert!(!matches_with(&t, &p, &val(&[("s", "Eve")])));
+        // Irrelevant fixed variables don't interfere.
+        assert!(matches_with(&t, &p, &val(&[("unused", "1")])));
+    }
+
+    #[test]
+    fn matches_at_inner_node() {
+        let t = intro_tree();
+        let prof = t.children(Tree::ROOT)[0];
+        let p = parse("prof(x)[supervise[student(s)]]").unwrap();
+        assert!(matches_at(&t, prof, &p, &Valuation::new()));
+        assert!(!matches_at(&t, Tree::ROOT, &p, &Valuation::new()));
+    }
+
+    #[test]
+    fn root_label_mismatch() {
+        let p = parse("q[a]").unwrap();
+        assert!(!matches(&intro_tree(), &p));
+    }
+
+    #[test]
+    fn three_member_sequence() {
+        let t = tree!("r" [ "a"("v" = "1"), "a"("v" = "2"), "b"("v" = "3"), "a"("v" = "4") ]);
+        let p = parse("r[a(x) ->* a(y) -> b(z)]").unwrap();
+        let ms = all_matches(&t, &p);
+        assert_eq!(ms, vec![val(&[("x", "1"), ("y", "2"), ("z", "3")])]);
+    }
+
+    #[test]
+    fn structural_dp_agrees_and_scales() {
+        // A failing pattern with many independent descendant items: the
+        // backtracking evaluator would enumerate the cross product of the
+        // //a matches before failing; the DP answers directly.
+        let mut t = Tree::new("r");
+        for i in 0..60 {
+            t.add_child(Tree::ROOT, "a", [("v", Value::int(i))]);
+        }
+        let mut p = parse("r").unwrap();
+        for _ in 0..8 {
+            p = p.descendant(parse("a(x1)").unwrap());
+        }
+        // rename vars to keep the pattern reuse-free
+        fn rename(p: &mut crate::ast::Pattern, k: &mut usize) {
+            for v in p.vars.iter_mut() {
+                *v = Var::new(format!("u{k}"));
+                *k += 1;
+            }
+            for item in p.list.iter_mut() {
+                match item {
+                    crate::ast::ListItem::Seq { members, .. } => {
+                        for m in members {
+                            rename(m, k);
+                        }
+                    }
+                    crate::ast::ListItem::Descendant(d) => rename(d, k),
+                }
+            }
+        }
+        let mut k = 0;
+        rename(&mut p, &mut k);
+        p = p.descendant(parse("zz").unwrap()); // make it fail
+        // Must answer (false) immediately via the DP.
+        assert_eq!(matches_structural(&t, &p), Some(false));
+        assert!(!matches(&t, &p));
+
+        // Positive case with sequences.
+        let t2 = tree!("r" [ "a"("v" = "1"), "b"("v" = "2"), "a"("v" = "3") ]);
+        let q = parse("r[a(x) ->* a(y)]").unwrap();
+        assert_eq!(matches_structural(&t2, &q), Some(true));
+        // Reuse disables the DP.
+        let reuse = parse("r[a(x), a(x)]").unwrap();
+        assert_eq!(matches_structural(&t2, &reuse), None);
+    }
+
+    #[test]
+    fn multiple_list_items_share_variables() {
+        let t = tree! {
+            "r" [
+                "a"("v" = "1") [ "c"("w" = "k") ],
+                "b"("v" = "2") [ "c"("w" = "k") ],
+            ]
+        };
+        let p = parse("r[a(x)[c(u)], b(y)[c(u)]]").unwrap();
+        assert_eq!(
+            all_matches(&t, &p),
+            vec![val(&[("x", "1"), ("y", "2"), ("u", "k")])]
+        );
+    }
+}

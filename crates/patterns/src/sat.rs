@@ -1,0 +1,870 @@
+//! The type-fixpoint satisfiability engine.
+//!
+//! This is the workhorse behind the paper's decidable static-analysis
+//! results (Lemma 4.1, Thm 5.2, Prop 6.1): given a DTD `D` and patterns
+//! `π₁, …, πₖ` (data values ignored — only variable-tuple *arity* matters),
+//! it computes which **match sets** `J ⊆ {1..k}` are achievable, i.e. for
+//! which `J` some `T ⊨ D` matches exactly the patterns in `J` at its root,
+//! together with a witness document for each.
+//!
+//! ## How it works
+//!
+//! Fix the closure of all pattern nodes. The *type* of a subtree is the set
+//! of **components** true at its root:
+//!
+//! * `NodeMatch(p)` — pattern node `p` matches at this node;
+//! * `SubtreeMatch(p)` — `p` matches somewhere in this subtree (tracked only
+//!   for nodes referenced by a `//` item).
+//!
+//! A node's type is a *deterministic* function of its label and the word of
+//! its children's `(label, type)` pairs: each list item of each pattern node
+//! becomes a small word acceptor over that pair alphabet (`//π` → "some
+//! symbol carries `SubtreeMatch(π)`"; a sequence → a chain automaton with
+//! `→` forcing adjacency and `→*` allowing gaps). The engine computes the
+//! least fixpoint of *achievable* pairs `(ℓ, τ)`: a pair is achievable iff
+//! some word over achievable pairs lies in `L(P_D(ℓ))` and induces `τ`.
+//! Exactness (a candidate word induces `τ` and nothing else) comes for free
+//! from determinism — this is what lets the same engine answer both the
+//! existential (`CONS`) and universal (`ABSCONS°`) questions.
+//!
+//! The machine-state space is worst-case exponential in the pattern size —
+//! as it must be: the problems are EXPTIME-/Π₂ᵖ-complete. A configurable
+//! budget bounds the exploration and reports overruns explicitly.
+
+use crate::ast::{ListItem, Pattern, SeqOp};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use xmlmap_dtd::Dtd;
+use xmlmap_regex::Nfa;
+use xmlmap_trees::{Name, Tree, Value};
+
+/// The exploration exceeded its state budget; the answer is unknown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The budget that was exhausted (machine states explored).
+    pub budget: usize,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "type-fixpoint exploration exceeded its budget of {} states",
+            self.budget
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// A compact bitset used for component types.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+struct Bits(Vec<u64>);
+
+impl Bits {
+    fn new(len: usize) -> Bits {
+        Bits(vec![0; len.div_ceil(64)])
+    }
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+    fn or_assign(&mut self, other: &Bits) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+}
+
+/// Flattened pattern node.
+struct NodeC {
+    label: crate::ast::LabelTest,
+    arity: usize,
+    items: Vec<ItemC>,
+}
+
+/// Flattened list item.
+enum ItemC {
+    /// `//π` where π has the given pattern-node id.
+    Desc(usize),
+    /// A sequence item, indexing into the global sequence table.
+    Seq(usize),
+}
+
+/// A sequence acceptor: members (pattern-node ids) and operators.
+struct SeqC {
+    members: Vec<usize>,
+    ops: Vec<SeqOp>,
+}
+
+/// An achievable `(label, type)` pair plus the witness word that produced it.
+struct PairInfo {
+    label: Name,
+    typ: Bits,
+    /// Children realisation: ids of achievable pairs, in order.
+    word: Vec<usize>,
+}
+
+/// The satisfiability engine for a DTD and a set of patterns.
+pub struct TypeEngine<'a> {
+    dtd: &'a Dtd,
+    nodes: Vec<NodeC>,
+    seqs: Vec<SeqC>,
+    /// Root pattern-node id of each input pattern.
+    roots: Vec<usize>,
+    /// pid → SubtreeMatch component index (only for `//`-referenced nodes).
+    subtree_bit: HashMap<usize, usize>,
+    n_comps: usize,
+    /// Achievable pairs, in discovery order (witness words only reference
+    /// earlier sweeps, so recursion over them is well-founded).
+    pairs: Vec<PairInfo>,
+    pair_index: HashMap<(Name, Bits), usize>,
+    states_explored: usize,
+    budget: usize,
+}
+
+/// One machine state of the per-label word exploration.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct MachineState {
+    /// Subset state of the production NFA.
+    dtd: BTreeSet<usize>,
+    /// Subset state of every sequence acceptor.
+    seqs: Vec<BTreeSet<usize>>,
+    /// `SubtreeMatch` components seen on some symbol so far.
+    seen: Bits,
+}
+
+impl<'a> TypeEngine<'a> {
+    /// Builds the engine for `dtd` and `patterns`. `budget` bounds the total
+    /// number of machine states explored (across all sweeps).
+    pub fn new(dtd: &'a Dtd, patterns: &[&Pattern], budget: usize) -> TypeEngine<'a> {
+        let mut nodes: Vec<NodeC> = Vec::new();
+        let mut seqs: Vec<SeqC> = Vec::new();
+        let mut desc_pids: Vec<usize> = Vec::new();
+
+        fn flatten(
+            p: &Pattern,
+            nodes: &mut Vec<NodeC>,
+            seqs: &mut Vec<SeqC>,
+            desc_pids: &mut Vec<usize>,
+        ) -> usize {
+            let pid = nodes.len();
+            nodes.push(NodeC {
+                label: p.label.clone(),
+                arity: p.vars.len(),
+                items: Vec::new(),
+            });
+            let mut items = Vec::new();
+            for item in &p.list {
+                match item {
+                    ListItem::Descendant(sub) => {
+                        let sub_pid = flatten(sub, nodes, seqs, desc_pids);
+                        desc_pids.push(sub_pid);
+                        items.push(ItemC::Desc(sub_pid));
+                    }
+                    ListItem::Seq { members, ops } => {
+                        let member_pids = members
+                            .iter()
+                            .map(|m| flatten(m, nodes, seqs, desc_pids))
+                            .collect();
+                        seqs.push(SeqC {
+                            members: member_pids,
+                            ops: ops.clone(),
+                        });
+                        items.push(ItemC::Seq(seqs.len() - 1));
+                    }
+                }
+            }
+            nodes[pid].items = items;
+            pid
+        }
+
+        let roots = patterns
+            .iter()
+            .map(|p| flatten(p, &mut nodes, &mut seqs, &mut desc_pids))
+            .collect();
+
+        // Components: NodeMatch(pid) = bit pid; SubtreeMatch for every
+        // `//`-referenced pid, and (transitively) everything below them —
+        // SubtreeMatch(q) needs NodeMatch(q) at descendants, which the
+        // engine gets from types, so only the referenced pid needs a bit.
+        let n_nodes = nodes.len();
+        let mut subtree_bit = HashMap::new();
+        for pid in desc_pids {
+            let next = n_nodes + subtree_bit.len();
+            subtree_bit.entry(pid).or_insert(next);
+        }
+        let n_comps = n_nodes + subtree_bit.len();
+
+        TypeEngine {
+            dtd,
+            nodes,
+            seqs,
+            roots,
+            subtree_bit,
+            n_comps,
+            pairs: Vec::new(),
+            pair_index: HashMap::new(),
+            states_explored: 0,
+            budget,
+        }
+    }
+
+    /// Runs the fixpoint to completion.
+    pub fn run(&mut self) -> Result<(), BudgetExceeded> {
+        loop {
+            let frozen = self.pairs.len();
+            let labels: Vec<Name> = self.dtd.alphabet().cloned().collect();
+            let mut discovered: Vec<PairInfo> = Vec::new();
+            for label in &labels {
+                self.explore_label(label, frozen, &mut discovered)?;
+            }
+            let mut grew = false;
+            for info in discovered {
+                let key = (info.label.clone(), info.typ.clone());
+                if !self.pair_index.contains_key(&key) {
+                    self.pair_index.insert(key, self.pairs.len());
+                    self.pairs.push(info);
+                    grew = true;
+                }
+            }
+            if !grew {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Explores all children words for `label` over the first `frozen`
+    /// achievable pairs, collecting every realizable `(label, τ)`.
+    fn explore_label(
+        &mut self,
+        label: &Name,
+        frozen: usize,
+        discovered: &mut Vec<PairInfo>,
+    ) -> Result<(), BudgetExceeded> {
+        let epsilon_nfa = Nfa::epsilon();
+        let nfa: &Nfa<Name> = self.dtd.horizontal(label).unwrap_or(&epsilon_nfa);
+
+        let initial = MachineState {
+            dtd: BTreeSet::from([0usize]),
+            seqs: vec![BTreeSet::from([0usize]); self.seqs.len()],
+            seen: Bits::new(self.n_comps),
+        };
+        let mut index: HashMap<MachineState, usize> = HashMap::new();
+        let mut states: Vec<MachineState> = Vec::new();
+        let mut parent: Vec<Option<(usize, usize)>> = Vec::new(); // (state, pair id)
+        let mut queue = VecDeque::new();
+        index.insert(initial.clone(), 0);
+        states.push(initial);
+        parent.push(None);
+        queue.push_back(0usize);
+        let mut emitted: BTreeSet<Bits> = BTreeSet::new();
+
+        while let Some(si) = queue.pop_front() {
+            self.states_explored += 1;
+            if self.states_explored > self.budget {
+                return Err(BudgetExceeded {
+                    budget: self.budget,
+                });
+            }
+            let state = states[si].clone();
+
+            // Complete word? Emit the induced type.
+            if state.dtd.iter().any(|&q| nfa.accepting[q]) {
+                let typ = self.induced_type(label, &state);
+                if emitted.insert(typ.clone())
+                    && !self
+                        .pair_index
+                        .contains_key(&(label.clone(), typ.clone()))
+                {
+                    // Reconstruct the witness word.
+                    let mut word = Vec::new();
+                    let mut cur = si;
+                    while let Some((prev, pid)) = parent[cur] {
+                        word.push(pid);
+                        cur = prev;
+                    }
+                    word.reverse();
+                    // A later-discovered duplicate within `discovered` is
+                    // filtered by the caller's index check.
+                    discovered.push(PairInfo {
+                        label: label.clone(),
+                        typ,
+                        word,
+                    });
+                }
+            }
+
+            // Transitions on every achievable pair.
+            for pid in 0..frozen {
+                let next = self.step(&state, nfa, pid);
+                if next.dtd.is_empty() {
+                    continue; // the production can never complete from here
+                }
+                if !index.contains_key(&next) {
+                    let ni = states.len();
+                    index.insert(next.clone(), ni);
+                    states.push(next);
+                    parent.push(Some((si, pid)));
+                    queue.push_back(ni);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One machine transition on the achievable pair `pid`.
+    fn step(&self, state: &MachineState, nfa: &Nfa<Name>, pid: usize) -> MachineState {
+        let pair = &self.pairs[pid];
+        // DTD production part.
+        let mut dtd = BTreeSet::new();
+        for &q in &state.dtd {
+            for (sym, q2) in &nfa.transitions[q] {
+                if sym == &pair.label {
+                    dtd.insert(*q2);
+                }
+            }
+        }
+        // Sequence acceptors.
+        let mut seqs = Vec::with_capacity(self.seqs.len());
+        for (k, seq) in self.seqs.iter().enumerate() {
+            let n = seq.members.len();
+            let mut next = BTreeSet::new();
+            for &s in &state.seqs[k] {
+                if s == n {
+                    next.insert(n); // trailing Σ*
+                    continue;
+                }
+                // Gap self-loop: leading Σ* at 0, or →* gaps.
+                if s == 0 || seq.ops[s - 1] == SeqOp::Following {
+                    next.insert(s);
+                }
+                // Advance when the symbol's type matches the member.
+                if pair.typ.get(seq.members[s]) {
+                    next.insert(s + 1);
+                }
+            }
+            seqs.push(next);
+        }
+        // Seen SubtreeMatch components.
+        let mut seen = state.seen.clone();
+        seen.or_assign(&pair.typ);
+        // Only the SubtreeMatch range matters for `seen`; NodeMatch bits of
+        // children are harmless to keep (they are never read from `seen`).
+        MachineState { dtd, seqs, seen }
+    }
+
+    /// The type induced at an ℓ-labelled node whose children produced
+    /// machine state `state`.
+    fn induced_type(&self, label: &Name, state: &MachineState) -> Bits {
+        let mut typ = Bits::new(self.n_comps);
+        let arity = self.dtd.arity(label);
+        for (pid, node) in self.nodes.iter().enumerate() {
+            // An empty variable tuple imposes no arity requirement
+            // (mirrors `eval`; see the comment there).
+            if !node.label.accepts(label) || (node.arity != 0 && node.arity != arity) {
+                continue;
+            }
+            let all_items = node.items.iter().all(|item| match item {
+                ItemC::Desc(sub) => state.seen.get(self.subtree_bit[sub]),
+                ItemC::Seq(k) => {
+                    let n = self.seqs[*k].members.len();
+                    state.seqs[*k].contains(&n)
+                }
+            });
+            if all_items {
+                typ.set(pid);
+            }
+        }
+        // SubtreeMatch: here or in some child's subtree.
+        for (&pid, &bit) in &self.subtree_bit {
+            if typ.get(pid) || state.seen.get(bit) {
+                typ.set(bit);
+            }
+        }
+        typ
+    }
+
+    /// All achievable root match sets `J` (indices into the input pattern
+    /// list), each with a witness document conforming to the DTD. Every
+    /// attribute of the witness carries the same constant, so implicit
+    /// equalities in patterns are always satisfied.
+    pub fn root_match_sets(&mut self) -> Result<Vec<(BTreeSet<usize>, Tree)>, BudgetExceeded> {
+        self.run()?;
+        let mut out: Vec<(BTreeSet<usize>, Tree)> = Vec::new();
+        let mut seen: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
+        for (id, info) in self.pairs.iter().enumerate() {
+            if &info.label != self.dtd.root() {
+                continue;
+            }
+            let set: BTreeSet<usize> = self
+                .roots
+                .iter()
+                .enumerate()
+                .filter(|(_, &pid)| info.typ.get(pid))
+                .map(|(i, _)| i)
+                .collect();
+            if seen.insert(set.clone()) {
+                out.push((set, self.build_witness(id)));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Is there a `T ⊨ D` matching **all** input patterns at the root?
+    /// Returns a witness. (Lemma 4.1 is the single-pattern case.)
+    pub fn satisfiable_conj(&mut self) -> Result<Option<Tree>, BudgetExceeded> {
+        let n = self.roots.len();
+        let sets = self.root_match_sets()?;
+        Ok(sets
+            .into_iter()
+            .find(|(set, _)| set.len() == n)
+            .map(|(_, tree)| tree))
+    }
+
+    /// Total machine states explored so far (diagnostics for benches).
+    pub fn states_explored(&self) -> usize {
+        self.states_explored
+    }
+
+    fn build_witness(&self, pair_id: usize) -> Tree {
+        fn attach(engine: &TypeEngine<'_>, tree: &mut Tree, at: xmlmap_trees::NodeId, pid: usize) {
+            for &child in &engine.pairs[pid].word {
+                let info = &engine.pairs[child];
+                let node = tree.add_child(
+                    at,
+                    info.label.clone(),
+                    engine
+                        .dtd
+                        .attrs(&info.label)
+                        .iter()
+                        .map(|a| (a.clone(), Value::str("d"))),
+                );
+                attach(engine, tree, node, child);
+            }
+        }
+        let info = &self.pairs[pair_id];
+        let mut tree = Tree::with_root_attrs(
+            info.label.clone(),
+            self.dtd
+                .attrs(&info.label)
+                .iter()
+                .map(|a| (a.clone(), Value::str("d"))),
+        );
+        attach(self, &mut tree, Tree::ROOT, pair_id);
+        tree
+    }
+}
+
+/// Pattern satisfiability w.r.t. a DTD (Lemma 4.1): is there `T ⊨ D` with
+/// `π(T) ≠ ∅`? Returns a witness document.
+pub fn satisfiable(
+    dtd: &Dtd,
+    pattern: &Pattern,
+    budget: usize,
+) -> Result<Option<Tree>, BudgetExceeded> {
+    TypeEngine::new(dtd, &[pattern], budget).satisfiable_conj()
+}
+
+/// Joint satisfiability of a pattern conjunction w.r.t. a DTD.
+pub fn satisfiable_all(
+    dtd: &Dtd,
+    patterns: &[&Pattern],
+    budget: usize,
+) -> Result<Option<Tree>, BudgetExceeded> {
+    TypeEngine::new(dtd, patterns, budget).satisfiable_conj()
+}
+
+/// All achievable root match sets with witnesses (see [`TypeEngine`]).
+pub fn achievable_match_sets(
+    dtd: &Dtd,
+    patterns: &[&Pattern],
+    budget: usize,
+) -> Result<Vec<(BTreeSet<usize>, Tree)>, BudgetExceeded> {
+    TypeEngine::new(dtd, patterns, budget).root_match_sets()
+}
+
+/// Default exploration budget: generous for interactive use, bounded enough
+/// to fail fast on adversarial instances.
+pub const DEFAULT_BUDGET: usize = 2_000_000;
+
+/// The paper's §9 open problem, solved exactly by the type-fixpoint
+/// engine: given a DTD and pattern sets `P⁺`/`P⁻`, is there `T ⊨ D`
+/// matching **all** of `P⁺` and **none** of `P⁻`? Returns a witness.
+///
+/// (The paper observes the problem is in EXPTIME and NP-hard and that its
+/// exact complexity would close several gaps; this implementation is the
+/// EXPTIME upper bound made executable — match sets are computed exactly,
+/// so negative requirements cost nothing extra.)
+pub fn satisfiable_with_negations(
+    dtd: &Dtd,
+    positive: &[&Pattern],
+    negative: &[&Pattern],
+    budget: usize,
+) -> Result<Option<Tree>, BudgetExceeded> {
+    let mut all: Vec<&Pattern> = positive.to_vec();
+    all.extend_from_slice(negative);
+    let sets = achievable_match_sets(dtd, &all, budget)?;
+    let n_pos = positive.len();
+    Ok(sets
+        .into_iter()
+        .find(|(j, _)| {
+            (0..n_pos).all(|i| j.contains(&i)) && (n_pos..all.len()).all(|i| !j.contains(&i))
+        })
+        .map(|(_, w)| w))
+}
+
+/// Pattern containment relative to a DTD: does every `T ⊨ D` matching `p`
+/// also match `q`? Decided via [`satisfiable_with_negations`] (a
+/// counterexample matches `p` but not `q`).
+pub fn contained_in(
+    dtd: &Dtd,
+    p: &Pattern,
+    q: &Pattern,
+    budget: usize,
+) -> Result<bool, BudgetExceeded> {
+    Ok(satisfiable_with_negations(dtd, &[p], &[q], budget)?.is_none())
+}
+
+/// Pattern equivalence relative to a DTD: mutual containment.
+pub fn equivalent(
+    dtd: &Dtd,
+    p: &Pattern,
+    q: &Pattern,
+    budget: usize,
+) -> Result<bool, BudgetExceeded> {
+    Ok(contained_in(dtd, p, q, budget)? && contained_in(dtd, q, p, budget)?)
+}
+
+/// Polynomial-time satisfiability over **nested-relational** DTDs for
+/// **downward** patterns (no `→`/`→*`) — the engine behind the PTIME cells
+/// of Figure 1 (Fact 5.1 and Thm 6.3).
+///
+/// Returns `None` when the inputs are outside the fragment (the DTD is not
+/// nested-relational, or the pattern uses a horizontal axis); callers then
+/// fall back to the general engine.
+///
+/// The algorithm computes, bottom-up over the pattern, the set of DTD
+/// labels each pattern node can sit at. Because nested-relational DTDs have
+/// no disjunction, requirements of co-located pattern nodes always merge:
+/// a pattern is satisfiable iff its root can sit at the DTD root.
+pub fn satisfiable_nr(dtd: &Dtd, pattern: &Pattern) -> Option<bool> {
+    dtd.nested_relational()?;
+    if pattern.uses_next_sibling() || pattern.uses_following_sibling() {
+        return None;
+    }
+
+    // Strict-descendant reachability between labels.
+    let labels: Vec<Name> = dtd.alphabet().cloned().collect();
+    let mut below: HashMap<Name, BTreeSet<Name>> = HashMap::new();
+    for l in &labels {
+        // BFS through productions.
+        let mut seen: BTreeSet<Name> = BTreeSet::new();
+        let mut stack: Vec<Name> = dtd.production(l).symbols().into_iter().collect();
+        while let Some(s) = stack.pop() {
+            if seen.insert(s.clone()) {
+                stack.extend(dtd.production(&s).symbols());
+            }
+        }
+        below.insert(l.clone(), seen);
+    }
+
+    // allowed(p) ⊆ labels, bottom-up over the pattern tree.
+    fn allowed(
+        dtd: &Dtd,
+        labels: &[Name],
+        below: &HashMap<Name, BTreeSet<Name>>,
+        p: &Pattern,
+    ) -> BTreeSet<Name> {
+        // Children first.
+        let mut item_allowed: Vec<(bool, BTreeSet<Name>)> = Vec::new(); // (is_desc, set)
+        for item in &p.list {
+            match item {
+                ListItem::Descendant(sub) => {
+                    item_allowed.push((true, allowed(dtd, labels, below, sub)));
+                }
+                ListItem::Seq { members, .. } => {
+                    // Downward fragment: single-member sequences only
+                    // (multi-member implies a horizontal op, excluded above).
+                    item_allowed.push((false, allowed(dtd, labels, below, &members[0])));
+                }
+            }
+        }
+        labels
+            .iter()
+            .filter(|l| {
+                let l: &Name = l;
+                if !p.label.accepts(l) {
+                    return false;
+                }
+                if !p.vars.is_empty() && dtd.arity(l) != p.vars.len() {
+                    return false;
+                }
+                item_allowed.iter().all(|(is_desc, set)| {
+                    if *is_desc {
+                        below[l].iter().any(|d| set.contains(d))
+                    } else {
+                        dtd.production(l).symbols().iter().any(|c| set.contains(c))
+                    }
+                })
+            })
+            .cloned()
+            .collect()
+    }
+
+    let root_allowed = allowed(dtd, &labels, &below, pattern);
+    Some(root_allowed.contains(dtd.root()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use crate::parse::parse;
+
+    fn dtd(s: &str) -> Dtd {
+        xmlmap_dtd::parse(s).unwrap()
+    }
+
+    fn pat(s: &str) -> Pattern {
+        parse(s).unwrap()
+    }
+
+    const D1: &str = "root r
+        r -> prof*
+        prof -> teach, supervise
+        teach -> year
+        year -> course, course
+        supervise -> student*
+        prof @ name
+        student @ sid
+        year @ y
+        course @ cno";
+
+    #[test]
+    fn satisfiable_basic() {
+        let d = dtd(D1);
+        let p = pat("r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], supervise[student(s)]]]");
+        let w = satisfiable(&d, &p, DEFAULT_BUDGET).unwrap().expect("satisfiable");
+        assert!(d.conforms(&w));
+        assert!(eval::matches(&w, &p), "witness must match:\n{w:?}");
+    }
+
+    #[test]
+    fn unsatisfiable_wrong_shape() {
+        let d = dtd(D1);
+        // Three courses under one year is impossible (production: exactly 2).
+        let p = pat("r//year(y)[course(a) -> course(b) -> course(c)]");
+        assert_eq!(satisfiable(&d, &p, DEFAULT_BUDGET).unwrap(), None);
+        // student below teach is impossible.
+        let q = pat("r//teach[//student(s)]");
+        assert_eq!(satisfiable(&d, &q, DEFAULT_BUDGET).unwrap(), None);
+    }
+
+    #[test]
+    fn arity_mismatch_is_unsatisfiable() {
+        let d = dtd(D1);
+        // course has one attribute, not two.
+        let p = pat("r//course(a, b)");
+        assert_eq!(satisfiable(&d, &p, DEFAULT_BUDGET).unwrap(), None);
+        // bare course (zero variables) carries no arity requirement.
+        let q = pat("r//course");
+        assert!(satisfiable(&d, &q, DEFAULT_BUDGET).unwrap().is_some());
+    }
+
+    #[test]
+    fn wildcard_satisfiability() {
+        let d = dtd(D1);
+        // r/prof/teach/year(y); wildcards must respect arities (prof has
+        // one attribute, teach none).
+        let p = pat("r[_(x)[_[_(y)]]]");
+        let w = satisfiable(&d, &p, DEFAULT_BUDGET).unwrap().expect("satisfiable");
+        assert!(eval::matches(&w, &p));
+    }
+
+    #[test]
+    fn next_sibling_order_constraints() {
+        let d = dtd("root r\nr -> a, b\na @ v\nb @ v");
+        assert!(satisfiable(&d, &pat("r[a(x) -> b(y)]"), DEFAULT_BUDGET)
+            .unwrap()
+            .is_some());
+        assert!(satisfiable(&d, &pat("r[b(x) -> a(y)]"), DEFAULT_BUDGET)
+            .unwrap()
+            .is_none());
+        assert!(satisfiable(&d, &pat("r[a(x) ->* b(y)]"), DEFAULT_BUDGET)
+            .unwrap()
+            .is_some());
+        assert!(satisfiable(&d, &pat("r[b(x) ->* a(y)]"), DEFAULT_BUDGET)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn following_needs_strictness() {
+        let d = dtd("root r\nr -> a");
+        // a ->* a needs two distinct a-children; the DTD allows only one.
+        assert!(satisfiable(&d, &pat("r[a ->* a]"), DEFAULT_BUDGET)
+            .unwrap()
+            .is_none());
+        let d2 = dtd("root r\nr -> a, a");
+        assert!(satisfiable(&d2, &pat("r[a ->* a]"), DEFAULT_BUDGET)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn conjunction_of_patterns() {
+        let d = dtd("root r\nr -> a*, b?");
+        let pa = pat("r/a");
+        let pb = pat("r/b");
+        let w = satisfiable_all(&d, &[&pa, &pb], DEFAULT_BUDGET)
+            .unwrap()
+            .expect("both satisfiable together");
+        assert!(eval::matches(&w, &pa) && eval::matches(&w, &pb));
+
+        // a and c cannot coexist (c not even in the DTD).
+        let pc = pat("r/c");
+        assert!(satisfiable_all(&d, &[&pa, &pc], DEFAULT_BUDGET)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn match_sets_enumeration() {
+        let d = dtd("root r\nr -> a?, b?");
+        let pa = pat("r/a");
+        let pb = pat("r/b");
+        let sets = achievable_match_sets(&d, &[&pa, &pb], DEFAULT_BUDGET).unwrap();
+        let js: BTreeSet<BTreeSet<usize>> = sets.iter().map(|(j, _)| j.clone()).collect();
+        let expect: BTreeSet<BTreeSet<usize>> = [
+            BTreeSet::new(),
+            BTreeSet::from([0]),
+            BTreeSet::from([1]),
+            BTreeSet::from([0, 1]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(js, expect);
+        // Each witness realises exactly its match set.
+        for (j, w) in &sets {
+            assert!(d.conforms(w));
+            assert_eq!(eval::matches(w, &pa), j.contains(&0));
+            assert_eq!(eval::matches(w, &pb), j.contains(&1));
+        }
+    }
+
+    #[test]
+    fn forced_match_set() {
+        // b is mandatory: the empty match set is NOT achievable.
+        let d = dtd("root r\nr -> b");
+        let pb = pat("r/b");
+        let sets = achievable_match_sets(&d, &[&pb], DEFAULT_BUDGET).unwrap();
+        let js: Vec<BTreeSet<usize>> = sets.into_iter().map(|(j, _)| j).collect();
+        assert_eq!(js, vec![BTreeSet::from([0])]);
+    }
+
+    #[test]
+    fn recursive_dtd_descendant() {
+        let d = dtd("root r\nr -> a\na -> a?, b?\nb -> ");
+        let p = pat("r//b");
+        let w = satisfiable(&d, &p, DEFAULT_BUDGET).unwrap().expect("satisfiable");
+        assert!(d.conforms(&w));
+        assert!(eval::matches(&w, &p));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports() {
+        let d = dtd(D1);
+        let p = pat("r//course(c)");
+        assert!(satisfiable(&d, &p, 2).is_err());
+    }
+
+    #[test]
+    fn negation_satisfiability_open_problem() {
+        let d = dtd("root r\nr -> a?, b?, c?");
+        let pa = pat("r/a");
+        let pb = pat("r/b");
+        let pc = pat("r/c");
+        // Match a and b but not c.
+        let w = satisfiable_with_negations(&d, &[&pa, &pb], &[&pc], DEFAULT_BUDGET)
+            .unwrap()
+            .expect("satisfiable");
+        assert!(crate::eval::matches(&w, &pa));
+        assert!(crate::eval::matches(&w, &pb));
+        assert!(!crate::eval::matches(&w, &pc));
+        // Matching a without matching the wildcard child test is impossible.
+        let any_child = pat("r/_");
+        assert!(
+            satisfiable_with_negations(&d, &[&pa], &[&any_child], DEFAULT_BUDGET)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn containment_and_equivalence() {
+        let d = dtd("root r\nr -> a*\na -> b?\nb @ v");
+        // a with a b-child implies a exists.
+        assert!(contained_in(&d, &pat("r/a/b(x)"), &pat("r/a"), DEFAULT_BUDGET).unwrap());
+        assert!(!contained_in(&d, &pat("r/a"), &pat("r/a/b(x)"), DEFAULT_BUDGET).unwrap());
+        // Under this DTD, //b and a/b are equivalent (b only under a).
+        assert!(equivalent(&d, &pat("r//b(x)"), &pat("r/a/b(x)"), DEFAULT_BUDGET).unwrap());
+        // Structural containment uses the DTD: every a-child is matched by
+        // the wildcard child test.
+        assert!(contained_in(&d, &pat("r/a"), &pat("r/_"), DEFAULT_BUDGET).unwrap());
+    }
+
+    #[test]
+    fn nr_satisfiability_agrees_with_engine() {
+        let d = dtd(
+            "root r
+             r -> a, b*, c?
+             a -> d?
+             b -> e
+             c @ v
+             e @ w",
+        );
+        for (text, expect) in [
+            ("r/a", true),
+            ("r/a/d", true),
+            ("r//d", true),
+            ("r[a, b[e(x)], c(y)]", true),
+            ("r//e(x)", true),
+            ("r/e(x)", false),      // e is not a child of r
+            ("r//c(x)", true),
+            ("r/c(x, y)", false),   // arity mismatch
+            ("r[//d, //e(x)]", true),
+            ("r/b/d", false),       // d not under b
+            ("_[a]", true),         // wildcard root still sits at r
+        ] {
+            let pat = parse(text).unwrap();
+            let fast = satisfiable_nr(&d, &pat).expect("inside fragment");
+            let slow = satisfiable(&d, &pat, DEFAULT_BUDGET).unwrap().is_some();
+            assert_eq!(fast, slow, "{text}");
+            assert_eq!(fast, expect, "{text}");
+        }
+    }
+
+    #[test]
+    fn nr_satisfiability_rejects_out_of_fragment() {
+        let d = dtd("root r
+r -> a, b");
+        assert!(satisfiable_nr(&d, &pat("r[a -> b]")).is_none());
+        assert!(satisfiable_nr(&d, &pat("r[a ->* b]")).is_none());
+        let not_nr = dtd("root r
+r -> a|b");
+        assert!(satisfiable_nr(&not_nr, &pat("r/a")).is_none());
+    }
+
+    #[test]
+    fn deep_descendant_nesting() {
+        let d = dtd("root r\nr -> a\na -> a?, b?\nb -> c\nc @ v");
+        let p = pat("r//a[//c(x)]");
+        let w = satisfiable(&d, &p, DEFAULT_BUDGET).unwrap().expect("sat");
+        assert!(eval::matches(&w, &p));
+        // //c directly under r also requires the a/b chain.
+        let q = pat("r[//c(x)]");
+        assert!(satisfiable(&d, &q, DEFAULT_BUDGET).unwrap().is_some());
+    }
+}

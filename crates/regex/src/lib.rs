@@ -1,0 +1,150 @@
+#![warn(missing_docs)]
+
+//! # xmlmap-regex
+//!
+//! Regular expressions over element-type alphabets, with Glushkov NFAs and
+//! subset-construction DFAs. This is the word-automaton substrate used by
+//! DTD conformance checking, hedge automata and the consistency procedures
+//! of *XML Schema Mappings* (PODS 2009).
+
+pub mod ast;
+pub mod dfa;
+pub mod nfa;
+
+pub use ast::{parse, Regex, RegexParseError};
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use xmlmap_trees::Name;
+
+    /// A small random regex over the alphabet {a, b, c}.
+    fn arb_regex() -> impl Strategy<Value = Regex> {
+        let leaf = prop_oneof![
+            Just(Regex::Epsilon),
+            Just(Regex::symbol("a")),
+            Just(Regex::symbol("b")),
+            Just(Regex::symbol("c")),
+        ];
+        leaf.prop_recursive(4, 24, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(x, y)| Regex::Concat(Box::new(x), Box::new(y))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(x, y)| Regex::Alt(Box::new(x), Box::new(y))),
+                inner.clone().prop_map(Regex::star),
+                inner.clone().prop_map(Regex::plus),
+                inner.prop_map(Regex::opt),
+            ]
+        })
+    }
+
+    fn arb_word() -> impl Strategy<Value = Vec<Name>> {
+        proptest::collection::vec(
+            prop_oneof![Just(Name::new("a")), Just(Name::new("b")), Just(Name::new("c"))],
+            0..6,
+        )
+    }
+
+    /// Reference matcher: naive recursive membership on the AST.
+    fn matches_ref(r: &Regex, w: &[Name]) -> bool {
+        match r {
+            Regex::Empty => false,
+            Regex::Epsilon => w.is_empty(),
+            Regex::Symbol(a) => w.len() == 1 && &w[0] == a,
+            Regex::Concat(x, y) => {
+                (0..=w.len()).any(|i| matches_ref(x, &w[..i]) && matches_ref(y, &w[i..]))
+            }
+            Regex::Alt(x, y) => matches_ref(x, w) || matches_ref(y, w),
+            Regex::Star(x) => {
+                w.is_empty()
+                    || (1..=w.len()).any(|i| matches_ref(x, &w[..i]) && matches_ref(r, &w[i..]))
+            }
+            Regex::Plus(x) => {
+                let star = Regex::Star(x.clone());
+                (1..=w.len()).any(|i| matches_ref(x, &w[..i]) && matches_ref(&star, &w[i..]))
+                    || matches_ref(x, w)
+            }
+            Regex::Opt(x) => w.is_empty() || matches_ref(x, w),
+        }
+    }
+
+    proptest! {
+        /// Glushkov NFA membership agrees with the naive AST matcher.
+        #[test]
+        fn nfa_agrees_with_reference(r in arb_regex(), w in arb_word()) {
+            let nfa = Nfa::from_regex(&r);
+            prop_assert_eq!(nfa.accepts(&w), matches_ref(&r, &w));
+        }
+
+        /// Determinisation preserves the language.
+        #[test]
+        fn dfa_agrees_with_nfa(r in arb_regex(), w in arb_word()) {
+            let nfa = Nfa::from_regex(&r);
+            let alphabet = vec![Name::new("a"), Name::new("b"), Name::new("c")];
+            let dfa = Dfa::determinize(&nfa, alphabet);
+            prop_assert_eq!(dfa.accepts(&w), nfa.accepts(&w));
+        }
+
+        /// Complement really is complement (over the declared alphabet).
+        #[test]
+        fn complement_is_pointwise_negation(r in arb_regex(), w in arb_word()) {
+            let nfa = Nfa::from_regex(&r);
+            let alphabet = vec![Name::new("a"), Name::new("b"), Name::new("c")];
+            let dfa = Dfa::determinize(&nfa, alphabet);
+            prop_assert_eq!(dfa.complement().accepts(&w), !dfa.accepts(&w));
+        }
+
+        /// Display → parse round-trips the AST's language (on sampled words).
+        #[test]
+        fn display_parse_round_trip(r in arb_regex(), w in arb_word()) {
+            let reparsed = parse(&r.to_string()).unwrap();
+            prop_assert_eq!(matches_ref(&reparsed, &w), matches_ref(&r, &w));
+        }
+
+        /// `nullable` agrees with ε-membership; `shortest_word` is accepted
+        /// and is no longer than any sampled accepted word.
+        #[test]
+        fn nullable_and_shortest(r in arb_regex(), w in arb_word()) {
+            prop_assert_eq!(r.nullable(), matches_ref(&r, &[]));
+            let nfa = Nfa::from_regex(&r);
+            match nfa.shortest_word() {
+                None => {
+                    prop_assert!(r.is_empty_language());
+                    prop_assert!(!matches_ref(&r, &w));
+                }
+                Some(s) => {
+                    prop_assert!(matches_ref(&r, &s));
+                    if matches_ref(&r, &w) {
+                        prop_assert!(s.len() <= w.len());
+                    }
+                }
+            }
+        }
+
+        /// NFA intersection is language intersection.
+        #[test]
+        fn intersection_is_conjunction(r1 in arb_regex(), r2 in arb_regex(), w in arb_word()) {
+            let n1 = Nfa::from_regex(&r1);
+            let n2 = Nfa::from_regex(&r2);
+            prop_assert_eq!(
+                n1.intersect(&n2).accepts(&w),
+                n1.accepts(&w) && n2.accepts(&w)
+            );
+        }
+
+        /// NFA concatenation is language concatenation.
+        #[test]
+        fn concat_is_product(r1 in arb_regex(), r2 in arb_regex(), w in arb_word()) {
+            let n1 = Nfa::from_regex(&r1);
+            let n2 = Nfa::from_regex(&r2);
+            let cat = n1.concat(&n2);
+            let expected = (0..=w.len())
+                .any(|i| n1.accepts(&w[..i]) && n2.accepts(&w[i..]));
+            prop_assert_eq!(cat.accepts(&w), expected);
+        }
+    }
+}

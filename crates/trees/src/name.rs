@@ -1,0 +1,151 @@
+//! Interned element-type and attribute names.
+//!
+//! Labels (element types from the alphabet Γ of the paper) and attribute
+//! names are shared pervasively between trees, DTDs, patterns and mappings.
+//! `Name` wraps an `Arc<str>` so that clones are reference-count bumps, with
+//! content-based equality/hashing (and a pointer fast path for equality).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// An interned string used for element-type labels and attribute names.
+#[derive(Clone)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Creates a name from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    /// The underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Name {}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", &*self.0)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name(Arc::from(s))
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+/// Convenience constructor: `name("prof")`.
+pub fn name(s: &str) -> Name {
+    Name::new(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Name::new("prof");
+        let b = Name::new(String::from("prof"));
+        assert_eq!(a, b);
+        assert_ne!(a, Name::new("prog"));
+    }
+
+    #[test]
+    fn clone_is_pointer_shared() {
+        let a = Name::new("course");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hashes_agree_with_str() {
+        let mut set = HashSet::new();
+        set.insert(Name::new("student"));
+        // Borrow<str> lets us look up by &str.
+        assert!(set.contains("student"));
+        assert!(!set.contains("staff"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![Name::new("b"), Name::new("a"), Name::new("c")];
+        v.sort();
+        assert_eq!(v, vec![Name::new("a"), Name::new("b"), Name::new("c")]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let n = Name::new("year");
+        assert_eq!(n.to_string(), "year");
+        assert_eq!(format!("{n:?}"), "\"year\"");
+    }
+}

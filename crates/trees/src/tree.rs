@@ -1,0 +1,493 @@
+//! Unranked ordered data trees.
+//!
+//! An XML document is modelled exactly as in the paper (§2):
+//! `T = ⟨U, ↓, →, lab, (ρ_a)⟩` — an unranked tree domain with child and
+//! next-sibling relations, a labelling function, and per-node attribute
+//! values. Nodes live in an arena owned by the [`Tree`]; a [`NodeId`] is a
+//! cheap index into it.
+
+use crate::name::Name;
+use crate::value::Value;
+use std::fmt;
+
+/// Index of a node within its owning [`Tree`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root node of every tree.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct NodeData {
+    pub(crate) label: Name,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+    /// Attribute name/value pairs, in canonical (DTD) order.
+    pub(crate) attrs: Vec<(Name, Value)>,
+}
+
+/// An unranked ordered tree with attribute values — an XML document.
+///
+/// The root always exists and is node [`NodeId::ROOT`]. Nodes are appended
+/// with [`Tree::add_child`]; the arena never removes nodes (documents in
+/// schema-mapping problems are immutable once constructed, and this keeps
+/// `NodeId`s stable).
+///
+/// ```
+/// use xmlmap_trees::{Tree, Value};
+/// let mut t = Tree::new("r");
+/// let p = t.add_child(Tree::ROOT, "prof", [("name", Value::str("Ada"))]);
+/// let c = t.add_child(p, "course", [("cno", Value::str("cs101"))]);
+/// assert_eq!(t.label(c).as_str(), "course");
+/// assert_eq!(t.parent(c), Some(p));
+/// assert_eq!(t.size(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Tree {
+    nodes: Vec<NodeData>,
+}
+
+impl Tree {
+    /// Alias for [`NodeId::ROOT`], for readability at call sites.
+    pub const ROOT: NodeId = NodeId::ROOT;
+
+    /// Creates a tree consisting of a single root node with no attributes.
+    pub fn new(root_label: impl Into<Name>) -> Self {
+        Tree {
+            nodes: vec![NodeData {
+                label: root_label.into(),
+                parent: None,
+                children: Vec::new(),
+                attrs: Vec::new(),
+            }],
+        }
+    }
+
+    /// Creates a tree whose root carries the given attributes.
+    pub fn with_root_attrs<N, V, I>(root_label: impl Into<Name>, attrs: I) -> Self
+    where
+        N: Into<Name>,
+        V: Into<Value>,
+        I: IntoIterator<Item = (N, V)>,
+    {
+        let mut t = Tree::new(root_label);
+        t.nodes[0].attrs = attrs
+            .into_iter()
+            .map(|(n, v)| (n.into(), v.into()))
+            .collect();
+        t
+    }
+
+    /// Appends a new last child under `parent` and returns its id.
+    pub fn add_child<N, V, I>(&mut self, parent: NodeId, label: impl Into<Name>, attrs: I) -> NodeId
+    where
+        N: Into<Name>,
+        V: Into<Value>,
+        I: IntoIterator<Item = (N, V)>,
+    {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            label: label.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+            attrs: attrs
+                .into_iter()
+                .map(|(n, v)| (n.into(), v.into()))
+                .collect(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Appends a child with no attributes.
+    pub fn add_elem(&mut self, parent: NodeId, label: impl Into<Name>) -> NodeId {
+        self.add_child(parent, label, std::iter::empty::<(Name, Value)>())
+    }
+
+    /// Grafts a whole subtree (a copy of `sub`) as the last child of
+    /// `parent`; returns the id of the copied root.
+    pub fn graft(&mut self, parent: NodeId, sub: &Tree) -> NodeId {
+        self.graft_node(parent, sub, Tree::ROOT)
+    }
+
+    fn graft_node(&mut self, parent: NodeId, sub: &Tree, at: NodeId) -> NodeId {
+        let data = &sub.nodes[at.index()];
+        let copied = self.add_child(parent, data.label.clone(), data.attrs.iter().cloned());
+        for &c in &sub.nodes[at.index()].children {
+            self.graft_node(copied, sub, c);
+        }
+        copied
+    }
+
+    /// Total number of nodes.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The label of a node.
+    pub fn label(&self, n: NodeId) -> &Name {
+        &self.nodes[n.index()].label
+    }
+
+    /// The parent, or `None` for the root.
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].parent
+    }
+
+    /// The children, in document order.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n.index()].children
+    }
+
+    /// Attribute name/value pairs, in canonical order.
+    pub fn attrs(&self, n: NodeId) -> &[(Name, Value)] {
+        &self.nodes[n.index()].attrs
+    }
+
+    /// Just the attribute values (the tuple `ā` of the paper), in order.
+    pub fn attr_values(&self, n: NodeId) -> impl Iterator<Item = &Value> + '_ {
+        self.nodes[n.index()].attrs.iter().map(|(_, v)| v)
+    }
+
+    /// Looks up an attribute value by name (`ρ_a(n)` of the paper).
+    pub fn attr(&self, n: NodeId, attr: &str) -> Option<&Value> {
+        self.nodes[n.index()]
+            .attrs
+            .iter()
+            .find(|(a, _)| a.as_str() == attr)
+            .map(|(_, v)| v)
+    }
+
+    /// Replaces the attributes of `n` (used when normalising to DTD order).
+    pub fn set_attrs<N, V, I>(&mut self, n: NodeId, attrs: I)
+    where
+        N: Into<Name>,
+        V: Into<Value>,
+        I: IntoIterator<Item = (N, V)>,
+    {
+        self.nodes[n.index()].attrs = attrs
+            .into_iter()
+            .map(|(a, v)| (a.into(), v.into()))
+            .collect();
+    }
+
+    /// Overwrites a single attribute value; panics if the attribute is absent.
+    pub fn set_attr(&mut self, n: NodeId, attr: &str, value: impl Into<Value>) {
+        let slot = self.nodes[n.index()]
+            .attrs
+            .iter_mut()
+            .find(|(a, _)| a.as_str() == attr)
+            .unwrap_or_else(|| panic!("node {n:?} has no attribute {attr:?}"));
+        slot.1 = value.into();
+    }
+
+    /// Reorders the children of `n`. The new list must be a permutation of
+    /// the current children (panics otherwise).
+    pub fn set_children(&mut self, n: NodeId, children: Vec<NodeId>) {
+        let current = &self.nodes[n.index()].children;
+        assert_eq!(children.len(), current.len(), "set_children: length mismatch");
+        let mut a = children.clone();
+        let mut b = current.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "set_children: not a permutation of the children");
+        self.nodes[n.index()].children = children;
+    }
+
+    /// The next sibling (`→` of the paper), if any.
+    pub fn next_sibling(&self, n: NodeId) -> Option<NodeId> {
+        let p = self.parent(n)?;
+        let sibs = self.children(p);
+        let pos = sibs.iter().position(|&s| s == n)?;
+        sibs.get(pos + 1).copied()
+    }
+
+    /// The previous sibling, if any.
+    pub fn prev_sibling(&self, n: NodeId) -> Option<NodeId> {
+        let p = self.parent(n)?;
+        let sibs = self.children(p);
+        let pos = sibs.iter().position(|&s| s == n)?;
+        pos.checked_sub(1).map(|i| sibs[i])
+    }
+
+    /// Position of `n` among its siblings (root has position 0).
+    pub fn sibling_index(&self, n: NodeId) -> usize {
+        match self.parent(n) {
+            None => 0,
+            Some(p) => self
+                .children(p)
+                .iter()
+                .position(|&s| s == n)
+                .expect("node is a child of its parent"),
+        }
+    }
+
+    /// All following siblings of `n`, nearest first (`→*`, strict).
+    pub fn following_siblings(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let (parent, pos) = match self.parent(n) {
+            Some(p) => (Some(p), self.sibling_index(n)),
+            None => (None, 0),
+        };
+        parent
+            .into_iter()
+            .flat_map(move |p| self.children(p)[pos + 1..].iter().copied())
+    }
+
+    /// All nodes of the tree in document (pre-)order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        DescendantsIter {
+            tree: self,
+            stack: vec![Tree::ROOT],
+        }
+    }
+
+    /// Proper descendants of `n`, in document order.
+    pub fn descendants(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        // The iterator pops from the end, so push children right-to-left.
+        let stack: Vec<NodeId> = self.children(n).iter().rev().copied().collect();
+        DescendantsIter { tree: self, stack }
+    }
+
+    /// `n` together with its proper descendants, in document order.
+    pub fn descendants_or_self(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        DescendantsIter {
+            tree: self,
+            stack: vec![n],
+        }
+    }
+
+    /// The depth of a node: root is at depth 0.
+    pub fn depth(&self, n: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = n;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Height of the tree: a single-node tree has height 0.
+    pub fn height(&self) -> usize {
+        self.nodes().map(|n| self.depth(n)).max().unwrap_or(0)
+    }
+
+    /// The sequence of labels on the path from the root to `n`, inclusive.
+    pub fn path_labels(&self, n: NodeId) -> Vec<Name> {
+        let mut path = Vec::new();
+        let mut cur = Some(n);
+        while let Some(c) = cur {
+            path.push(self.label(c).clone());
+            cur = self.parent(c);
+        }
+        path.reverse();
+        path
+    }
+
+    /// All constant data values occurring in the tree (with duplicates).
+    pub fn data_values(&self) -> impl Iterator<Item = &Value> + '_ {
+        self.nodes
+            .iter()
+            .flat_map(|d| d.attrs.iter().map(|(_, v)| v))
+    }
+
+    /// Extracts the subtree rooted at `n` as a standalone tree.
+    pub fn subtree(&self, n: NodeId) -> Tree {
+        let data = &self.nodes[n.index()];
+        let mut t = Tree::with_root_attrs(data.label.clone(), data.attrs.iter().cloned());
+        for &c in &data.children {
+            t.graft_node(Tree::ROOT, self, c);
+        }
+        t
+    }
+}
+
+struct DescendantsIter<'a> {
+    tree: &'a Tree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for DescendantsIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.stack.pop()?;
+        // Push children in reverse so the leftmost is popped first.
+        for &c in self.tree.children(n).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(n)
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(t: &Tree, n: NodeId, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+            write!(f, "{:indent$}{}", "", t.label(n), indent = depth * 2)?;
+            if !t.attrs(n).is_empty() {
+                write!(f, "(")?;
+                for (i, (a, v)) in t.attrs(n).iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}={v:?}")?;
+                }
+                write!(f, ")")?;
+            }
+            writeln!(f)?;
+            for &c in t.children(n) {
+                go(t, c, f, depth + 1)?;
+            }
+            Ok(())
+        }
+        go(self, Tree::ROOT, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the university document from the paper's introduction:
+    /// r[prof(Ada)[teach[year(2008)[course(cs1), course(cs2)]],
+    ///             supervise[student(Sue)]]]
+    fn intro_tree() -> (Tree, Vec<NodeId>) {
+        let mut t = Tree::new("r");
+        let prof = t.add_child(Tree::ROOT, "prof", [("name", Value::str("Ada"))]);
+        let teach = t.add_elem(prof, "teach");
+        let year = t.add_child(teach, "year", [("y", Value::str("2008"))]);
+        let c1 = t.add_child(year, "course", [("cno", Value::str("cs1"))]);
+        let c2 = t.add_child(year, "course", [("cno", Value::str("cs2"))]);
+        let sup = t.add_elem(prof, "supervise");
+        let stu = t.add_child(sup, "student", [("sid", Value::str("Sue"))]);
+        (t, vec![prof, teach, year, c1, c2, sup, stu])
+    }
+
+    #[test]
+    fn navigation_axes() {
+        let (t, ids) = intro_tree();
+        let [prof, teach, year, c1, c2, sup, stu] = ids[..] else {
+            unreachable!()
+        };
+        assert_eq!(t.parent(prof), Some(Tree::ROOT));
+        assert_eq!(t.children(prof), &[teach, sup]);
+        assert_eq!(t.next_sibling(c1), Some(c2));
+        assert_eq!(t.next_sibling(c2), None);
+        assert_eq!(t.prev_sibling(c2), Some(c1));
+        assert_eq!(t.prev_sibling(c1), None);
+        assert_eq!(t.next_sibling(Tree::ROOT), None);
+        assert_eq!(t.following_siblings(teach).collect::<Vec<_>>(), vec![sup]);
+        assert_eq!(t.depth(stu), 3);
+        assert_eq!(t.depth(Tree::ROOT), 0);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.sibling_index(c2), 1);
+        assert_eq!(t.label(year).as_str(), "year");
+    }
+
+    #[test]
+    fn document_order_traversal() {
+        let (t, _) = intro_tree();
+        let labels: Vec<&str> = t.nodes().map(|n| t.label(n).as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "r",
+                "prof",
+                "teach",
+                "year",
+                "course",
+                "course",
+                "supervise",
+                "student"
+            ]
+        );
+        let descs: Vec<&str> = t
+            .descendants(t.children(Tree::ROOT)[0])
+            .map(|n| t.label(n).as_str())
+            .collect();
+        assert_eq!(
+            descs,
+            ["teach", "year", "course", "course", "supervise", "student"]
+        );
+    }
+
+    #[test]
+    fn attributes() {
+        let (t, ids) = intro_tree();
+        let prof = ids[0];
+        assert_eq!(t.attr(prof, "name"), Some(&Value::str("Ada")));
+        assert_eq!(t.attr(prof, "missing"), None);
+        assert_eq!(
+            t.attr_values(prof).cloned().collect::<Vec<_>>(),
+            vec![Value::str("Ada")]
+        );
+    }
+
+    #[test]
+    fn set_attr_overwrites() {
+        let (mut t, ids) = intro_tree();
+        t.set_attr(ids[0], "name", "Grace");
+        assert_eq!(t.attr(ids[0], "name"), Some(&Value::str("Grace")));
+    }
+
+    #[test]
+    #[should_panic(expected = "no attribute")]
+    fn set_missing_attr_panics() {
+        let (mut t, ids) = intro_tree();
+        t.set_attr(ids[0], "nope", "x");
+    }
+
+    #[test]
+    fn subtree_and_graft_round_trip() {
+        let (t, ids) = intro_tree();
+        let sub = t.subtree(ids[0]); // the prof subtree
+        assert_eq!(sub.size(), 7);
+        assert_eq!(sub.label(Tree::ROOT).as_str(), "prof");
+
+        let mut host = Tree::new("r");
+        let copied = host.graft(Tree::ROOT, &sub);
+        assert_eq!(host.subtree(copied), sub);
+    }
+
+    #[test]
+    fn path_labels_from_root() {
+        let (t, ids) = intro_tree();
+        let stu = ids[6];
+        let path: Vec<String> = t
+            .path_labels(stu)
+            .iter()
+            .map(|n| n.as_str().to_string())
+            .collect();
+        assert_eq!(path, ["r", "prof", "supervise", "student"]);
+    }
+
+    #[test]
+    fn structural_equality() {
+        let (a, _) = intro_tree();
+        let (b, _) = intro_tree();
+        assert_eq!(a, b);
+        let (mut c, ids) = intro_tree();
+        c.set_attr(ids[6], "sid", "Bob");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn data_values_enumeration() {
+        let (t, _) = intro_tree();
+        let vals: Vec<String> = t.data_values().map(|v| v.to_string()).collect();
+        assert_eq!(vals, ["Ada", "2008", "cs1", "cs2", "Sue"]);
+    }
+}

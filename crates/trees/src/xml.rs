@@ -1,0 +1,344 @@
+//! A small XML reader/writer for the element+attribute fragment.
+//!
+//! Documents in schema-mapping problems consist of elements with attributes
+//! only — no mixed content, processing instructions, namespaces or entities
+//! beyond the five predefined ones. This module parses and prints exactly
+//! that fragment, so examples can work with ordinary-looking XML without an
+//! external dependency.
+
+use crate::tree::{NodeId, Tree};
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Errors raised while parsing XML input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), XmlError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", b as char))
+        }
+    }
+
+    fn skip_prolog_and_comments(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with(b"<?") {
+                match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
+                    Some(i) => self.pos += i + 2,
+                    None => return self.err("unterminated processing instruction"),
+                }
+            } else if self.input[self.pos..].starts_with(b"<!--") {
+                match self.input[self.pos..].windows(3).position(|w| w == b"-->") {
+                    Some(i) => self.pos += i + 3,
+                    None => return self.err("unterminated comment"),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn quoted_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected a quoted attribute value"),
+        };
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated attribute value"),
+                Some(q) if q == quote => break,
+                Some(b'&') => out.push(self.entity()?),
+                Some(b) => out.push(b as char),
+            }
+        }
+        Ok(out)
+    }
+
+    fn entity(&mut self) -> Result<char, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                let name = &self.input[start..self.pos];
+                self.pos += 1;
+                return match name {
+                    b"lt" => Ok('<'),
+                    b"gt" => Ok('>'),
+                    b"amp" => Ok('&'),
+                    b"quot" => Ok('"'),
+                    b"apos" => Ok('\''),
+                    _ => self.err("unknown entity"),
+                };
+            }
+            self.pos += 1;
+        }
+        self.err("unterminated entity")
+    }
+
+    /// Parses one element; appends under `parent` (or creates the tree when
+    /// `parent` is `None`).
+    fn element(&mut self, tree: &mut Option<Tree>, parent: Option<NodeId>) -> Result<(), XmlError> {
+        self.eat(b'<')?;
+        let label = self.name()?;
+        let mut attrs: Vec<(String, Value)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') | Some(b'>') => break,
+                Some(_) => {
+                    let attr = self.name()?;
+                    self.skip_ws();
+                    self.eat(b'=')?;
+                    self.skip_ws();
+                    let value = self.quoted_value()?;
+                    if attrs.iter().any(|(a, _)| *a == attr) {
+                        return self.err(format!("duplicate attribute {attr:?}"));
+                    }
+                    attrs.push((attr, Value::from(value)));
+                }
+                None => return self.err("unterminated start tag"),
+            }
+        }
+
+        let node = match (tree.as_mut(), parent) {
+            (None, _) => {
+                *tree = Some(Tree::with_root_attrs(label.as_str(), attrs));
+                Tree::ROOT
+            }
+            (Some(t), Some(p)) => t.add_child(p, label.as_str(), attrs),
+            (Some(_), None) => return self.err("multiple root elements"),
+        };
+
+        if self.peek() == Some(b'/') {
+            self.pos += 1;
+            self.eat(b'>')?;
+            return Ok(());
+        }
+        self.eat(b'>')?;
+
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with(b"<!--") {
+                self.skip_prolog_and_comments()?;
+                continue;
+            }
+            if self.input[self.pos..].starts_with(b"</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != label {
+                    return self.err(format!("mismatched close tag: expected </{label}>"));
+                }
+                self.skip_ws();
+                self.eat(b'>')?;
+                return Ok(());
+            }
+            if self.peek() == Some(b'<') {
+                self.element(tree, Some(node))?;
+            } else if self.peek().is_none() {
+                return self.err(format!("missing close tag </{label}>"));
+            } else {
+                return self.err("text content is not supported in this fragment");
+            }
+        }
+    }
+}
+
+/// Parses an XML document (element+attribute fragment) into a [`Tree`].
+pub fn parse(input: &str) -> Result<Tree, XmlError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_prolog_and_comments()?;
+    let mut tree = None;
+    p.element(&mut tree, None)?;
+    p.skip_prolog_and_comments()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return p.err("trailing content after the root element");
+    }
+    Ok(tree.expect("root element parsed"))
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Serialises a [`Tree`] as indented XML.
+pub fn to_string(tree: &Tree) -> String {
+    let mut out = String::new();
+    fn node(tree: &Tree, n: NodeId, out: &mut String, depth: usize) {
+        let _ = write!(out, "{:indent$}<{}", "", tree.label(n), indent = depth * 2);
+        for (a, v) in tree.attrs(n) {
+            let _ = write!(out, " {a}=\"");
+            escape(&v.to_string(), out);
+            out.push('"');
+        }
+        if tree.children(n).is_empty() {
+            out.push_str("/>\n");
+        } else {
+            out.push_str(">\n");
+            for &c in tree.children(n) {
+                node(tree, c, out, depth + 1);
+            }
+            let _ = writeln!(out, "{:indent$}</{}>", "", tree.label(n), indent = depth * 2);
+        }
+    }
+    node(tree, Tree::ROOT, &mut out, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"<?xml version="1.0"?>
+<!-- the running example of the paper -->
+<r>
+  <prof name="Ada">
+    <teach>
+      <year y="2008">
+        <course cno="cs1"/>
+        <course cno="cs2"/>
+      </year>
+    </teach>
+    <supervise>
+      <student sid="Sue"/>
+    </supervise>
+  </prof>
+</r>"#;
+
+    #[test]
+    fn parse_round_trip() {
+        let t = parse(DOC).unwrap();
+        assert_eq!(t.size(), 8);
+        let printed = to_string(&t);
+        let t2 = parse(&printed).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn parses_attributes_in_order() {
+        let t = parse(r#"<c cno="cs1" year="2008"/>"#).unwrap();
+        let names: Vec<&str> = t.attrs(Tree::ROOT).iter().map(|(a, _)| a.as_str()).collect();
+        assert_eq!(names, ["cno", "year"]);
+    }
+
+    #[test]
+    fn entities_round_trip() {
+        let t = parse(r#"<a v="x &lt; y &amp; &quot;z&quot;"/>"#).unwrap();
+        assert_eq!(t.attr(Tree::ROOT, "v"), Some(&Value::str("x < y & \"z\"")));
+        let t2 = parse(&to_string(&t)).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn single_quotes_accepted() {
+        let t = parse("<a v='hi'/>").unwrap();
+        assert_eq!(t.attr(Tree::ROOT, "v"), Some(&Value::str("hi")));
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let e = parse("<a><b></a></a>").unwrap_err();
+        assert!(e.message.contains("mismatched"), "{e}");
+    }
+
+    #[test]
+    fn rejects_text_content() {
+        assert!(parse("<a>hello</a>").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        assert!(parse(r#"<a x="1" x="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a/>junk").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated() {
+        assert!(parse("<a").is_err());
+        assert!(parse("<a>").is_err());
+        assert!(parse(r#"<a v="x"#).is_err());
+    }
+
+    #[test]
+    fn comments_between_children() {
+        let t = parse("<a><!-- c --><b/><!-- d --></a>").unwrap();
+        assert_eq!(t.size(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! `xmlmap` — command-line front end for the schema-mapping toolkit.
+//!
+//! ```text
+//! xmlmap validate  <dtd-file> <xml-file>         check T ⊨ D
+//! xmlmap match     <pattern> <xml-file>          evaluate π(T)
+//! xmlmap check     <mapping-file> <src> <tgt>    (T,T') ∈ ⟦M⟧ ?
+//! xmlmap chase     <mapping-file> <src>          print a canonical solution
+//! xmlmap certain   <mapping-file> <src> <query>  certain answers
+//! xmlmap consistent <mapping-file>               CONS(σ)
+//! xmlmap abscons   <mapping-file>                ABSCONS(σ)
+//! xmlmap compose   <mapping-file> <mapping-file> syntactic composition
+//! xmlmap subschema <dtd-file> <dtd-file>         every D1 doc conforms to D2?
+//! ```
+//!
+//! Mapping files use the `[source]`/`[target]`/`[stds]` format of
+//! `Mapping::parse`; exit status is 0 for "yes" answers, 1 for "no",
+//! 2 for usage or input errors.
+
+use std::process::ExitCode;
+use xmlmap::prelude::*;
+
+const BUDGET: usize = 50_000_000;
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_tree(path: &str) -> Result<Tree, String> {
+    xmlmap::trees::xml::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_mapping(path: &str) -> Result<Mapping, String> {
+    Mapping::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
+        ["validate", dtd_path, xml_path] => {
+            let dtd = xmlmap::dtd::parse(&read(dtd_path)?).map_err(|e| e.to_string())?;
+            let mut tree = load_tree(xml_path)?;
+            let _ = dtd.normalize_attrs(&mut tree); // tolerate attribute order
+            match dtd.check(&tree) {
+                Ok(()) => {
+                    println!("valid: {} nodes conform", tree.size());
+                    Ok(true)
+                }
+                Err(e) => {
+                    println!("invalid: {e}");
+                    Ok(false)
+                }
+            }
+        }
+        ["match", pattern_text, xml_path] => {
+            let pattern = xmlmap::patterns::parse(pattern_text).map_err(|e| e.to_string())?;
+            let tree = load_tree(xml_path)?;
+            let matches = xmlmap::patterns::all_matches(&tree, &pattern);
+            for m in &matches {
+                let row: Vec<String> = m.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                println!("{}", row.join(", "));
+            }
+            println!("-- {} match(es)", matches.len());
+            Ok(!matches.is_empty())
+        }
+        ["check", mapping_path, src_path, tgt_path] => {
+            let m = load_mapping(mapping_path)?;
+            let mut src = load_tree(src_path)?;
+            let mut tgt = load_tree(tgt_path)?;
+            let _ = m.source_dtd.normalize_attrs(&mut src);
+            let _ = m.target_dtd.normalize_attrs(&mut tgt);
+            let ok = m.is_solution(&src, &tgt);
+            println!("{}", if ok { "solution" } else { "NOT a solution" });
+            Ok(ok)
+        }
+        ["chase", mapping_path, src_path] => {
+            let m = load_mapping(mapping_path)?;
+            let mut src = load_tree(src_path)?;
+            let _ = m.source_dtd.normalize_attrs(&mut src);
+            match canonical_solution(&m, &src) {
+                Ok(solution) => {
+                    let reduced = xmlmap::core::reduce_solution(&m, &solution);
+                    print!("{}", xmlmap::trees::xml::to_string(&reduced));
+                    Ok(true)
+                }
+                Err(e) => {
+                    eprintln!("no solution: {e}");
+                    Ok(false)
+                }
+            }
+        }
+        ["certain", mapping_path, src_path, query_text] => {
+            let m = load_mapping(mapping_path)?;
+            let mut src = load_tree(src_path)?;
+            let _ = m.source_dtd.normalize_attrs(&mut src);
+            let query = xmlmap::patterns::parse(query_text).map_err(|e| e.to_string())?;
+            let answers =
+                xmlmap::core::certain_answers(&m, &src, &query).map_err(|e| e.to_string())?;
+            for a in &answers {
+                let row: Vec<String> = a.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                println!("{}", row.join(", "));
+            }
+            println!("-- {} certain answer(s)", answers.len());
+            Ok(!answers.is_empty())
+        }
+        ["consistent", mapping_path] => {
+            let m = load_mapping(mapping_path)?;
+            println!("class: {}", m.signature());
+            match consistent(&m, BUDGET) {
+                Ok(ConsAnswer::Consistent { source, .. }) => {
+                    println!("consistent (witness source has {} nodes)", source.size());
+                    Ok(true)
+                }
+                Ok(ConsAnswer::Inconsistent) => {
+                    println!("INCONSISTENT");
+                    Ok(false)
+                }
+                Err(e) => {
+                    println!("exact procedure not applicable: {e}");
+                    match xmlmap::core::bounded::consistent_bounded(&m, 3, 4) {
+                        xmlmap::core::BoundedOutcome::Witness(w) => {
+                            println!("consistent (bounded witness, {} nodes)", w.size());
+                            Ok(true)
+                        }
+                        xmlmap::core::BoundedOutcome::ExhaustedBounds => {
+                            println!("unknown: no witness up to the search bounds");
+                            Ok(false)
+                        }
+                    }
+                }
+            }
+        }
+        ["abscons", mapping_path] => {
+            let m = load_mapping(mapping_path)?;
+            println!("class: {}", m.signature());
+            if let Some(ans) = abscons_nr_ptime(&m) {
+                match ans {
+                    AbsConsAnswer::AbsolutelyConsistent => {
+                        println!("absolutely consistent (Thm 6.3 fragment)");
+                        Ok(true)
+                    }
+                    AbsConsAnswer::Violated { reason, .. } => {
+                        println!("NOT absolutely consistent: {reason}");
+                        Ok(false)
+                    }
+                }
+            } else if let Ok(Ok(ans)) = abscons_structural(&m, BUDGET) {
+                match ans {
+                    AbsConsAnswer::AbsolutelyConsistent => {
+                        println!("absolutely consistent (SM° structural, Prop 6.1)");
+                        Ok(true)
+                    }
+                    AbsConsAnswer::Violated { reason, .. } => {
+                        println!("NOT absolutely consistent: {reason}");
+                        Ok(false)
+                    }
+                }
+            } else {
+                match xmlmap::core::bounded::abscons_violation_bounded(&m, 3, 4) {
+                    xmlmap::core::BoundedOutcome::Witness(w) => {
+                        println!(
+                            "NOT absolutely consistent: {}-node source has no solution",
+                            w.size()
+                        );
+                        Ok(false)
+                    }
+                    xmlmap::core::BoundedOutcome::ExhaustedBounds => {
+                        println!("holds up to the search bounds (general problem: Thm 6.2)");
+                        Ok(true)
+                    }
+                }
+            }
+        }
+        ["subschema", d1_path, d2_path] => {
+            let d1 = xmlmap::dtd::parse(&read(d1_path)?).map_err(|e| e.to_string())?;
+            let d2 = xmlmap::dtd::parse(&read(d2_path)?).map_err(|e| e.to_string())?;
+            match xmlmap::automata::subschema(&d1, &d2, BUDGET).map_err(|e| e.to_string())? {
+                None => {
+                    println!("subschema: every {d1_path} document conforms to {d2_path}");
+                    Ok(true)
+                }
+                Some(xmlmap::automata::SubschemaViolation::Document(t)) => {
+                    println!("NOT a subschema; counterexample document:");
+                    print!("{}", xmlmap::trees::xml::to_string(&t));
+                    Ok(false)
+                }
+                Some(xmlmap::automata::SubschemaViolation::AttributeMismatch {
+                    label,
+                    left,
+                    right,
+                }) => {
+                    println!(
+                        "NOT a subschema: element {label} has attributes {left:?} vs {right:?}"
+                    );
+                    Ok(false)
+                }
+            }
+        }
+        ["compose", m12_path, m23_path] => {
+            let m12 = load_mapping(m12_path)?;
+            let m23 = load_mapping(m23_path)?;
+            let s12 = SkolemMapping::from_mapping(&m12)?;
+            let s23 = SkolemMapping::from_mapping(&m23)?;
+            let s13 = compose(&s12, &s23).map_err(|e| e.to_string())?;
+            println!("# composed mapping ({} stds)", s13.stds.len());
+            for s in &s13.stds {
+                println!("{s}");
+            }
+            Ok(true)
+        }
+        _ => Err("usage: xmlmap <validate|match|check|chase|certain|consistent|abscons|compose|subschema> …\n\
+                  see `xmlmap` module docs for argument lists"
+            .to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! End-to-end tests of the `xmlmap` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+struct Fixture {
+    dir: std::path::PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("xmlmap-cli-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Fixture { dir }
+    }
+
+    fn file(&self, name: &str, contents: &str) -> String {
+        let path = self.dir.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(contents.as_bytes()).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn xmlmap(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xmlmap"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const COPY_MAP: &str = "
+[source]
+root r
+r -> a*
+a @ v
+[target]
+root r
+r -> b*
+b @ w
+[stds]
+r/a(x) --> r/b(x)
+";
+
+#[test]
+fn validate_accepts_and_rejects() {
+    let fx = Fixture::new("validate");
+    let dtd = fx.file("d.dtd", "root r\nr -> a*\na @ v");
+    let good = fx.file("good.xml", r#"<r><a v="1"/></r>"#);
+    let bad = fx.file("bad.xml", r#"<r><z/></r>"#);
+
+    let (code, stdout, _) = xmlmap(&["validate", &dtd, &good]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("valid"));
+
+    let (code, stdout, _) = xmlmap(&["validate", &dtd, &bad]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("invalid"));
+}
+
+#[test]
+fn match_prints_valuations() {
+    let fx = Fixture::new("match");
+    let doc = fx.file("doc.xml", r#"<r><a v="1"/><a v="2"/></r>"#);
+    let (code, stdout, _) = xmlmap(&["match", "r/a(x)", &doc]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("x=1"));
+    assert!(stdout.contains("x=2"));
+    assert!(stdout.contains("2 match(es)"));
+
+    let (code, stdout, _) = xmlmap(&["match", "r/zz(x)", &doc]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("0 match(es)"));
+}
+
+#[test]
+fn check_chase_and_certain() {
+    let fx = Fixture::new("chase");
+    let map = fx.file("copy.map", COPY_MAP);
+    let src = fx.file("src.xml", r#"<r><a v="1"/><a v="2"/></r>"#);
+    let good = fx.file("good.xml", r#"<r><b w="1"/><b w="2"/></r>"#);
+    let bad = fx.file("bad.xml", r#"<r><b w="1"/></r>"#);
+
+    let (code, _, _) = xmlmap(&["check", &map, &src, &good]);
+    assert_eq!(code, 0);
+    let (code, _, _) = xmlmap(&["check", &map, &src, &bad]);
+    assert_eq!(code, 1);
+
+    let (code, stdout, _) = xmlmap(&["chase", &map, &src]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains(r#"<b w="1"/>"#), "{stdout}");
+    assert!(stdout.contains(r#"<b w="2"/>"#));
+
+    let (code, stdout, _) = xmlmap(&["certain", &map, &src, "r/b(x)"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("2 certain answer(s)"));
+}
+
+#[test]
+fn consistent_and_abscons() {
+    let fx = Fixture::new("cons");
+    let map = fx.file("copy.map", COPY_MAP);
+    let (code, stdout, _) = xmlmap(&["consistent", &map]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("consistent"));
+
+    let (code, stdout, _) = xmlmap(&["abscons", &map]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("absolutely consistent"));
+
+    // The §6 counterexample through the CLI.
+    let narrow = fx.file(
+        "narrow.map",
+        "
+[source]
+root r
+r -> a*
+a @ v
+[target]
+root r
+r -> a
+a @ v
+[stds]
+r/a(x) --> r/a(x)
+",
+    );
+    let (code, stdout, _) = xmlmap(&["abscons", &narrow]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("NOT absolutely consistent"), "{stdout}");
+    // …but still consistent.
+    let (code, _, _) = xmlmap(&["consistent", &narrow]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn compose_prints_stds() {
+    let fx = Fixture::new("compose");
+    let m12 = fx.file(
+        "m12.map",
+        "
+[source]
+root r
+r -> a*
+a @ v
+[target]
+root m
+m -> b*
+b @ w
+[stds]
+r/a(x) --> m/b(x)
+",
+    );
+    let m23 = fx.file(
+        "m23.map",
+        "
+[source]
+root m
+m -> b*
+b @ w
+[target]
+root w
+w -> c*
+c @ u
+[stds]
+m/b(x) --> w/c(x)
+",
+    );
+    let (code, stdout, _) = xmlmap(&["compose", &m12, &m23]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("1 stds"), "{stdout}");
+    assert!(stdout.contains("-->"), "{stdout}");
+}
+
+#[test]
+fn usage_errors() {
+    let (code, _, stderr) = xmlmap(&["bogus"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage"));
+
+    let (code, _, stderr) = xmlmap(&["validate", "/nonexistent.dtd", "/nonexistent.xml"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("cannot read"));
+}

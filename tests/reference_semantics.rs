@@ -1,0 +1,207 @@
+//! Differential testing of the pattern evaluator.
+//!
+//! `xmlmap_patterns::eval` uses a callback-driven backtracking visitor.
+//! This file implements the §3 semantics a *second* time, directly as
+//! set-valued denotational clauses (each construct returns its full set of
+//! valuations; conjunction is a relational join), and property-checks the
+//! two implementations against each other on random documents and
+//! patterns. Any divergence flags a semantics bug in one of them.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use xmlmap::gen::TreeGenConfig;
+use xmlmap::patterns::{ListItem, Pattern, SeqOp, Valuation, Var};
+use xmlmap::trees::{NodeId, Tree};
+
+/// Join two valuation sets: pairs that agree on shared variables.
+fn join(xs: &BTreeSet<Valuation>, ys: &BTreeSet<Valuation>) -> BTreeSet<Valuation> {
+    let mut out = BTreeSet::new();
+    for x in xs {
+        'next: for y in ys {
+            let mut merged = x.clone();
+            for (k, v) in y {
+                match merged.get(k) {
+                    Some(existing) if existing != v => continue 'next,
+                    _ => {
+                        merged.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            out.insert(merged);
+        }
+    }
+    out
+}
+
+/// Denotation of a pattern at a node: all witnessing valuations.
+fn sem(tree: &Tree, node: NodeId, p: &Pattern) -> BTreeSet<Valuation> {
+    // Label and arity clauses.
+    if !p.label.accepts(tree.label(node)) {
+        return BTreeSet::new();
+    }
+    let attrs: Vec<_> = tree.attr_values(node).collect();
+    if !p.vars.is_empty() && attrs.len() != p.vars.len() {
+        return BTreeSet::new();
+    }
+    let mut base = Valuation::new();
+    for (var, value) in p.vars.iter().zip(&attrs) {
+        match base.get(var) {
+            Some(existing) if existing != *value => return BTreeSet::new(),
+            _ => {
+                base.insert(var.clone(), (*value).clone());
+            }
+        }
+    }
+    let mut acc = BTreeSet::from([base]);
+    for item in &p.list {
+        let item_set = sem_item(tree, node, item);
+        acc = join(&acc, &item_set);
+        if acc.is_empty() {
+            return acc;
+        }
+    }
+    acc
+}
+
+fn sem_item(tree: &Tree, node: NodeId, item: &ListItem) -> BTreeSet<Valuation> {
+    match item {
+        ListItem::Descendant(sub) => {
+            let mut out = BTreeSet::new();
+            for d in tree.descendants(node) {
+                out.extend(sem(tree, d, sub));
+            }
+            out
+        }
+        ListItem::Seq { members, ops } => {
+            let children = tree.children(node);
+            let mut out = BTreeSet::new();
+            for start in 0..children.len() {
+                out.extend(sem_seq(tree, children, start, members, ops, 0));
+            }
+            out
+        }
+    }
+}
+
+/// `members[m..]` with `members[m]` anchored at `children[i]`.
+fn sem_seq(
+    tree: &Tree,
+    children: &[NodeId],
+    i: usize,
+    members: &[Pattern],
+    ops: &[SeqOp],
+    m: usize,
+) -> BTreeSet<Valuation> {
+    let head = sem(tree, children[i], &members[m]);
+    if m + 1 == members.len() || head.is_empty() {
+        return head;
+    }
+    let mut rest = BTreeSet::new();
+    match ops[m] {
+        SeqOp::Next => {
+            if i + 1 < children.len() {
+                rest = sem_seq(tree, children, i + 1, members, ops, m + 1);
+            }
+        }
+        SeqOp::Following => {
+            for j in i + 1..children.len() {
+                rest.extend(sem_seq(tree, children, j, members, ops, m + 1));
+            }
+        }
+    }
+    join(&head, &rest)
+}
+
+// ── random inputs ───────────────────────────────────────────────────────
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    let leaf = prop_oneof![
+        Just(Pattern::leaf("a", Vec::<Var>::new())),
+        Just(Pattern::leaf("b", Vec::<Var>::new())),
+        Just(Pattern::leaf("c", ["x"])),
+        Just(Pattern::leaf("c", ["y"])),
+        Just(Pattern::leaf("d", ["x", "y"])),
+        Just(Pattern::wildcard(Vec::<Var>::new())),
+        Just(Pattern::wildcard(["z"])),
+    ];
+    let sub = leaf.prop_recursive(3, 10, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| p.child(q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| p.descendant(q)),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(p, q, s, nx)| {
+                    p.seq(
+                        vec![q, s],
+                        vec![if nx { SeqOp::Next } else { SeqOp::Following }],
+                    )
+                }
+            ),
+        ]
+    });
+    sub.prop_map(|body| Pattern::leaf("r", Vec::<Var>::new()).child(body))
+}
+
+fn random_document(seed: u64) -> Tree {
+    let dtd = xmlmap::dtd::parse(
+        "root r
+         r -> (a|b|c|d)*
+         a -> (a|c)*
+         b -> (b|d)*
+         c @ v
+         d @ v, w",
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    xmlmap::gen::random_tree(
+        &dtd,
+        &TreeGenConfig {
+            continue_probability: 0.55,
+            value_pool: 2,
+            max_nodes: 14,
+        },
+        &mut rng,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The production evaluator and the denotational reference agree on
+    /// the full valuation set π(T).
+    #[test]
+    fn evaluator_matches_denotational_reference(p in arb_pattern(), seed in any::<u64>()) {
+        let t = random_document(seed);
+        let fast: BTreeSet<Valuation> =
+            xmlmap::patterns::all_matches(&t, &p).into_iter().collect();
+        let reference = sem(&t, Tree::ROOT, &p);
+        prop_assert_eq!(
+            &fast, &reference,
+            "evaluators disagree on {} over\n{:?}", p, t
+        );
+        // Boolean and seeded variants agree too.
+        prop_assert_eq!(xmlmap::patterns::matches(&t, &p), !reference.is_empty());
+        if let Some(witness) = reference.iter().next() {
+            prop_assert!(xmlmap::patterns::matches_with(&t, &p, witness));
+        }
+    }
+
+    /// Matching under a partial valuation equals filtering the full set.
+    #[test]
+    fn seeded_matching_is_filtering(p in arb_pattern(), seed in any::<u64>()) {
+        let t = random_document(seed);
+        let all = sem(&t, Tree::ROOT, &p);
+        // Seed x to the first document value (if x is used at all).
+        let seed_val: Valuation =
+            [(Var::new("x"), xmlmap::trees::Value::str("v0"))].into_iter().collect();
+        let expected = all.iter().any(|v| {
+            v.get(&Var::new("x")).is_none_or(|x| x == &xmlmap::trees::Value::str("v0"))
+        });
+        prop_assert_eq!(
+            xmlmap::patterns::matches_with(&t, &p, &seed_val),
+            expected,
+            "seeded matching disagrees on {} over\n{:?}", p, t
+        );
+    }
+}
