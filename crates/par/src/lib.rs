@@ -1,0 +1,120 @@
+//! Minimal data-parallel helpers built on `std::thread::scope`.
+//!
+//! The build environment cannot fetch rayon, so the fan-out points in the
+//! workspace (per-STD chase firings, per-candidate certain answers, per-case
+//! benchmarks) use these instead. The API is deliberately tiny: an indexed
+//! parallel map that preserves input order, and a `for_each` built on it.
+//!
+//! Work is distributed by an atomic cursor, so uneven item costs balance
+//! across workers. Closures must be `Sync` (shared by reference) and results
+//! `Send`. For tiny inputs (or on single-CPU hosts) everything runs inline on
+//! the calling thread, keeping overhead at one atomic load.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use: the available parallelism, capped so
+/// micro-workloads don't pay for dozens of idle threads.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Applies `f` to every item, in parallel, returning outputs in input order.
+///
+/// Equivalent to `items.iter().map(f).collect()` but fanned out over scoped
+/// threads. Panics in `f` propagate to the caller.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = worker_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<U>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|cell| cell.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Applies `f` to every item in parallel, discarding outputs.
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    par_map(items, |item| f(item));
+}
+
+/// Parallel map over indices `0..n` — handy when the items themselves are
+/// produced by indexing into several slices.
+pub fn par_map_indices<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(&indices, |&i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(&[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map(&items, |&i| {
+            // Make cost vary by item so the cursor distribution matters.
+            (0..(i * 1000)).fold(0u64, |a, b| a.wrapping_add(b as u64))
+        });
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..257).collect();
+        par_for_each(&items, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn indices_map() {
+        assert_eq!(par_map_indices(5, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+}

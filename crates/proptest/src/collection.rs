@@ -1,0 +1,65 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::{BoxedStrategy, Strategy};
+use rand::Rng as _;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// A vector of `range`-many elements drawn from `element`.
+pub fn vec<S>(element: S, range: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+{
+    assert!(range.start < range.end, "empty size range");
+    BoxedStrategy::new(move |rng| {
+        let n = rng.gen_range(range.clone());
+        (0..n).map(|_| element.sample(rng)).collect()
+    })
+}
+
+/// A map of at most `range.end - 1` entries (duplicate keys collapse, as
+/// upstream's post-dedup sizes also may fall short of the draw).
+pub fn btree_map<K, V>(
+    keys: K,
+    values: V,
+    range: Range<usize>,
+) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+where
+    K: Strategy + 'static,
+    V: Strategy + 'static,
+    K::Value: Ord,
+{
+    assert!(range.start < range.end, "empty size range");
+    BoxedStrategy::new(move |rng| {
+        let n = rng.gen_range(range.clone());
+        (0..n)
+            .map(|_| (keys.sample(rng), values.sample(rng)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let s = vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn map_respects_bound() {
+        let s = btree_map(any::<u8>(), any::<u8>(), 0..4);
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..100 {
+            assert!(s.sample(&mut rng).len() < 4);
+        }
+    }
+}

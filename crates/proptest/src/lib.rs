@@ -1,0 +1,175 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this small deterministic replacement implementing the parts of the
+//! proptest API the repo uses: the [`Strategy`] trait with `prop_map` /
+//! `prop_recursive` / `boxed`, [`Just`], tuple and string-regex strategies,
+//! `any::<T>()`, `collection::{vec, btree_map}`, and the `proptest!`,
+//! `prop_oneof!`, `prop_compose!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (failing cases report their seed
+//! so they can be replayed by fixing `PROPTEST_SEED`), and generation is
+//! driven by the in-repo `rand` shim. Case counts and the rejection
+//! semantics of `prop_assume!` match upstream closely enough for the
+//! repo's suites.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The conventional glob-import module.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest};
+}
+
+/// One-of strategy choice. Upstream supports `weight => strategy` arms; this
+/// subset picks uniformly among unweighted arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts inside a proptest case; failure aborts the case (not the whole
+/// process) with the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discards the current case (it does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item becomes a test running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __test_name = concat!(module_path!(), "::", stringify!($name));
+            let __base = $crate::test_runner::base_seed(__test_name);
+            let mut __accepted: u32 = 0;
+            let mut __attempt: u64 = 0;
+            while __accepted < __config.cases {
+                __attempt += 1;
+                if __attempt > (__config.cases as u64) * 32 + 64 {
+                    panic!(
+                        "{__test_name}: too many cases rejected by prop_assume! \
+                         ({__accepted}/{} accepted after {__attempt} attempts)",
+                        __config.cases
+                    );
+                }
+                let __case_seed = __base ^ __attempt.wrapping_mul(0x9e3779b97f4a7c15);
+                let mut __rng = $crate::test_runner::TestRng::from_seed(__case_seed);
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "{__test_name}: case failed (replay with \
+                             PROPTEST_SEED={__base} attempt {__attempt}):\n{msg}"
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Declares a function returning a composed strategy:
+/// `fn name()(binding in strategy, ...) -> Type { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($outer:tt)*)
+        ($($arg:ident in $strat:expr),+ $(,)?)
+        -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> $crate::strategy::BoxedStrategy<$ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
+}

@@ -1,0 +1,224 @@
+//! The [`Strategy`] trait and the combinators the repo uses.
+
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+use std::rc::Rc;
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike upstream proptest there is no shrinking: a strategy is just a
+/// clonable sampler. `prop_map`, `prop_flat_map` and `prop_recursive`
+/// return [`BoxedStrategy`] for simplicity.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.sample(rng)))
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+    where
+        Self: 'static,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.sample(rng)).sample(rng))
+    }
+
+    /// Recursive structures: `self` is the leaf case, `recurse` builds one
+    /// level on top of a strategy for the level below. `depth` bounds the
+    /// recursion; the size hints of the upstream API are accepted and
+    /// ignored. Each level mixes in the leaf case so sizes vary.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut level = self.clone().boxed();
+        for _ in 0..depth {
+            let deeper = recurse(level).boxed();
+            let leaf = self.clone().boxed();
+            level = BoxedStrategy::new(move |rng| {
+                // 1-in-4 leaf keeps expected sizes finite and varied.
+                if rng.gen_range(0..4u32) == 0 {
+                    leaf.sample(rng)
+                } else {
+                    deeper.sample(rng)
+                }
+            });
+        }
+        level
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy::new(move |rng| self.sample(rng))
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a sampling closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy {
+            sampler: Rc::new(f),
+        }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: Rc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (the `prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// String literals are regex strategies (see [`crate::string`] for the
+/// supported subset).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        crate::string::sample_regex(self, rng)
+    }
+}
+
+/// Types with a canonical uniform strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Samples a uniform value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A uniform strategy for any [`Arbitrary`] type: `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}

@@ -1,0 +1,160 @@
+//! A tiny regex-shaped string generator.
+//!
+//! Upstream proptest treats string literals as full regexes; this subset
+//! supports what the repo's strategies use: literal characters, character
+//! classes `[a-z0-9_]` (ranges and literals, including a literal space),
+//! and the quantifiers `{m,n}`, `{n}`, `?`, `*`, `+` (the unbounded ones
+//! are capped at 8 repetitions).
+
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// One generatable unit of the pattern.
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// A set of candidate characters.
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(cs) => cs[rng.gen_range(0..cs.len())],
+        }
+    }
+}
+
+/// Generates a string matching the regex subset; panics on unsupported
+/// syntax (better a loud error than silently wrong test data).
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in regex {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad range in regex {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in regex {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("trailing backslash in regex {pattern:?}"));
+                i += 2;
+                Atom::Literal(c)
+            }
+            c if "(){}|*+?".contains(c) => {
+                panic!("unsupported regex syntax {c:?} in {pattern:?}")
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in regex {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().expect("quantifier lower bound"),
+                        hi.trim().parse::<usize>().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            out.push(atom.sample(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(0xfeed)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[a-z][a-z0-9_]{0,6}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[ -~]{0,8}", &mut r);
+            assert!(s.chars().count() <= 8);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_counts() {
+        let mut r = rng();
+        assert_eq!(sample_regex("abc", &mut r), "abc");
+        assert_eq!(sample_regex("a{3}", &mut r), "aaa");
+        let s = sample_regex("x[01]{2}", &mut r);
+        assert_eq!(s.len(), 3);
+        assert!(s.starts_with('x'));
+    }
+}
