@@ -74,11 +74,16 @@ pub fn matches_structural(tree: &Tree, pattern: &Pattern) -> Option<bool> {
         out.push(p); // children before parents
     }
     collect(pattern, &mut nodes);
+    // Pointer → post-order index, built once: the DP inner loop calls this
+    // per (tree node, pattern item), so a linear scan here would add an
+    // extra |π| factor to the whole table computation.
+    let index_map: std::collections::HashMap<*const Pattern, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p as *const Pattern, i))
+        .collect();
     let index_of = |p: &Pattern| -> usize {
-        nodes
-            .iter()
-            .position(|q| std::ptr::eq(*q, p))
-            .expect("collected")
+        *index_map.get(&(p as *const Pattern)).expect("collected")
     };
 
     let tree_order: Vec<NodeId> = tree.nodes().collect();
