@@ -9,6 +9,12 @@ use xmlmap_gen::hard;
 const BUDGET: usize = 200_000_000;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--json") {
+        let capture = args.iter().any(|a| a == "--capture-baseline");
+        xmlmap_bench::micro::run_json(capture);
+        return;
+    }
     figure1();
     figure2();
     lemma41();

@@ -9,6 +9,8 @@
 //! * `cargo run -p xmlmap-bench --bin tables --release` prints the
 //!   paper-style empirical grids recorded in `EXPERIMENTS.md`.
 
+pub mod micro;
+
 use std::time::{Duration, Instant};
 
 /// Times a closure once (the `tables` binary wants single-shot wall-clock

@@ -1,0 +1,228 @@
+//! The `--json` micro-benchmark suite behind `BENCH_eval.json`.
+//!
+//! Measures median ns/op for the hot paths of the evaluation kernel
+//! (Figure 2 workloads): pattern enumeration, seeded backtracking probes,
+//! the structural DP, mapping membership, the chase, and certain answers.
+//!
+//! Baseline workflow: `tables --json --capture-baseline` stores the current
+//! medians in `BENCH_baseline.txt`; later plain `--json` runs re-measure and
+//! write `BENCH_eval.json` with `baseline`, `current` and per-benchmark
+//! `speedup` sections, so a perf change carries its own before/after
+//! evidence in one artefact.
+
+use criterion::measure_median_ns;
+use std::time::Duration;
+use xmlmap_patterns::{Pattern, Valuation, Var};
+use xmlmap_trees::{Tree, Value};
+
+/// Samples per micro-benchmark (median of these is reported).
+const SAMPLES: usize = 9;
+/// Target measurement time per micro-benchmark.
+const BUDGET: Duration = Duration::from_millis(250);
+
+/// A failing pattern with `n` independent `//`-obligations over a flat
+/// tree — exponential for backtracking, linear for the structural DP
+/// (same family as the ablation bench).
+fn adversarial(n: usize, width: usize) -> (Tree, Pattern) {
+    let mut t = Tree::new("r");
+    for i in 0..width {
+        t.add_child(Tree::ROOT, "a", [("v", Value::int(i as i64))]);
+    }
+    let mut p = Pattern::leaf("r", Vec::<Var>::new());
+    for i in 0..n {
+        p = p.descendant(Pattern::leaf("a", [format!("u{i}")]));
+    }
+    p = p.descendant(Pattern::leaf("zz", Vec::<Var>::new()));
+    (t, p)
+}
+
+/// The university exchange mapping used by the chase/certain-answers rows.
+fn university_mapping() -> xmlmap_core::Mapping {
+    xmlmap_core::Mapping::new(
+        xmlmap_gen::university_dtd(),
+        xmlmap_gen::university_target_dtd(),
+        vec![
+            xmlmap_core::Std::parse(
+                "r[prof(x)[teach[year(y)[course(cn1), course(cn2)]]]] \
+                 --> r[course(cn1, y)[taughtby(x)], course(cn2, y)[taughtby(x)]]",
+            )
+            .unwrap(),
+            xmlmap_core::Std::parse(
+                "r[prof(x)[supervise[student(s)]]] --> r[student(s)[supervisor(x)]]",
+            )
+            .unwrap(),
+        ],
+    )
+}
+
+/// Runs every micro-benchmark, returning `(name, median ns/op)` rows.
+pub fn run_suite() -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+    let mut bench = |name: &'static str, f: &mut dyn FnMut()| {
+        let ns = measure_median_ns(SAMPLES, BUDGET, f);
+        eprintln!("  {name:<40} {:>12.0} ns/op", ns);
+        out.push((name, ns));
+    };
+
+    // Pattern enumeration over the intro document (Fig. 2 row 1).
+    let pi1 = xmlmap_patterns::parse(
+        "r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], supervise[student(s)]]]",
+    )
+    .unwrap();
+    let uni160 = xmlmap_gen::university_tree(160, 3);
+    bench("eval/all_matches_university160", &mut || {
+        assert_eq!(xmlmap_patterns::all_matches(&uni160, &pi1).len(), 480);
+    });
+
+    // Seeded existential probe: the target-side check an std performs.
+    let student = xmlmap_patterns::parse("r//student(s)").unwrap();
+    let seed: Valuation = [(Var::new("s"), Value::str("s159_2"))].into_iter().collect();
+    bench("eval/matches_with_seeded_probe", &mut || {
+        assert!(xmlmap_patterns::matches_with(&uni160, &student, &seed));
+    });
+
+    // Failing multi-item pattern, backtracking forced via the seeded path.
+    let (advt, advp) = adversarial(3, 24);
+    bench("eval/matches_with_adversarial3", &mut || {
+        assert!(!xmlmap_patterns::matches_with(&advt, &advp, &Valuation::new()));
+    });
+
+    // The polynomial structural DP on a wide instance.
+    let (dpt, dpp) = adversarial(16, 24);
+    bench("eval/structural_dp16", &mut || {
+        assert_eq!(xmlmap_patterns::matches_structural(&dpt, &dpp), Some(false));
+    });
+
+    // Membership, data complexity (fixed 2-var mapping; Fig. 2 row 2).
+    let m2 = xmlmap_gen::hard::membership_vars(2);
+    let (md1, md3) = xmlmap_gen::hard::membership_instance(256);
+    bench("membership/data_k256", &mut || {
+        assert!(m2.is_solution(&md1, &md3));
+    });
+
+    // Membership, combined complexity (k^n firings; Fig. 2 row 3).
+    let mh = xmlmap_gen::hard::membership_vars_hard(4);
+    let (mh1, mh3) = xmlmap_gen::hard::membership_hard_instance(4, 4);
+    bench("membership/combined_n4_k4", &mut || {
+        assert!(mh.is_solution(&mh1, &mh3));
+    });
+
+    // The chase: canonical solution of the university mapping.
+    let m = university_mapping();
+    let uni80 = xmlmap_gen::university_tree(80, 3);
+    bench("chase/university_profs80", &mut || {
+        let sol = xmlmap_core::canonical_solution(&m, &uni80).unwrap();
+        assert!(sol.size() > 1);
+    });
+
+    // Certain answers: chase + enumeration + null filtering.
+    let uni20 = xmlmap_gen::university_tree(20, 3);
+    let query = xmlmap_patterns::parse("r/course(c, y)[taughtby(t)]").unwrap();
+    bench("exchange/certain_answers_profs20", &mut || {
+        let ans = xmlmap_core::certain_answers(&m, &uni20, &query).unwrap();
+        assert_eq!(ans.len(), 40);
+    });
+
+    out
+}
+
+/// Stores medians as `name<TAB>ns` lines (the committed baseline format).
+pub fn write_baseline(path: &str, rows: &[(&'static str, f64)]) -> std::io::Result<()> {
+    let mut s = String::new();
+    for (name, ns) in rows {
+        s.push_str(&format!("{name}\t{ns:.1}\n"));
+    }
+    std::fs::write(path, s)
+}
+
+/// Reads a baseline file written by [`write_baseline`]; `None` if absent.
+pub fn read_baseline(path: &str) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let (name, ns) = line.split_once('\t')?;
+        rows.push((name.to_string(), ns.trim().parse().ok()?));
+    }
+    Some(rows)
+}
+
+/// Renders the `BENCH_eval.json` document.
+pub fn render_json(
+    baseline: Option<&[(String, f64)]>,
+    current: &[(&'static str, f64)],
+) -> String {
+    fn obj(rows: &[(&str, f64)]) -> String {
+        let fields: Vec<String> = rows
+            .iter()
+            .map(|(name, ns)| format!("    \"{name}\": {ns:.1}"))
+            .collect();
+        format!("{{\n{}\n  }}", fields.join(",\n"))
+    }
+    let mut s = String::from("{\n");
+    s.push_str("  \"unit\": \"median ns per op\",\n");
+    s.push_str(
+        "  \"command\": \"cargo run --release -p xmlmap-bench --bin tables -- --json\",\n",
+    );
+    if let Some(base) = baseline {
+        let base_rows: Vec<(&str, f64)> =
+            base.iter().map(|(n, ns)| (n.as_str(), *ns)).collect();
+        s.push_str(&format!("  \"baseline\": {},\n", obj(&base_rows)));
+        let speedups: Vec<(&str, f64)> = current
+            .iter()
+            .filter_map(|(name, ns)| {
+                let b = base.iter().find(|(bn, _)| bn == name)?.1;
+                Some((*name, b / ns))
+            })
+            .collect();
+        s.push_str(&format!(
+            "  \"current\": {},\n  \"speedup\": {}\n",
+            obj(current),
+            obj(&speedups)
+        ));
+    } else {
+        s.push_str(&format!("  \"current\": {}\n", obj(current)));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// The `--json` entry point: measure, optionally (re)capture the baseline,
+/// and write `BENCH_eval.json` next to the current directory.
+pub fn run_json(capture_baseline: bool) {
+    eprintln!("running eval micro-benchmarks ({SAMPLES} samples each)…");
+    let current = run_suite();
+    if capture_baseline {
+        write_baseline("BENCH_baseline.txt", &current).expect("write BENCH_baseline.txt");
+        eprintln!("captured baseline -> BENCH_baseline.txt");
+    }
+    let baseline = read_baseline("BENCH_baseline.txt");
+    let json = render_json(baseline.as_deref(), &current);
+    std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_eval.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_with_baseline() {
+        let base = vec![("a/b".to_string(), 300.0)];
+        let cur = vec![("a/b", 100.0)];
+        let json = render_json(Some(&base), &cur);
+        assert!(json.contains("\"baseline\""));
+        assert!(json.contains("\"a/b\": 3.0"), "{json}");
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let dir = std::env::temp_dir().join("xmlmap_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.txt");
+        let path = path.to_str().unwrap();
+        write_baseline(path, &[("x/y", 12.5)]).unwrap();
+        let back = read_baseline(path).unwrap();
+        assert_eq!(back, vec![("x/y".to_string(), 12.5)]);
+    }
+}
