@@ -40,10 +40,23 @@ pub fn certain_answers(
         return Err(CertainAnswersError::OrderedQuery);
     }
     let canonical = canonical_solution(m, source).map_err(CertainAnswersError::NoSolution)?;
-    Ok(eval::all_matches(&canonical, query)
-        .into_iter()
-        .filter(|v| v.values().all(|x| x.is_constant()))
-        .collect())
+    let candidates = eval::all_matches(&canonical, query);
+    // Null-freeness of each candidate is independent; fan the scan out
+    // only for large answer sets — per-candidate work is a handful of
+    // value-tag tests, so small sets are faster on one thread.
+    if candidates.len() >= 1024 {
+        let keep = xmlmap_par::par_map(&candidates, |v| v.values().all(|x| x.is_constant()));
+        Ok(candidates
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(v, k)| k.then_some(v))
+            .collect())
+    } else {
+        Ok(candidates
+            .into_iter()
+            .filter(|v| v.values().all(|x| x.is_constant()))
+            .collect())
+    }
 }
 
 /// Why certain answers could not be computed.

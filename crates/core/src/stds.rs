@@ -6,8 +6,12 @@ use crate::signature::Signature;
 use std::collections::BTreeSet;
 use std::fmt;
 use xmlmap_dtd::Dtd;
-use xmlmap_patterns::{eval, Pattern, Valuation, Var};
+use xmlmap_patterns::{eval, CompiledPattern, Matcher, Pattern, Valuation, Var};
 use xmlmap_trees::Tree;
+
+/// Combined tree size below which per-std work is kept on the calling
+/// thread: table building on tiny trees is cheaper than a thread spawn.
+pub(crate) const PAR_NODE_THRESHOLD: usize = 256;
 
 /// An std `π(x̄,ȳ), α₌,≠(x̄,ȳ) → π′(x̄,z̄), α′₌,≠(x̄,z̄)`.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -98,24 +102,74 @@ impl Std {
             .collect()
     }
 
-    /// Do `(source_tree, target_tree)` satisfy this std?
+    /// Do `(T, T′)` satisfy this std?
+    ///
+    /// Both patterns are compiled once and their feasibility tables built
+    /// once per tree; every source firing then probes the *same* prepared
+    /// target [`Matcher`], so the `O(|T|·|π′|)` table cost is not repaid
+    /// per firing. The whole check runs in the interned id space: shared
+    /// variables are translated to (source id, target id) pairs and
+    /// conditions to id triples up front, so no per-firing `Valuation` is
+    /// ever built.
     pub fn satisfied(&self, source_tree: &Tree, target_tree: &Tree) -> bool {
-        let shared: BTreeSet<Var> = self.shared_vars().into_iter().collect();
+        use crate::cond::CompOp;
+        use xmlmap_trees::Value;
+
+        let src_pat = CompiledPattern::new(&self.source);
+        let src = Matcher::new(source_tree, &src_pat);
+        let tgt_pat = CompiledPattern::new(&self.target);
+        let tgt = Matcher::new(target_tree, &tgt_pat);
+        // Shared variables (x̄) as dense id pairs.
+        let id_pairs: Vec<(usize, usize)> = src_pat
+            .vars()
+            .iter()
+            .enumerate()
+            .filter_map(|(si, v)| tgt_pat.var_id(v).map(|ti| (si, ti as usize)))
+            .collect();
+        // Conditions in id space. `None` marks a comparison over a variable
+        // the side can never bind — such comparisons never hold (matching
+        // [`Comparison::holds`] on unbound variables).
+        let compile =
+            |conds: &[Comparison], pat: &CompiledPattern| -> Vec<Option<(CompOp, usize, usize)>> {
+                conds
+                    .iter()
+                    .map(|c| match (pat.var_id(&c.left), pat.var_id(&c.right)) {
+                        (Some(l), Some(r)) => Some((c.op, l as usize, r as usize)),
+                        _ => None,
+                    })
+                    .collect()
+            };
+        let src_conds = compile(&self.source_cond, &src_pat);
+        let tgt_conds = compile(&self.target_cond, &tgt_pat);
+        // The target side may compare a seeded (shared) variable, so
+        // condition checks run on the full dense environment of each side.
+        fn holds(conds: &[Option<(CompOp, usize, usize)>], env: &[Option<&Value>]) -> bool {
+            conds.iter().all(|c| match c {
+                Some((op, l, r)) => match (env[*l], env[*r]) {
+                    (Some(a), Some(b)) => match op {
+                        CompOp::Eq => a == b,
+                        CompOp::Neq => a != b,
+                    },
+                    _ => false,
+                },
+                None => false,
+            })
+        }
+        let tgt_vars = tgt_pat.var_count();
+        let empty = vec![None; src_pat.var_count()];
         // ∀ source matches passing α: ∃ target match passing α′.
-        !eval::for_each_match(source_tree, &self.source, &Valuation::new(), &mut |m| {
-            if !all_hold(&self.source_cond, m) {
+        !src.for_each_match_dense(Tree::ROOT, &empty, &mut |env| {
+            if !holds(&src_conds, env) {
                 return true; // condition fails ⇒ std does not fire here
             }
-            let seed: Valuation = m
-                .iter()
-                .filter(|(v, _)| shared.contains(*v))
-                .map(|(v, x)| (v.clone(), x.clone()))
-                .collect();
-            let ok = eval::for_each_match(target_tree, &self.target, &seed, &mut |tm| {
-                !all_hold(&self.target_cond, tm) // stop on first success
-            });
+            let mut tgt_seed: Vec<Option<&Value>> = vec![None; tgt_vars];
+            for &(si, ti) in &id_pairs {
+                tgt_seed[ti] = env[si];
+            }
             // Continue scanning source matches only while satisfied.
-            ok
+            tgt.for_each_match_dense(Tree::ROOT, &tgt_seed, &mut |tenv| {
+                !holds(&tgt_conds, tenv) // stop on first success
+            })
         })
     }
 
@@ -273,13 +327,25 @@ impl Mapping {
 
     /// Membership: `(T, T′) ∈ ⟦M⟧` — both trees conform and every std is
     /// satisfied (the problem of Theorem 4.3).
+    ///
+    /// With several stds over non-trivial trees the satisfaction checks
+    /// (each independent, read-only) are fanned out across threads; small
+    /// instances stay sequential — thread spawns would dominate there
+    /// (e.g. the bounded-enumeration search calls this in a tight loop on
+    /// tiny candidate documents).
     pub fn is_solution(&self, source_tree: &Tree, target_tree: &Tree) -> bool {
-        self.source_dtd.conforms(source_tree)
-            && self.target_dtd.conforms(target_tree)
-            && self
-                .stds
+        if !self.source_dtd.conforms(source_tree) || !self.target_dtd.conforms(target_tree) {
+            return false;
+        }
+        if self.stds.len() > 1 && source_tree.size() + target_tree.size() >= PAR_NODE_THRESHOLD {
+            xmlmap_par::par_map(&self.stds, |s| s.satisfied(source_tree, target_tree))
+                .into_iter()
+                .all(|ok| ok)
+        } else {
+            self.stds
                 .iter()
                 .all(|s| s.satisfied(source_tree, target_tree))
+        }
     }
 
     /// The union of the std signatures.

@@ -1,0 +1,697 @@
+//! The compiled pattern-evaluation kernel.
+//!
+//! [`crate::eval`]'s public functions delegate here. The kernel avoids the
+//! two costs that dominated the naive evaluator (retained for differential
+//! testing in [`crate::reference`]):
+//!
+//! * **Interned variables** — [`CompiledPattern`] assigns every pattern
+//!   variable a dense `u32` id, so a valuation in flight is a
+//!   `Vec<Option<Value>>` plus an undo **trail**, not a persistent
+//!   `BTreeMap` cloned at every binding site. Backtracking pops the trail.
+//! * **Bitset feasibility tables** — [`Matcher`] precomputes, per tree
+//!   node, one `u64`-word row per table with a bit for every pattern node:
+//!   `ok` ("the pattern subtree matches here, values ignored") and `sub`
+//!   ("… somewhere in this node's subtree"). The subtree closure is a
+//!   word-parallel OR, so building costs `O(|T|·|π|·width)` word ops
+//!   rather than the per-pair scans of the old table. The tables answer
+//!   repeat-free Boolean matching outright (Prop 4.2's PTIME bound) and
+//!   double as a sound pruning memo for the valued search: values only
+//!   ever *restrict* matches, so a cleared bit proves no valued match can
+//!   exist below — shared across every probe against the same tree.
+
+use crate::ast::{LabelTest, ListItem, Pattern, SeqOp, Var};
+use crate::eval::Valuation;
+use xmlmap_trees::{NodeId, Tree, Value};
+
+/// One pattern node, flattened: label test, interned variable tuple, and
+/// the child list referencing other nodes by index.
+struct CNode {
+    label: LabelTest,
+    /// Dense variable ids, in tuple order.
+    vars: Vec<u32>,
+    items: Vec<CItem>,
+}
+
+/// A flattened list item; members reference [`CompiledPattern::nodes`].
+enum CItem {
+    /// `π₁ op π₂ op … πₖ` — a sequence of siblings.
+    Seq { members: Vec<usize>, ops: Vec<SeqOp> },
+    /// `//π` — some proper descendant.
+    Descendant(usize),
+}
+
+/// A pattern lowered to a flat post-order node array with interned
+/// variables. Compiling is a single traversal; the result borrows nothing
+/// from the source [`Pattern`].
+pub struct CompiledPattern {
+    /// Post-order (children before parents); the root is last.
+    nodes: Vec<CNode>,
+    /// Dense id → variable name.
+    vars: Vec<Var>,
+    /// Does any variable occur more than once (implicit equality)?
+    has_repeated: bool,
+}
+
+impl CompiledPattern {
+    /// Compiles `pattern`, interning its variables in first-occurrence
+    /// order.
+    pub fn new(pattern: &Pattern) -> CompiledPattern {
+        let mut c = CompiledPattern {
+            nodes: Vec::new(),
+            vars: Vec::new(),
+            has_repeated: false,
+        };
+        c.lower(pattern);
+        c
+    }
+
+    fn intern(&mut self, var: &Var) -> u32 {
+        match self.vars.iter().position(|v| v == var) {
+            Some(i) => {
+                self.has_repeated = true;
+                i as u32
+            }
+            None => {
+                self.vars.push(var.clone());
+                (self.vars.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Lowers `p` and its subpatterns, post-order; returns `p`'s index.
+    fn lower(&mut self, p: &Pattern) -> usize {
+        // Bind the tuple before the subtree so ids follow the written
+        // left-to-right order of first occurrence.
+        let vars: Vec<u32> = p.vars.iter().map(|v| self.intern(v)).collect();
+        let items: Vec<CItem> = p
+            .list
+            .iter()
+            .map(|item| match item {
+                ListItem::Seq { members, ops } => CItem::Seq {
+                    members: members.iter().map(|m| self.lower(m)).collect(),
+                    ops: ops.clone(),
+                },
+                ListItem::Descendant(d) => CItem::Descendant(self.lower(d)),
+            })
+            .collect();
+        self.nodes.push(CNode {
+            label: p.label.clone(),
+            vars,
+            items,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// The root node's index (patterns are non-empty, so this is valid).
+    fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Number of distinct variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Dense id → variable name table, in first-occurrence order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// The dense id of `var`, if the pattern uses it.
+    pub fn var_id(&self, var: &Var) -> Option<u32> {
+        self.vars.iter().position(|v| v == var).map(|i| i as u32)
+    }
+
+    /// Does any variable occur twice (implicit equality)?
+    pub fn has_repeated_variable(&self) -> bool {
+        self.has_repeated
+    }
+}
+
+/// The in-flight valuation: dense environment plus undo trail. Bindings
+/// are *borrowed* from the tree (or the seed) — backtracking never clones
+/// a value; materialization into a [`Valuation`] clones once per reported
+/// match.
+struct EvalState<'e> {
+    env: Vec<Option<&'e Value>>,
+    trail: Vec<u32>,
+}
+
+impl<'e> EvalState<'e> {
+    /// Rolls the environment back to a trail mark.
+    fn undo(&mut self, mark: usize) {
+        for id in self.trail.drain(mark..) {
+            self.env[id as usize] = None;
+        }
+    }
+}
+
+/// A pattern prepared against one tree: the bitset feasibility tables,
+/// shared by every probe ([`Matcher::matches_with`],
+/// [`Matcher::for_each_match`], …) on that tree.
+pub struct Matcher<'t, 'p> {
+    tree: &'t Tree,
+    pat: &'p CompiledPattern,
+    /// Words per bitset row (`⌈|π| / 64⌉`, min 1).
+    words: usize,
+    /// `ok[t*words..]`: pattern node `p` structurally matches at tree
+    /// node `t` (bit `p`).
+    ok: Vec<u64>,
+    /// `sub[t*words..]`: … somewhere in `t`'s subtree, `t` included.
+    sub: Vec<u64>,
+}
+
+/// Reusable DP buffers for [`Matcher::seq_places`] — table construction
+/// calls it once per (tree node, pattern node) pair, so per-call `Vec`
+/// allocations would dominate the build.
+#[derive(Default)]
+struct SeqScratch {
+    can: Vec<bool>,
+    next: Vec<bool>,
+    suffix: Vec<bool>,
+}
+
+impl<'t, 'p> Matcher<'t, 'p> {
+    /// Builds the feasibility tables bottom-up over `tree`.
+    pub fn new(tree: &'t Tree, pat: &'p CompiledPattern) -> Matcher<'t, 'p> {
+        let n_tree = tree.size();
+        let n_pat = pat.nodes.len();
+        let words = n_pat.div_ceil(64).max(1);
+        let mut m = Matcher {
+            tree,
+            pat,
+            words,
+            ok: vec![0u64; n_tree * words],
+            sub: vec![0u64; n_tree * words],
+        };
+        // Candidate masks: for each label, the pattern nodes it can head
+        // (plus wildcards). A tree node then only tests those bits instead
+        // of scanning every pattern node.
+        let mut wild = vec![0u64; words];
+        let mut by_label: std::collections::HashMap<&str, Vec<u64>> =
+            std::collections::HashMap::new();
+        for (pi, p) in pat.nodes.iter().enumerate() {
+            match &p.label {
+                LabelTest::Wildcard => wild[pi / 64] |= 1 << (pi % 64),
+                LabelTest::Label(name) => {
+                    by_label.entry(name.as_str()).or_insert_with(|| vec![0u64; words])
+                        [pi / 64] |= 1 << (pi % 64);
+                }
+            }
+        }
+        // Patterns usually mention only a handful of distinct labels; a
+        // linear scan (length pre-check + memcmp) is cheaper per tree node
+        // than hashing every label, so reserve the map for wide alphabets.
+        let scan_labels: Option<Vec<(&str, &[u64])>> = (by_label.len() <= 8)
+            .then(|| by_label.iter().map(|(k, v)| (*k, v.as_slice())).collect());
+        let mut scratch = SeqScratch::default();
+        // Reverse pre-order visits children before parents.
+        let order: Vec<NodeId> = tree.nodes().collect();
+        for &t in order.iter().rev() {
+            let ti = t.index();
+            let children = tree.children(t);
+            let label = tree.label(t).as_str();
+            let label_mask: Option<&[u64]> = match &scan_labels {
+                Some(list) => list.iter().find(|(k, _)| *k == label).map(|(_, v)| *v),
+                None => by_label.get(label).map(|v| v.as_slice()),
+            };
+            let n_attrs = tree.attrs(t).len();
+            for w in 0..words {
+                let mut cand = wild[w] | label_mask.map_or(0, |mask| mask[w]);
+                while cand != 0 {
+                    let pi = w * 64 + cand.trailing_zeros() as usize;
+                    cand &= cand - 1;
+                    let p = &pat.nodes[pi];
+                    if !p.vars.is_empty() && n_attrs != p.vars.len() {
+                        continue;
+                    }
+                    let all_items = p.items.iter().all(|item| match item {
+                        CItem::Descendant(d) => {
+                            children.iter().any(|c| m.bit(&m.sub, c.index(), *d))
+                        }
+                        CItem::Seq { members, ops } => {
+                            m.seq_places(children, members, ops, &mut scratch)
+                        }
+                    });
+                    if all_items {
+                        m.ok[ti * words + w] |= 1 << (pi % 64);
+                    }
+                }
+            }
+            // sub = ok | OR over children, one word at a time.
+            for w in 0..words {
+                let mut acc = m.ok[ti * words + w];
+                for c in children {
+                    acc |= m.sub[c.index() * words + w];
+                }
+                m.sub[ti * words + w] = acc;
+            }
+        }
+        m
+    }
+
+    #[inline]
+    fn bit(&self, table: &[u64], ti: usize, pi: usize) -> bool {
+        table[ti * self.words + pi / 64] >> (pi % 64) & 1 != 0
+    }
+
+    #[inline]
+    fn ok_bit(&self, t: NodeId, pi: usize) -> bool {
+        self.bit(&self.ok, t.index(), pi)
+    }
+
+    #[inline]
+    fn sub_bit(&self, t: NodeId, pi: usize) -> bool {
+        self.bit(&self.sub, t.index(), pi)
+    }
+
+    /// Can the sequence be placed along `children`, structurally?
+    /// Right-to-left DP exactly as the old table, over bit lookups.
+    fn seq_places(
+        &self,
+        children: &[NodeId],
+        members: &[usize],
+        ops: &[SeqOp],
+        scratch: &mut SeqScratch,
+    ) -> bool {
+        if children.is_empty() {
+            return false;
+        }
+        let width = children.len();
+        let member_ok =
+            |m: usize, i: usize| self.bit(&self.ok, children[i].index(), members[m]);
+        let can = &mut scratch.can;
+        can.clear();
+        can.extend((0..width).map(|i| member_ok(members.len() - 1, i)));
+        for m in (0..members.len() - 1).rev() {
+            let next = &mut scratch.next;
+            next.clear();
+            next.resize(width, false);
+            match ops[m] {
+                SeqOp::Next => {
+                    for (i, slot) in next.iter_mut().enumerate().take(width - 1) {
+                        *slot = member_ok(m, i) && can[i + 1];
+                    }
+                }
+                SeqOp::Following => {
+                    let suffix = &mut scratch.suffix;
+                    suffix.clear();
+                    suffix.resize(width + 1, false);
+                    for i in (0..width).rev() {
+                        suffix[i] = suffix[i + 1] || can[i];
+                    }
+                    for (i, slot) in next.iter_mut().enumerate().take(width - 1) {
+                        *slot = member_ok(m, i) && suffix[i + 1];
+                    }
+                }
+            }
+            std::mem::swap(can, next);
+        }
+        can.iter().any(|&b| b)
+    }
+
+    /// Structural (value-free) feasibility of the whole pattern at `node`.
+    ///
+    /// For repeat-free patterns this *is* the Boolean answer (Prop 4.2);
+    /// with repeated variables it is a sound over-approximation.
+    pub fn feasible_at(&self, node: NodeId) -> bool {
+        self.ok_bit(node, self.pat.root())
+    }
+
+    /// [`Matcher::feasible_at`] anchored at the root.
+    pub fn feasible(&self) -> bool {
+        self.feasible_at(Tree::ROOT)
+    }
+
+    fn fresh_state<'e>(&self, seed: &'e Valuation) -> EvalState<'e> {
+        let mut env = vec![None; self.pat.var_count()];
+        for (var, value) in seed {
+            if let Some(id) = self.pat.var_id(var) {
+                env[id as usize] = Some(value);
+            }
+        }
+        EvalState {
+            env,
+            trail: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a public [`Valuation`] from the dense environment; `seed`
+    /// entries for variables outside the pattern are carried through
+    /// unchanged (the naive evaluator did the same).
+    fn materialize(&self, seed: &Valuation, state: &EvalState<'_>) -> Valuation {
+        let mut out = seed.clone();
+        for (id, slot) in state.env.iter().enumerate() {
+            if let Some(value) = slot {
+                out.insert(self.pat.vars[id].clone(), (*value).clone());
+            }
+        }
+        out
+    }
+
+    /// Calls `found` on every valuation extending `seed` that witnesses the
+    /// pattern at `node`; `found` returns `false` to stop. Returns `true`
+    /// iff the enumeration was stopped early.
+    pub fn for_each_match_at(
+        &self,
+        node: NodeId,
+        seed: &Valuation,
+        found: &mut dyn FnMut(&Valuation) -> bool,
+    ) -> bool {
+        let mut state = self.fresh_state(seed);
+        !self.visit_pattern(&mut state, node, self.pat.root(), &mut |matcher, st| {
+            found(&matcher.materialize(seed, st))
+        })
+    }
+
+    /// [`Matcher::for_each_match_at`] anchored at the root.
+    pub fn for_each_match(
+        &self,
+        seed: &Valuation,
+        found: &mut dyn FnMut(&Valuation) -> bool,
+    ) -> bool {
+        self.for_each_match_at(Tree::ROOT, seed, found)
+    }
+
+    /// Does some valuation extending `seed` witness the pattern at the
+    /// root?
+    pub fn matches_with(&self, seed: &Valuation) -> bool {
+        self.for_each_match(seed, &mut |_| false)
+    }
+
+    /// [`Matcher::matches_with`] at an arbitrary anchor.
+    pub fn matches_at(&self, node: NodeId, seed: &Valuation) -> bool {
+        self.for_each_match_at(node, seed, &mut |_| false)
+    }
+
+    /// Dense-id probing: like [`Matcher::for_each_match_at`], but the seed
+    /// and the valuations handed to `found` live in the interned id space
+    /// (`env[id]`, ids from [`CompiledPattern::var_id`]) as *borrowed*
+    /// values — no [`Valuation`] is ever materialized and no value is ever
+    /// cloned. This is the hot-path entry point for callers issuing many
+    /// probes, e.g. per-firing std checks: translate the shared variables
+    /// to id pairs once, then reseed a dense buffer per probe.
+    /// `seed_env.len()` must equal [`CompiledPattern::var_count`].
+    pub fn for_each_match_dense<'e>(
+        &'e self,
+        node: NodeId,
+        seed_env: &[Option<&'e Value>],
+        found: &mut dyn FnMut(&[Option<&Value>]) -> bool,
+    ) -> bool {
+        debug_assert_eq!(seed_env.len(), self.pat.var_count());
+        let mut state = EvalState {
+            env: seed_env.to_vec(),
+            trail: Vec::new(),
+        };
+        !self.visit_pattern(&mut state, node, self.pat.root(), &mut |_, st| found(&st.env))
+    }
+
+    /// Boolean probe under a dense seed (see
+    /// [`Matcher::for_each_match_dense`]).
+    pub fn matches_dense<'e>(&'e self, node: NodeId, seed_env: &[Option<&'e Value>]) -> bool {
+        self.for_each_match_dense(node, seed_env, &mut |_| false)
+    }
+
+    /// All valuations witnessing the pattern at the root, deduplicated
+    /// and sorted.
+    ///
+    /// Deduplication happens on dense value tuples; `Valuation`s are built
+    /// only for the surviving rows. The sort key replays `BTreeMap`
+    /// ordering (all rows share the same key set, so map order is value
+    /// order in alphabetical variable order), keeping the result identical
+    /// to the naive evaluator's sorted set.
+    pub fn all_matches(&self) -> Vec<Valuation> {
+        let nvars = self.pat.var_count();
+        let mut perm: Vec<usize> = (0..nvars).collect();
+        perm.sort_by(|&a, &b| self.pat.vars[a].cmp(&self.pat.vars[b]));
+        let mut state = EvalState {
+            env: vec![None; nvars],
+            trail: Vec::new(),
+        };
+        // Collect matches as tuples of borrowed values (the refs point into
+        // the tree, so they survive backtracking); clone only the rows that
+        // survive deduplication.
+        let mut tuples: Vec<Vec<&Value>> = Vec::new();
+        self.visit_pattern(&mut state, Tree::ROOT, self.pat.root(), &mut |_, st| {
+            tuples.push(
+                st.env
+                    .iter()
+                    .map(|v| v.expect("a complete match binds every variable"))
+                    .collect(),
+            );
+            true
+        });
+        tuples.sort_unstable_by(|a, b| {
+            perm.iter()
+                .map(|&i| a[i].cmp(b[i]))
+                .find(|c| *c != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        tuples.dedup();
+        tuples
+            .into_iter()
+            .map(|tuple| {
+                self.pat
+                    .vars
+                    .iter()
+                    .cloned()
+                    .zip(tuple.into_iter().cloned())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Core visitor. `cont` is invoked (with the live state) once per way
+    /// of witnessing pattern node `pnode` at `tnode`; it returns `true` to
+    /// continue enumerating. The return value is "still alive" — `false`
+    /// propagates an abort. The environment is always restored before
+    /// returning.
+    fn visit_pattern<'e>(
+        &self,
+        state: &mut EvalState<'e>,
+        tnode: NodeId,
+        pnode: usize,
+        cont: &mut dyn FnMut(&Self, &mut EvalState<'e>) -> bool,
+    ) -> bool
+    where
+        't: 'e,
+    {
+        // Structural pruning: label, arity, and every value-free placement
+        // obligation below this pair — one bit test.
+        if !self.ok_bit(tnode, pnode) {
+            return true;
+        }
+        let p = &self.pat.nodes[pnode];
+        let mark = state.trail.len();
+        // Bind the variable tuple; repeated variables must agree. The
+        // bound value is a borrow of the tree's attribute — no clone.
+        if !p.vars.is_empty() {
+            for (&id, value) in p.vars.iter().zip(self.tree.attr_values(tnode)) {
+                match &state.env[id as usize] {
+                    Some(bound) if *bound != value => {
+                        state.undo(mark);
+                        return true;
+                    }
+                    Some(_) => {}
+                    None => {
+                        state.env[id as usize] = Some(value);
+                        state.trail.push(id);
+                    }
+                }
+            }
+        }
+        let alive = self.visit_items(state, tnode, pnode, 0, cont);
+        state.undo(mark);
+        alive
+    }
+
+    /// Satisfies `items[k..]` of pattern node `pnode` at `tnode`.
+    fn visit_items<'e>(
+        &self,
+        state: &mut EvalState<'e>,
+        tnode: NodeId,
+        pnode: usize,
+        k: usize,
+        cont: &mut dyn FnMut(&Self, &mut EvalState<'e>) -> bool,
+    ) -> bool
+    where
+        't: 'e,
+    {
+        let items = &self.pat.nodes[pnode].items;
+        let Some(item) = items.get(k) else {
+            return cont(self, state);
+        };
+        match item {
+            CItem::Descendant(d) => {
+                // Proper descendants in document order, skipping whole
+                // subtrees with no structural match for `d`.
+                let mut stack: Vec<NodeId> =
+                    self.tree.children(tnode).iter().rev().copied().collect();
+                while let Some(x) = stack.pop() {
+                    if !self.sub_bit(x, *d) {
+                        continue;
+                    }
+                    if self.ok_bit(x, *d) {
+                        let alive =
+                            self.visit_pattern(state, x, *d, &mut |matcher, st| {
+                                matcher.visit_items(st, tnode, pnode, k + 1, cont)
+                            });
+                        if !alive {
+                            return false;
+                        }
+                    }
+                    stack.extend(self.tree.children(x).iter().rev());
+                }
+                true
+            }
+            CItem::Seq { members, ops } => {
+                let children = self.tree.children(tnode);
+                for i in 0..children.len() {
+                    let alive =
+                        self.visit_seq(children, i, members, ops, 0, state, &mut |matcher,
+                                                                                  st| {
+                            matcher.visit_items(st, tnode, pnode, k + 1, cont)
+                        });
+                    if !alive {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Matches `members[m..]` with `members[m]` at `children[i]`.
+    #[allow(clippy::too_many_arguments)]
+    fn visit_seq<'e>(
+        &self,
+        children: &[NodeId],
+        i: usize,
+        members: &[usize],
+        ops: &[SeqOp],
+        m: usize,
+        state: &mut EvalState<'e>,
+        cont: &mut dyn FnMut(&Self, &mut EvalState<'e>) -> bool,
+    ) -> bool
+    where
+        't: 'e,
+    {
+        self.visit_pattern(state, children[i], members[m], &mut |matcher, st| {
+            if m + 1 == members.len() {
+                return cont(matcher, st);
+            }
+            match ops[m] {
+                SeqOp::Next => {
+                    if i + 1 < children.len() {
+                        matcher.visit_seq(children, i + 1, members, ops, m + 1, st, cont)
+                    } else {
+                        true
+                    }
+                }
+                SeqOp::Following => {
+                    for j in i + 1..children.len() {
+                        if !matcher.visit_seq(children, j, members, ops, m + 1, st, cont) {
+                            return false;
+                        }
+                    }
+                    true
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use xmlmap_trees::tree;
+
+    #[test]
+    fn interning_is_dense_and_detects_repeats() {
+        let p = parse("r[a(x, y), b(x)]").unwrap();
+        let c = CompiledPattern::new(&p);
+        assert_eq!(c.var_count(), 2);
+        assert_eq!(c.var_id(&Var::new("x")), Some(0));
+        assert_eq!(c.var_id(&Var::new("y")), Some(1));
+        assert_eq!(c.var_id(&Var::new("z")), None);
+        assert!(c.has_repeated_variable());
+
+        let q = parse("r[a(u)[b(v)], //c(w)]").unwrap();
+        let cq = CompiledPattern::new(&q);
+        assert_eq!(cq.var_count(), 3);
+        assert!(!cq.has_repeated_variable());
+    }
+
+    #[test]
+    fn trail_restores_environment_between_branches() {
+        // Two a-children: after failing to extend the first binding the
+        // trail must fully unwind, or the second binding is rejected.
+        let t = tree!("r" [ "a"("v" = "1") [ "c"("w" = "x") ],
+                            "a"("v" = "2") [ "c"("w" = "y") ] ]);
+        let p = parse("r[a(u)[c(q)]]").unwrap();
+        let c = CompiledPattern::new(&p);
+        let m = Matcher::new(&t, &c);
+        assert_eq!(m.all_matches().len(), 2);
+    }
+
+    #[test]
+    fn bitset_tables_span_many_words() {
+        // > 64 pattern nodes forces multi-word rows.
+        let mut p = parse("r").unwrap();
+        for i in 0..70 {
+            p = p.child(parse(&format!("a(k{i})")).unwrap());
+        }
+        let c = CompiledPattern::new(&p);
+        assert!(c.nodes.len() > 64);
+        let mut t = Tree::new("r");
+        for _ in 0..70 {
+            t.add_child(Tree::ROOT, "a", [("v", Value::str("q"))]);
+        }
+        let m = Matcher::new(&t, &c);
+        assert!(m.feasible());
+        assert!(m.matches_with(&Valuation::new()));
+        // One child short: structurally infeasible.
+        let mut t2 = Tree::new("r");
+        for _ in 0..1 {
+            t2.add_child(Tree::ROOT, "a", [("v", Value::str("q"))]);
+        }
+        let c1 = CompiledPattern::new(&parse("r[a(x), a(y)]").unwrap());
+        let m2 = Matcher::new(&t2, &c1);
+        assert!(m2.feasible()); // both obligations can use the same child
+    }
+
+    #[test]
+    fn pruning_is_sound_for_repeated_variables() {
+        // Structurally feasible but value-inconsistent: bits are set, the
+        // valued search must still fail.
+        let t = tree!("r" [ "a"("v" = "1"), "b"("w" = "2") ]);
+        let p = parse("r[a(x), b(x)]").unwrap();
+        let c = CompiledPattern::new(&p);
+        let m = Matcher::new(&t, &c);
+        assert!(m.feasible());
+        assert!(!m.matches_with(&Valuation::new()));
+    }
+
+    #[test]
+    fn seeded_probe_reuses_tables() {
+        let t = tree!("r" [ "a"("v" = "1"), "a"("v" = "2"), "a"("v" = "3") ]);
+        let p = parse("r/a(x)").unwrap();
+        let c = CompiledPattern::new(&p);
+        let m = Matcher::new(&t, &c);
+        for (val, expect) in [("1", true), ("2", true), ("9", false)] {
+            let seed: Valuation =
+                [(Var::new("x"), Value::str(val))].into_iter().collect();
+            assert_eq!(m.matches_with(&seed), expect, "seed x={val}");
+        }
+        // Seeds outside the pattern's variables pass through untouched.
+        let seed: Valuation = [(Var::new("zz"), Value::str("7"))].into_iter().collect();
+        let mut seen = Vec::new();
+        m.for_each_match(&seed, &mut |v| {
+            seen.push(v.clone());
+            true
+        });
+        assert_eq!(seen.len(), 3);
+        assert!(seen.iter().all(|v| v[&Var::new("zz")] == Value::str("7")));
+    }
+}

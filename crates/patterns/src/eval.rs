@@ -5,8 +5,19 @@
 //! partial valuation — the existential check needed on the target side of
 //! an std. Variable reuse inside a pattern imposes implicit equality, as in
 //! the `SM(…, =)` classes.
+//!
+//! The functions here are thin wrappers: they compile the pattern and
+//! prepare it against the tree via [`crate::compiled`] (interned
+//! variables, trail-based backtracking, bitset feasibility tables), then
+//! run one query. Callers issuing many probes against the same
+//! (tree, pattern) pair — the per-firing existential checks of an std, for
+//! instance — should build a [`CompiledPattern`] and [`Matcher`] once and
+//! reuse them; each wrapper call below rebuilds the tables. The naive
+//! evaluator these wrappers used to contain lives on in
+//! [`crate::reference`] as the differential-testing oracle.
 
-use crate::ast::{ListItem, Pattern, SeqOp, Var};
+use crate::ast::{Pattern, Var};
+use crate::compiled::{CompiledPattern, Matcher};
 use std::collections::BTreeMap;
 use xmlmap_trees::{NodeId, Tree, Value};
 
@@ -18,160 +29,52 @@ pub type Valuation = BTreeMap<Var, Value>;
 /// Duplicates arising from different tree embeddings of the same valuation
 /// are collapsed; the result is sorted (valuations are ordered maps).
 pub fn all_matches(tree: &Tree, pattern: &Pattern) -> Vec<Valuation> {
-    let mut out = std::collections::BTreeSet::new();
-    visit_pattern(tree, Tree::ROOT, pattern, &Valuation::new(), &mut |env| {
-        out.insert(env.clone());
-        true
-    });
-    out.into_iter().collect()
+    let compiled = CompiledPattern::new(pattern);
+    Matcher::new(tree, &compiled).all_matches()
 }
 
 /// Does some valuation extending `fixed` witness the pattern at the root?
 pub fn matches_with(tree: &Tree, pattern: &Pattern, fixed: &Valuation) -> bool {
-    !visit_pattern(tree, Tree::ROOT, pattern, fixed, &mut |_| false)
+    let compiled = CompiledPattern::new(pattern);
+    Matcher::new(tree, &compiled).matches_with(fixed)
 }
 
 /// Does the tree match the pattern under any valuation (`π(T) ≠ ∅`)?
 ///
-/// Uses the polynomial dynamic program of [`matches_structural`] when the
-/// pattern has no repeated variables (then values never constrain the
-/// match), falling back to the backtracking search otherwise.
+/// The bitset feasibility tables answer this outright for patterns without
+/// repeated variables (values never constrain such a match); with repeats
+/// they still prune the backtracking search down to the value-consistent
+/// embeddings.
 pub fn matches(tree: &Tree, pattern: &Pattern) -> bool {
-    match matches_structural(tree, pattern) {
-        Some(ans) => ans,
-        None => matches_with(tree, pattern, &Valuation::new()),
+    let compiled = CompiledPattern::new(pattern);
+    let matcher = Matcher::new(tree, &compiled);
+    if !compiled.has_repeated_variable() {
+        return matcher.feasible();
     }
+    matcher.matches_with(&Valuation::new())
 }
 
 /// Polynomial-time Boolean matching for patterns without repeated
 /// variables — the PTIME combined-complexity bound of Prop 4.2 made
 /// concrete. Returns `None` when the pattern reuses a variable (implicit
-/// equality: values matter, so the DP does not apply).
+/// equality: values matter, so the structural answer is only an
+/// over-approximation).
 ///
-/// The DP computes, bottom-up, for every (tree node, pattern node) pair
-/// whether the pattern subtree matches there; sequence items are placed by
-/// a left-to-right scan over the child list, descendant items via a
-/// subtree-closure table. Worst-case `O(|T| · |π| · width)`, in contrast
-/// to the backtracking evaluator, which can take exponential time on
-/// failing multi-item patterns.
+/// The tables flatten the old per-pair boolean matrices into `u64` bitset
+/// rows — one bit per pattern node — with a word-parallel subtree
+/// closure: `O(|T| · |π| · width)` overall. See [`crate::compiled`].
 pub fn matches_structural(tree: &Tree, pattern: &Pattern) -> Option<bool> {
-    if pattern.has_repeated_variable() {
+    let compiled = CompiledPattern::new(pattern);
+    if compiled.has_repeated_variable() {
         return None;
     }
-    // Index pattern nodes (post-order via explicit stack).
-    let mut nodes: Vec<&Pattern> = Vec::new();
-    fn collect<'p>(p: &'p Pattern, out: &mut Vec<&'p Pattern>) {
-        for item in &p.list {
-            match item {
-                ListItem::Seq { members, .. } => {
-                    for m in members {
-                        collect(m, out);
-                    }
-                }
-                ListItem::Descendant(d) => collect(d, out),
-            }
-        }
-        out.push(p); // children before parents
-    }
-    collect(pattern, &mut nodes);
-    // Pointer → post-order index, built once: the DP inner loop calls this
-    // per (tree node, pattern item), so a linear scan here would add an
-    // extra |π| factor to the whole table computation.
-    let index_map: std::collections::HashMap<*const Pattern, usize> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (*p as *const Pattern, i))
-        .collect();
-    let index_of = |p: &Pattern| -> usize {
-        *index_map.get(&(p as *const Pattern)).expect("collected")
-    };
-
-    let tree_order: Vec<NodeId> = tree.nodes().collect();
-    let n_tree = tree.size();
-    let n_pat = nodes.len();
-    // ok[t][p]: pattern node p matches at tree node t.
-    let mut ok = vec![vec![false; n_pat]; n_tree];
-    // sub[t][p]: p matches somewhere in t's subtree (self included).
-    let mut sub = vec![vec![false; n_pat]; n_tree];
-
-    for &t in tree_order.iter().rev() {
-        let ti = t.index();
-        let children = tree.children(t);
-        for (pi, p) in nodes.iter().enumerate() {
-            if !p.label.accepts(tree.label(t)) {
-                continue;
-            }
-            if !p.vars.is_empty() && tree.attrs(t).len() != p.vars.len() {
-                continue;
-            }
-            let all_items = p.list.iter().all(|item| match item {
-                ListItem::Descendant(d) => {
-                    let di = index_of(d);
-                    children.iter().any(|c| sub[c.index()][di])
-                }
-                ListItem::Seq { members, ops } => {
-                    seq_places(children, members, ops, &ok, &index_of)
-                }
-            });
-            if all_items {
-                ok[ti][pi] = true;
-            }
-        }
-        for pi in 0..n_pat {
-            sub[ti][pi] =
-                ok[ti][pi] || children.iter().any(|c| sub[c.index()][pi]);
-        }
-    }
-    let root_pi = n_pat - 1; // the root is pushed last in post-order
-    debug_assert!(std::ptr::eq(nodes[root_pi], pattern));
-    Some(ok[Tree::ROOT.index()][root_pi])
-}
-
-/// Can the sequence be placed along `children`? Right-to-left DP:
-/// `can[i]` = "members[m..] placeable with members[m] at position i",
-/// rolled backwards over m — `→` forces adjacency, `→*` takes a suffix-OR.
-/// `O(|members| · |children|)`.
-fn seq_places(
-    children: &[NodeId],
-    members: &[Pattern],
-    ops: &[crate::ast::SeqOp],
-    ok: &[Vec<bool>],
-    index_of: &impl Fn(&Pattern) -> usize,
-) -> bool {
-    if children.is_empty() {
-        return false;
-    }
-    let width = children.len();
-    let member_ok = |m: usize, i: usize| ok[children[i].index()][index_of(&members[m])];
-    // Last member: placeable wherever it matches.
-    let mut can: Vec<bool> = (0..width).map(|i| member_ok(members.len() - 1, i)).collect();
-    for m in (0..members.len() - 1).rev() {
-        let mut next = vec![false; width];
-        match ops[m] {
-            SeqOp::Next => {
-                for (i, slot) in next.iter_mut().enumerate().take(width - 1) {
-                    *slot = member_ok(m, i) && can[i + 1];
-                }
-            }
-            SeqOp::Following => {
-                // suffix[i] = ∃j ≥ i: can[j]
-                let mut suffix = vec![false; width + 1];
-                for i in (0..width).rev() {
-                    suffix[i] = suffix[i + 1] || can[i];
-                }
-                for (i, slot) in next.iter_mut().enumerate().take(width - 1) {
-                    *slot = member_ok(m, i) && suffix[i + 1];
-                }
-            }
-        }
-        can = next;
-    }
-    can.iter().any(|&b| b)
+    Some(Matcher::new(tree, &compiled).feasible())
 }
 
 /// Like [`matches_with`], but anchored at an arbitrary node.
 pub fn matches_at(tree: &Tree, node: NodeId, pattern: &Pattern, fixed: &Valuation) -> bool {
-    !visit_pattern(tree, node, pattern, fixed, &mut |_| false)
+    let compiled = CompiledPattern::new(pattern);
+    Matcher::new(tree, &compiled).matches_at(node, fixed)
 }
 
 /// Calls `found` on every valuation extending `seed` that witnesses the
@@ -187,124 +90,8 @@ pub fn for_each_match(
     seed: &Valuation,
     found: &mut dyn FnMut(&Valuation) -> bool,
 ) -> bool {
-    !visit_pattern(tree, Tree::ROOT, pattern, seed, found)
-}
-
-/// Core visitor: calls `found` on every valuation extending `env` that
-/// witnesses `pattern` at `node`. `found` returns `true` to continue the
-/// enumeration; the visitor returns `false` iff the search was aborted.
-fn visit_pattern(
-    tree: &Tree,
-    node: NodeId,
-    pattern: &Pattern,
-    env: &Valuation,
-    found: &mut dyn FnMut(&Valuation) -> bool,
-) -> bool {
-    // Label test.
-    if !pattern.label.accepts(tree.label(node)) {
-        return true;
-    }
-    // Arity test: a nonempty x̄ is bound to *the* attribute tuple of the
-    // node, so lengths must agree. An empty tuple imposes no attribute
-    // requirement — this is how the paper's value-free (SM°) patterns like
-    // `r/a → r/a` read, and how the paper itself abbreviates nodes whose
-    // attributes are irrelevant.
-    let attrs: Vec<&Value> = tree.attr_values(node).collect();
-    if !pattern.vars.is_empty() && attrs.len() != pattern.vars.len() {
-        return true;
-    }
-    // Bind the variable tuple; reused variables must agree.
-    let mut env = env.clone();
-    for (var, value) in pattern.vars.iter().zip(&attrs) {
-        match env.get(var) {
-            Some(bound) if bound != *value => return true,
-            Some(_) => {}
-            None => {
-                env.insert(var.clone(), (*value).clone());
-            }
-        }
-    }
-    visit_items(tree, node, &pattern.list, 0, &env, found)
-}
-
-/// Satisfies list items `items[k..]` in order, threading the valuation.
-fn visit_items(
-    tree: &Tree,
-    node: NodeId,
-    items: &[ListItem],
-    k: usize,
-    env: &Valuation,
-    found: &mut dyn FnMut(&Valuation) -> bool,
-) -> bool {
-    if k == items.len() {
-        return found(env);
-    }
-    match &items[k] {
-        ListItem::Descendant(sub) => {
-            // Some proper descendant matches `sub`.
-            for d in tree.descendants(node) {
-                let alive = visit_pattern(tree, d, sub, env, &mut |env2| {
-                    visit_items(tree, node, items, k + 1, env2, found)
-                });
-                if !alive {
-                    return false;
-                }
-            }
-            true
-        }
-        ListItem::Seq { members, ops } => {
-            // The sequence is anchored at some child of `node`.
-            let children = tree.children(node);
-            for (i, _) in children.iter().enumerate() {
-                let alive = visit_seq(tree, children, i, members, ops, 0, env, &mut |env2| {
-                    visit_items(tree, node, items, k + 1, env2, found)
-                });
-                if !alive {
-                    return false;
-                }
-            }
-            true
-        }
-    }
-}
-
-/// Matches `members[m..]` starting with `members[m]` at `children[i]`,
-/// respecting the horizontal operators.
-#[allow(clippy::too_many_arguments)]
-fn visit_seq(
-    tree: &Tree,
-    children: &[NodeId],
-    i: usize,
-    members: &[Pattern],
-    ops: &[SeqOp],
-    m: usize,
-    env: &Valuation,
-    found: &mut dyn FnMut(&Valuation) -> bool,
-) -> bool {
-    visit_pattern(tree, children[i], &members[m], env, &mut |env2| {
-        if m + 1 == members.len() {
-            return found(env2);
-        }
-        match ops[m] {
-            SeqOp::Next => {
-                // The very next sibling.
-                if i + 1 < children.len() {
-                    visit_seq(tree, children, i + 1, members, ops, m + 1, env2, found)
-                } else {
-                    true
-                }
-            }
-            SeqOp::Following => {
-                // Some strictly-later sibling.
-                for j in i + 1..children.len() {
-                    if !visit_seq(tree, children, j, members, ops, m + 1, env2, found) {
-                        return false;
-                    }
-                }
-                true
-            }
-        }
-    })
+    let compiled = CompiledPattern::new(pattern);
+    Matcher::new(tree, &compiled).for_each_match(seed, found)
 }
 
 #[cfg(test)]

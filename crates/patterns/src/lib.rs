@@ -12,17 +12,24 @@
 //! * [`parse()`](parse()) — the textual pattern syntax used throughout the examples;
 //! * [`eval`] — `(T, s) ⊨ π(ā)`: match enumeration `π(T)` and matching
 //!   under partial valuations (Prop 4.2);
+//! * [`compiled`] — the evaluation kernel behind [`eval`]: interned
+//!   variables, trail-based backtracking, bitset feasibility tables
+//!   reusable across probes;
+//! * [`reference`] — the naive spec evaluator kept for differential tests;
 //! * [`sat`] — satisfiability of patterns w.r.t. a DTD and achievable
 //!   match-set enumeration (Lemma 4.1, and the engine behind Thm 5.2 /
 //!   Prop 6.1 in `xmlmap-core`).
 
 pub mod ast;
+pub mod compiled;
 pub mod eval;
 pub mod minimize;
 pub mod parse;
+pub mod reference;
 pub mod sat;
 
 pub use ast::{LabelTest, ListItem, Pattern, SeqOp, Var};
+pub use compiled::{CompiledPattern, Matcher};
 pub use eval::{
     all_matches, for_each_match, matches, matches_at, matches_structural, matches_with,
     Valuation,

@@ -1,0 +1,159 @@
+//! The naive reference evaluator — a direct transcription of the paper's
+//! semantics (§3), retained as the specification oracle for differential
+//! tests against the optimized kernel in [`crate::compiled`].
+//!
+//! It builds valuations as persistent `BTreeMap`s, cloning at every binding
+//! site, and performs no pruning. Do not use it on hot paths; use
+//! [`crate::eval`], which delegates to the compiled kernel.
+
+use crate::ast::{ListItem, Pattern, SeqOp};
+use crate::eval::Valuation;
+use xmlmap_trees::{NodeId, Tree, Value};
+
+/// Evaluates `π(T)` by exhaustive search (see [`crate::eval::all_matches`]).
+pub fn all_matches(tree: &Tree, pattern: &Pattern) -> Vec<Valuation> {
+    let mut out = std::collections::BTreeSet::new();
+    visit_pattern(tree, Tree::ROOT, pattern, &Valuation::new(), &mut |env| {
+        out.insert(env.clone());
+        true
+    });
+    out.into_iter().collect()
+}
+
+/// Does some valuation extending `fixed` witness the pattern at the root?
+pub fn matches_with(tree: &Tree, pattern: &Pattern, fixed: &Valuation) -> bool {
+    !visit_pattern(tree, Tree::ROOT, pattern, fixed, &mut |_| false)
+}
+
+/// Like [`matches_with`], anchored at an arbitrary node.
+pub fn matches_at(tree: &Tree, node: NodeId, pattern: &Pattern, fixed: &Valuation) -> bool {
+    !visit_pattern(tree, node, pattern, fixed, &mut |_| false)
+}
+
+/// Calls `found` on every valuation extending `seed` witnessing the
+/// pattern at the root; returns `true` iff stopped early.
+pub fn for_each_match(
+    tree: &Tree,
+    pattern: &Pattern,
+    seed: &Valuation,
+    found: &mut dyn FnMut(&Valuation) -> bool,
+) -> bool {
+    !visit_pattern(tree, Tree::ROOT, pattern, seed, found)
+}
+
+/// Core visitor: calls `found` on every valuation extending `env` that
+/// witnesses `pattern` at `node`. `found` returns `true` to continue the
+/// enumeration; the visitor returns `false` iff the search was aborted.
+fn visit_pattern(
+    tree: &Tree,
+    node: NodeId,
+    pattern: &Pattern,
+    env: &Valuation,
+    found: &mut dyn FnMut(&Valuation) -> bool,
+) -> bool {
+    // Label test.
+    if !pattern.label.accepts(tree.label(node)) {
+        return true;
+    }
+    // Arity test: a nonempty x̄ is bound to *the* attribute tuple of the
+    // node, so lengths must agree. An empty tuple imposes no attribute
+    // requirement — this is how the paper's value-free (SM°) patterns like
+    // `r/a → r/a` read, and how the paper itself abbreviates nodes whose
+    // attributes are irrelevant.
+    let attrs: Vec<&Value> = tree.attr_values(node).collect();
+    if !pattern.vars.is_empty() && attrs.len() != pattern.vars.len() {
+        return true;
+    }
+    // Bind the variable tuple; reused variables must agree.
+    let mut env = env.clone();
+    for (var, value) in pattern.vars.iter().zip(&attrs) {
+        match env.get(var) {
+            Some(bound) if bound != *value => return true,
+            Some(_) => {}
+            None => {
+                env.insert(var.clone(), (*value).clone());
+            }
+        }
+    }
+    visit_items(tree, node, &pattern.list, 0, &env, found)
+}
+
+/// Satisfies list items `items[k..]` in order, threading the valuation.
+fn visit_items(
+    tree: &Tree,
+    node: NodeId,
+    items: &[ListItem],
+    k: usize,
+    env: &Valuation,
+    found: &mut dyn FnMut(&Valuation) -> bool,
+) -> bool {
+    if k == items.len() {
+        return found(env);
+    }
+    match &items[k] {
+        ListItem::Descendant(sub) => {
+            // Some proper descendant matches `sub`.
+            for d in tree.descendants(node) {
+                let alive = visit_pattern(tree, d, sub, env, &mut |env2| {
+                    visit_items(tree, node, items, k + 1, env2, found)
+                });
+                if !alive {
+                    return false;
+                }
+            }
+            true
+        }
+        ListItem::Seq { members, ops } => {
+            // The sequence is anchored at some child of `node`.
+            let children = tree.children(node);
+            for (i, _) in children.iter().enumerate() {
+                let alive = visit_seq(tree, children, i, members, ops, 0, env, &mut |env2| {
+                    visit_items(tree, node, items, k + 1, env2, found)
+                });
+                if !alive {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Matches `members[m..]` starting with `members[m]` at `children[i]`,
+/// respecting the horizontal operators.
+#[allow(clippy::too_many_arguments)]
+fn visit_seq(
+    tree: &Tree,
+    children: &[NodeId],
+    i: usize,
+    members: &[Pattern],
+    ops: &[SeqOp],
+    m: usize,
+    env: &Valuation,
+    found: &mut dyn FnMut(&Valuation) -> bool,
+) -> bool {
+    visit_pattern(tree, children[i], &members[m], env, &mut |env2| {
+        if m + 1 == members.len() {
+            return found(env2);
+        }
+        match ops[m] {
+            SeqOp::Next => {
+                // The very next sibling.
+                if i + 1 < children.len() {
+                    visit_seq(tree, children, i + 1, members, ops, m + 1, env2, found)
+                } else {
+                    true
+                }
+            }
+            SeqOp::Following => {
+                // Some strictly-later sibling.
+                for j in i + 1..children.len() {
+                    if !visit_seq(tree, children, j, members, ops, m + 1, env2, found) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    })
+}
