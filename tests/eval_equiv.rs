@@ -1,0 +1,212 @@
+//! Differential tests: the optimized evaluation kernel
+//! (`xmlmap_patterns::compiled`, reached through `xmlmap_patterns::eval`)
+//! against the naive reference evaluator (`xmlmap_patterns::reference`),
+//! on randomly generated trees × patterns.
+//!
+//! The generators deliberately favour the tricky corners of the kernel:
+//! repeated variables (implicit equality — both inside one tuple and
+//! across pattern nodes), wildcard labels, deep `//` descent, `->` vs
+//! `->*` sequences, seeded valuations that disagree with the document,
+//! and `≠`-bearing STD conditions. Every disagreement with the reference
+//! is a kernel bug.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmlmap::patterns::{self, reference, Pattern, SeqOp, Valuation, Var};
+use xmlmap::prelude::*;
+
+/// Random data tree over labels {a,b,c,d} under root `r`, with 0–2
+/// attributes per node drawn from a 3-value pool — small enough that
+/// repeated-variable equalities both succeed and fail often.
+fn random_tree(rng: &mut StdRng) -> Tree {
+    let labels = ["a", "b", "c", "d"];
+    let mut t = Tree::new("r");
+    let budget = rng.gen_range(1..=14);
+    let mut nodes = vec![Tree::ROOT];
+    for _ in 0..budget {
+        let parent = nodes[rng.gen_range(0..nodes.len())];
+        let label = labels[rng.gen_range(0..labels.len())];
+        let n_attrs = rng.gen_range(0..=2);
+        let attrs: Vec<(&str, Value)> = (0..n_attrs)
+            .map(|i| {
+                let v = rng.gen_range(0..3u8);
+                (["p", "q"][i], Value::str(format!("{v}")))
+            })
+            .collect();
+        nodes.push(t.add_child(parent, label, attrs));
+    }
+    t
+}
+
+/// Random sub-pattern of depth ≤ `depth`. Variables come from a pool of
+/// three and repeat freely; labels include the wildcard.
+fn random_sub(rng: &mut StdRng, depth: usize) -> Pattern {
+    let labels = ["a", "b", "c", "d"];
+    let vars = ["x", "y", "z"];
+    let n_vars = rng.gen_range(0..=2);
+    let tuple: Vec<Var> = (0..n_vars)
+        .map(|_| Var::from(vars[rng.gen_range(0..vars.len())]))
+        .collect();
+    let mut p = if rng.gen_bool(0.2) {
+        Pattern::wildcard(tuple)
+    } else {
+        Pattern::leaf(labels[rng.gen_range(0..labels.len())], tuple)
+    };
+    if depth == 0 {
+        return p;
+    }
+    for _ in 0..rng.gen_range(0..=2) {
+        match rng.gen_range(0..3u8) {
+            0 => p = p.child(random_sub(rng, depth - 1)),
+            1 => p = p.descendant(random_sub(rng, depth - 1)),
+            _ => {
+                let k = rng.gen_range(2..=3);
+                let members: Vec<Pattern> =
+                    (0..k).map(|_| random_sub(rng, depth - 1)).collect();
+                let ops: Vec<SeqOp> = (1..k)
+                    .map(|_| if rng.gen_bool(0.5) { SeqOp::Next } else { SeqOp::Following })
+                    .collect();
+                p = p.seq(members, ops);
+            }
+        }
+    }
+    p
+}
+
+/// Random full pattern anchored at the root (occasionally by wildcard).
+fn random_pattern(rng: &mut StdRng) -> Pattern {
+    let root = if rng.gen_bool(0.15) {
+        Pattern::wildcard(Vec::<Var>::new())
+    } else {
+        Pattern::leaf("r", Vec::<Var>::new())
+    };
+    root.child(random_sub(rng, 2))
+}
+
+/// Random partial valuation over the pattern's variables: values from the
+/// tree's pool plus a foreign value no document carries (so seeded probes
+/// exercise both the satisfiable and the unsatisfiable direction).
+fn random_seed(rng: &mut StdRng, pattern: &Pattern) -> Valuation {
+    let mut vars: Vec<Var> = pattern.variables();
+    vars.sort();
+    vars.dedup();
+    let mut seed = Valuation::new();
+    for v in vars {
+        if rng.gen_bool(0.4) {
+            let val = match rng.gen_range(0..4u8) {
+                3 => Value::str("foreign"),
+                d => Value::str(format!("{d}")),
+            };
+            seed.insert(v, val);
+        }
+    }
+    seed
+}
+
+proptest! {
+    // 1100 random (tree, pattern) cases through every public entry point.
+    #![proptest_config(ProptestConfig::with_cases(1100))]
+
+    /// The kernel agrees with the reference on `π(T)` (full enumeration,
+    /// including result order), boolean matching, seeded matching, and
+    /// anchored matching.
+    #[test]
+    fn kernel_matches_reference(case_seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let tree = random_tree(&mut rng);
+        let pattern = random_pattern(&mut rng);
+
+        // Full enumeration, order included (the kernel reproduces the
+        // reference's BTreeSet ordering).
+        let fast = patterns::all_matches(&tree, &pattern);
+        let slow = reference::all_matches(&tree, &pattern);
+        prop_assert_eq!(
+            &fast, &slow,
+            "all_matches diverges on {} over\n{:?}", pattern, tree
+        );
+
+        // Boolean matching is consistent with the enumeration.
+        prop_assert_eq!(patterns::matches(&tree, &pattern), !slow.is_empty());
+
+        // Seeded probes: empty seed, a random partial seed, and (when
+        // possible) a full seed taken from a genuine match.
+        let empty = Valuation::new();
+        prop_assert_eq!(
+            patterns::matches_with(&tree, &pattern, &empty),
+            reference::matches_with(&tree, &pattern, &empty)
+        );
+        let seed = random_seed(&mut rng, &pattern);
+        prop_assert_eq!(
+            patterns::matches_with(&tree, &pattern, &seed),
+            reference::matches_with(&tree, &pattern, &seed),
+            "matches_with diverges under seed {:?} on {} over\n{:?}", seed, pattern, tree
+        );
+        if let Some(m) = slow.first() {
+            prop_assert!(patterns::matches_with(&tree, &pattern, m));
+        }
+
+        // Anchored matching at a random node.
+        let nodes: Vec<_> = tree.nodes().collect();
+        let at = nodes[rng.gen_range(0..nodes.len())];
+        prop_assert_eq!(
+            patterns::matches_at(&tree, at, &pattern, &seed),
+            reference::matches_at(&tree, at, &pattern, &seed)
+        );
+
+        // Streaming enumeration: one callback per witnessing derivation
+        // (duplicates allowed), whose deduplicated set is exactly π(T);
+        // early termination is honoured.
+        let mut seen = std::collections::BTreeSet::new();
+        let stopped = patterns::for_each_match(&tree, &pattern, &empty, &mut |m| {
+            seen.insert(m.clone());
+            true
+        });
+        prop_assert!(!stopped);
+        prop_assert_eq!(seen.into_iter().collect::<Vec<_>>(), slow.clone());
+        let stopped_early =
+            patterns::for_each_match(&tree, &pattern, &empty, &mut |_| false);
+        prop_assert_eq!(stopped_early, !slow.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// `Std::satisfied` (the dense-kernel path) agrees with the spec-level
+    /// check built from the reference evaluator, on STDs carrying `=` and
+    /// `≠` side conditions — including conditions over variables the
+    /// target pattern never binds.
+    #[test]
+    fn std_satisfied_matches_reference_spec(case_seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let catalogue = [
+            "r/a(x) --> r/c(x, z)",
+            "r[a(x), a(y)] ; x != y --> r[c(x, z) ->* c(y, z)]",
+            "r/b(x, y) ; x != y --> r/c(x, z) ; z != y",
+            "r[a(x) -> a(y)] ; x = y --> r[c(x, q), c(y, q)]",
+            "r//c(x, y) --> r/d(x) ; x != u",
+            "r/a(x) --> r//c(x, x)",
+        ];
+        let std = Std::parse(catalogue[rng.gen_range(0..catalogue.len())]).unwrap();
+        // Source/target documents from the same generator: labels overlap,
+        // so both vacuous and contentful satisfaction arise.
+        let t1 = random_tree(&mut rng);
+        let t2 = random_tree(&mut rng);
+
+        let shared: std::collections::BTreeSet<_> = std.shared_vars().into_iter().collect();
+        let spec = reference::all_matches(&t1, &std.source)
+            .into_iter()
+            .filter(|m| xmlmap::core::all_hold(&std.source_cond, m))
+            .all(|m| {
+                reference::all_matches(&t2, &std.target).into_iter().any(|tm| {
+                    shared.iter().all(|v| tm.get(v) == m.get(v))
+                        && xmlmap::core::all_hold(&std.target_cond, &tm)
+                })
+            });
+        prop_assert_eq!(
+            std.satisfied(&t1, &t2), spec,
+            "satisfied diverges on {}\nsource:\n{:?}\ntarget:\n{:?}", std, t1, t2
+        );
+    }
+}
