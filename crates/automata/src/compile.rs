@@ -44,7 +44,10 @@ struct NodeC {
 
 enum ItemC {
     Desc(usize),
-    Seq { members: Vec<usize>, ops: Vec<SeqOp> },
+    Seq {
+        members: Vec<usize>,
+        ops: Vec<SeqOp>,
+    },
 }
 
 fn flatten(p: &Pattern, nodes: &mut Vec<NodeC>, desc: &mut Vec<usize>) -> usize {
@@ -108,8 +111,7 @@ pub fn pattern_automaton(dtd: &Dtd, pattern: &Pattern) -> HedgeAutomaton {
             let mut ok = true;
             for (pid, node) in nodes.iter().enumerate() {
                 if claims(pid)
-                    && (!node.label.accepts(label)
-                        || (node.arity != 0 && node.arity != arity))
+                    && (!node.label.accepts(label) || (node.arity != 0 && node.arity != arity))
                 {
                     ok = false;
                     break;
@@ -164,9 +166,7 @@ pub fn pattern_automaton(dtd: &Dtd, pattern: &Pattern) -> HedgeAutomaton {
     }
 
     // Accepting: claim sets containing the root pattern's NodeMatch.
-    let accepting = (0..n_states)
-        .map(|s| s & (1 << root_pid) != 0)
-        .collect();
+    let accepting = (0..n_states).map(|s| s & (1 << root_pid) != 0).collect();
     HedgeAutomaton {
         num_states: n_states,
         rules,
@@ -263,8 +263,8 @@ mod tests {
         let d = dtd("root r\nr -> a*\na -> b?\nb -> ");
         let docs = vec![
             tree!("r"),
-            tree!("r" [ "a" ]),
-            tree!("r" [ "a" [ "b" ] ]),
+            tree!("r"["a"]),
+            tree!("r"["a"["b"]]),
             tree!("r" [ "a", "a" [ "b" ] ]),
         ];
         check(&d, &pat("r/a"), &docs);
@@ -295,8 +295,8 @@ mod tests {
         let d = dtd("root r\nr -> a?, b?\na @ v");
         let docs = vec![
             tree!("r"),
-            tree!("r" [ "a"("v" = "1") ]),
-            tree!("r" [ "b" ]),
+            tree!("r"["a"("v" = "1")]),
+            tree!("r"["b"]),
             tree!("r" [ "a"("v" = "1"), "b" ]),
         ];
         check(&d, &pat("r/_"), &docs);
@@ -316,23 +316,19 @@ mod tests {
             ("r/a/b/b", false),
         ] {
             let p = pat(text);
-            let product =
-                HedgeAutomaton::from_dtd(&d).product(&pattern_automaton(&d, &p));
+            let product = HedgeAutomaton::from_dtd(&d).product(&pattern_automaton(&d, &p));
             let automata_answer = product.witness();
-            let engine_answer =
-                xmlmap_patterns::satisfiable(&d, &p, 10_000_000).unwrap();
-            assert_eq!(
-                automata_answer.is_some(),
-                engine_answer.is_some(),
-                "{text}"
-            );
+            let engine_answer = xmlmap_patterns::satisfiable(&d, &p, 10_000_000).unwrap();
+            assert_eq!(automata_answer.is_some(), engine_answer.is_some(), "{text}");
             assert_eq!(automata_answer.is_some(), expect, "{text}");
             if let Some(w) = automata_answer {
-                assert!(d.conforms(&w) || {
-                    // Witness lacks attributes; label structure must conform
-                    // to the attribute-free view.
-                    true
-                });
+                assert!(
+                    d.conforms(&w) || {
+                        // Witness lacks attributes; label structure must conform
+                        // to the attribute-free view.
+                        true
+                    }
+                );
             }
         }
     }

@@ -44,8 +44,7 @@ impl HedgeAutomaton {
     /// (automata see only the label structure).
     pub fn from_dtd(dtd: &Dtd) -> HedgeAutomaton {
         let labels: Vec<Name> = dtd.alphabet().cloned().collect();
-        let index: HashMap<&Name, usize> =
-            labels.iter().enumerate().map(|(i, l)| (l, i)).collect();
+        let index: HashMap<&Name, usize> = labels.iter().enumerate().map(|(i, l)| (l, i)).collect();
         let rules = labels
             .iter()
             .enumerate()
@@ -77,11 +76,8 @@ impl HedgeAutomaton {
         for &node in order.iter().rev() {
             let mut states = HashSet::new();
             if let Some(rules) = by_label.get(tree.label(node)) {
-                let child_sets: Vec<&HashSet<usize>> = tree
-                    .children(node)
-                    .iter()
-                    .map(|c| &sets[c])
-                    .collect();
+                let child_sets: Vec<&HashSet<usize>> =
+                    tree.children(node).iter().map(|c| &sets[c]).collect();
                 for rule in rules {
                     if accepts_sets(&rule.horizontal, &child_sets) {
                         states.insert(rule.state);
@@ -180,8 +176,8 @@ impl HedgeAutomaton {
                 break;
             }
         }
-        let root_state = (0..self.num_states)
-            .find(|&q| self.accepting[q] && inhabited.contains(&q))?;
+        let root_state =
+            (0..self.num_states).find(|&q| self.accepting[q] && inhabited.contains(&q))?;
 
         fn build(
             a: &HedgeAutomaton,
@@ -347,7 +343,7 @@ mod tests {
 
         let both = tree!("r" [ "a", "b" ]);
         let only_a = tree!("r" [ "a", "a" ]);
-        let only_b = tree!("r" [ "b" ]);
+        let only_b = tree!("r"["b"]);
         assert!(prod.accepts(&both));
         assert!(prod.accepts(&only_b));
         assert!(!prod.accepts(&only_a)); // db forbids two a's
@@ -368,8 +364,8 @@ mod tests {
         let da = xmlmap_dtd::parse("root r\nr -> a").unwrap();
         let db = xmlmap_dtd::parse("root r\nr -> b").unwrap();
         let u = HedgeAutomaton::from_dtd(&da).union(&HedgeAutomaton::from_dtd(&db));
-        assert!(u.accepts(&tree!("r" [ "a" ])));
-        assert!(u.accepts(&tree!("r" [ "b" ])));
+        assert!(u.accepts(&tree!("r"["a"])));
+        assert!(u.accepts(&tree!("r"["b"])));
         assert!(!u.accepts(&tree!("r" [ "a", "b" ])));
         assert!(!u.accepts(&tree!("r")));
         let w = u.witness().unwrap();

@@ -26,7 +26,11 @@ pub struct InclusionBudgetExceeded {
 
 impl std::fmt::Display for InclusionBudgetExceeded {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "inclusion check exceeded its budget of {} states", self.budget)
+        write!(
+            f,
+            "inclusion check exceeded its budget of {} states",
+            self.budget
+        )
     }
 }
 
@@ -97,9 +101,7 @@ pub fn inclusion_counterexample(
                         let sb: BTreeSet<usize> = b_rules
                             .iter()
                             .zip(&st.b)
-                            .filter(|(br, bs)| {
-                                bs.iter().any(|&q| br.horizontal.accepting[q])
-                            })
+                            .filter(|(br, bs)| bs.iter().any(|&q| br.horizontal.accepting[q]))
                             .map(|(br, _)| br.state)
                             .collect();
                         let key = (label.clone(), rule.state, sb.clone());
@@ -281,7 +283,9 @@ mod tests {
         let wide = dtd("root r\nr -> a?, b+, c*");
         assert!(subschema(&narrow, &wide, BUDGET).unwrap().is_none());
         // The converse fails; the counterexample conforms to wide only.
-        let v = subschema(&wide, &narrow, BUDGET).unwrap().expect("violation");
+        let v = subschema(&wide, &narrow, BUDGET)
+            .unwrap()
+            .expect("violation");
         let SubschemaViolation::Document(t) = v else {
             panic!("expected a document violation");
         };
@@ -316,8 +320,12 @@ mod tests {
         let list = dtd("root r\nr -> item\nitem -> item?");
         let tree_shape = dtd("root r\nr -> item\nitem -> item*");
         assert!(subschema(&list, &tree_shape, BUDGET).unwrap().is_none());
-        let v = subschema(&tree_shape, &list, BUDGET).unwrap().expect("violation");
-        let SubschemaViolation::Document(t) = v else { panic!() };
+        let v = subschema(&tree_shape, &list, BUDGET)
+            .unwrap()
+            .expect("violation");
+        let SubschemaViolation::Document(t) = v else {
+            panic!()
+        };
         // Some node has two item children.
         assert!(t.nodes().any(|n| t.children(n).len() >= 2));
     }
@@ -327,7 +335,9 @@ mod tests {
         let ab = dtd("root r\nr -> a, b");
         let ba = dtd("root r\nr -> b, a");
         let v = subschema(&ab, &ba, BUDGET).unwrap().expect("violation");
-        let SubschemaViolation::Document(t) = v else { panic!() };
+        let SubschemaViolation::Document(t) = v else {
+            panic!()
+        };
         assert!(ab.conforms(&t) && !ba.conforms(&t));
     }
 

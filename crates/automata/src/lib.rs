@@ -13,4 +13,6 @@ pub mod inclusion;
 
 pub use compile::pattern_automaton;
 pub use hedge::{HedgeAutomaton, Rule};
-pub use inclusion::{inclusion_counterexample, subschema, InclusionBudgetExceeded, SubschemaViolation};
+pub use inclusion::{
+    inclusion_counterexample, subschema, InclusionBudgetExceeded, SubschemaViolation,
+};

@@ -132,14 +132,18 @@ fn conscomp(c: &mut Criterion) {
     group.sample_size(10);
     for n in [1usize, 2, 3] {
         let (m12, m23) = hard::compose_chain(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(m12, m23), |b, (m12, m23)| {
-            b.iter(|| {
-                let ok =
-                    consistency::composition_consistent(black_box(m12), black_box(m23), BUDGET)
-                        .unwrap();
-                assert!(ok);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(m12, m23),
+            |b, (m12, m23)| {
+                b.iter(|| {
+                    let ok =
+                        consistency::composition_consistent(black_box(m12), black_box(m23), BUDGET)
+                            .unwrap();
+                    assert!(ok);
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -47,13 +47,14 @@ fn pattern_eval_combined(c: &mut Criterion) {
         let tree = xmlmap_gen::university_tree(n, n);
         // Pattern: n student conjuncts under one professor.
         let mut prof = xmlmap_patterns::Pattern::leaf("prof", ["x"]);
-        let mut sup = xmlmap_patterns::Pattern::leaf("supervise", Vec::<xmlmap_patterns::Var>::new());
+        let mut sup =
+            xmlmap_patterns::Pattern::leaf("supervise", Vec::<xmlmap_patterns::Var>::new());
         for i in 0..n {
             sup = sup.child(xmlmap_patterns::Pattern::leaf("student", [format!("s{i}")]));
         }
         prof = prof.child(sup);
-        let pattern = xmlmap_patterns::Pattern::leaf("r", Vec::<xmlmap_patterns::Var>::new())
-            .child(prof);
+        let pattern =
+            xmlmap_patterns::Pattern::leaf("r", Vec::<xmlmap_patterns::Var>::new()).child(prof);
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(tree, pattern),
@@ -79,15 +80,11 @@ fn membership_data(c: &mut Criterion) {
     let ks = [8usize, 32, 128, 512];
     let instances = xmlmap_par::par_map(&ks, |&k| hard::membership_instance(k));
     for (k, (t1, t3)) in ks.into_iter().zip(instances) {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(k),
-            &(t1, t3),
-            |b, (t1, t3)| {
-                b.iter(|| {
-                    assert!(m.is_solution(black_box(t1), black_box(t3)));
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(t1, t3), |b, (t1, t3)| {
+            b.iter(|| {
+                assert!(m.is_solution(black_box(t1), black_box(t3)));
+            })
+        });
     }
     group.finish();
 }
@@ -133,22 +130,18 @@ fn composition_data(c: &mut Criterion) {
                 [("u", xmlmap_trees::Value::str(format!("v{i}")))],
             );
         }
-        group.bench_with_input(
-            BenchmarkId::from_parameter(k),
-            &(t1, t3),
-            |b, (t1, t3)| {
-                b.iter(|| {
-                    let middle = xmlmap_core::composition_member(
-                        black_box(&m12),
-                        black_box(&m23),
-                        black_box(t1),
-                        black_box(t3),
-                        k + 2,
-                    );
-                    assert!(middle.is_some());
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(t1, t3), |b, (t1, t3)| {
+            b.iter(|| {
+                let middle = xmlmap_core::composition_member(
+                    black_box(&m12),
+                    black_box(&m23),
+                    black_box(t1),
+                    black_box(t3),
+                    k + 2,
+                );
+                assert!(middle.is_some());
+            })
+        });
     }
     group.finish();
 }

@@ -55,15 +55,11 @@ fn composed_membership(c: &mut Criterion) {
                 [("u", xmlmap_trees::Value::str(format!("v{i}")))],
             );
         }
-        group.bench_with_input(
-            BenchmarkId::from_parameter(k),
-            &(t1, t3),
-            |b, (t1, t3)| {
-                b.iter(|| {
-                    assert!(s13.is_solution(black_box(t1), black_box(t3)));
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(t1, t3), |b, (t1, t3)| {
+            b.iter(|| {
+                assert!(s13.is_solution(black_box(t1), black_box(t3)));
+            })
+        });
     }
     group.finish();
 }

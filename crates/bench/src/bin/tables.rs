@@ -12,7 +12,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--json") {
         let capture = args.iter().any(|a| a == "--capture-baseline");
-        xmlmap_bench::micro::run_json(capture);
+        let gate = args
+            .iter()
+            .position(|a| a == "--gate")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        if !xmlmap_bench::micro::run_json(capture, gate.as_deref()) {
+            std::process::exit(1);
+        }
         return;
     }
     figure1();
@@ -95,8 +102,11 @@ fn figure1() {
             .map(|i| xmlmap_core::Std::parse(&format!("r/a{i} --> r/c")).unwrap())
             .collect();
         let m = xmlmap_core::Mapping::new(ds, dt, stds);
-        let (ans, d) =
-            time_once(|| xmlmap_core::abscons_structural(&m, BUDGET).unwrap().unwrap());
+        let (ans, d) = time_once(|| {
+            xmlmap_core::abscons_structural(&m, BUDGET)
+                .unwrap()
+                .unwrap()
+        });
         assert!(ans.holds());
         println!("{n:>8} {:>12} {:>14}", 1u64 << n, fmt_duration(d));
     }
@@ -124,7 +134,12 @@ fn figure2() {
     for profs in [10usize, 40, 160, 640, 2560] {
         let tree = xmlmap_gen::university_tree(profs, 3);
         let (ms, d) = time_once(|| xmlmap_patterns::all_matches(&tree, &pattern));
-        println!("{:>10} {:>10} {:>14}", tree.size(), ms.len(), fmt_duration(d));
+        println!(
+            "{:>10} {:>10} {:>14}",
+            tree.size(),
+            ms.len(),
+            fmt_duration(d)
+        );
     }
 
     println!("\n⟦M⟧ membership, data complexity (fixed 2-var mapping) — paper: DLOGSPACE");
@@ -169,9 +184,8 @@ fn figure2() {
                 [("u", xmlmap_trees::Value::str(format!("v{i}")))],
             );
         }
-        let (middle, d) = time_once(|| {
-            xmlmap_core::composition_member(&m12, &m23, &t1, &t3, k + 2)
-        });
+        let (middle, d) =
+            time_once(|| xmlmap_core::composition_member(&m12, &m23, &t1, &t3, k + 2));
         assert!(middle.is_some());
         println!("{k:>10} {:>14}", fmt_duration(d));
     }
@@ -193,15 +207,22 @@ fn figure2() {
     // std always fires — and the empty final document can never satisfy it.
     let t1 = {
         let mut t = xmlmap_trees::Tree::new("r");
-        t.add_child(xmlmap_trees::Tree::ROOT, "a", [("v", xmlmap_trees::Value::str("p"))]);
-        t.add_child(xmlmap_trees::Tree::ROOT, "a", [("v", xmlmap_trees::Value::str("q"))]);
+        t.add_child(
+            xmlmap_trees::Tree::ROOT,
+            "a",
+            [("v", xmlmap_trees::Value::str("p"))],
+        );
+        t.add_child(
+            xmlmap_trees::Tree::ROOT,
+            "a",
+            [("v", xmlmap_trees::Value::str("q"))],
+        );
         t
     };
     let t3_neg = xmlmap_trees::Tree::new("w"); // no c at all: membership fails
     for bound in [2usize, 3, 4, 5] {
-        let (out, d) = time_once(|| {
-            xmlmap_core::composition_member(&m12h, &m23h, &t1, &t3_neg, bound)
-        });
+        let (out, d) =
+            time_once(|| xmlmap_core::composition_member(&m12h, &m23h, &t1, &t3_neg, bound));
         assert!(out.is_none());
         println!("{bound:>10} {:>14}", fmt_duration(d));
     }
@@ -230,8 +251,7 @@ fn lemma41() {
         }
         let dtd = xmlmap_dtd::parse(&lines.join("\n")).unwrap();
         let pattern = xmlmap_patterns::parse(&format!("r//e{}", n - 1)).unwrap();
-        let (ans, d) =
-            time_once(|| xmlmap_patterns::sat::satisfiable_nr(&dtd, &pattern).unwrap());
+        let (ans, d) = time_once(|| xmlmap_patterns::sat::satisfiable_nr(&dtd, &pattern).unwrap());
         assert!(ans);
         println!("{n:>8} {:>14}", fmt_duration(d));
     }
@@ -247,7 +267,12 @@ fn thm82() {
         let s12 = SkolemMapping::from_mapping(&m12).unwrap();
         let s23 = SkolemMapping::from_mapping(&m23).unwrap();
         let (s13, d) = time_once(|| xmlmap_core::compose(&s12, &s23).unwrap());
-        println!("{:>8} {:>12} {:>14}", n + 1, s13.stds.len(), fmt_duration(d));
+        println!(
+            "{:>8} {:>12} {:>14}",
+            n + 1,
+            s13.stds.len(),
+            fmt_duration(d)
+        );
     }
 }
 
@@ -276,8 +301,7 @@ fn chase_ablation() {
     );
     for profs in [5usize, 20, 80, 320] {
         let src = xmlmap_gen::university_tree(profs, 3);
-        let (solution, d_chase) =
-            time_once(|| xmlmap_core::canonical_solution(&m, &src).unwrap());
+        let (solution, d_chase) = time_once(|| xmlmap_core::canonical_solution(&m, &src).unwrap());
         let (reduced, d_reduce) = time_once(|| xmlmap_core::reduce_solution(&m, &solution));
         println!(
             "{profs:>8} {:>10} {:>10} {:>10} {:>12} {:>12}",

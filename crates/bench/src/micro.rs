@@ -12,6 +12,8 @@
 
 use criterion::measure_median_ns;
 use std::time::Duration;
+use xmlmap_core::consistency;
+use xmlmap_gen::hard;
 use xmlmap_patterns::{Pattern, Valuation, Var};
 use xmlmap_trees::{Tree, Value};
 
@@ -19,6 +21,41 @@ use xmlmap_trees::{Tree, Value};
 const SAMPLES: usize = 9;
 /// Target measurement time per micro-benchmark.
 const BUDGET: Duration = Duration::from_millis(250);
+/// States budget for the type-fixpoint rows (never hit by these families).
+const SAT_BUDGET: usize = 50_000_000;
+
+/// Satisfiability probes against the university DTD: the repeated-probe
+/// workload of the consistency procedures (N sat calls against one schema).
+const UNI_PROBES: [&str; 16] = [
+    "r/prof(x)",
+    "r//course(c)",
+    "r//student(s)",
+    "r/prof(x)[teach[year(y)]]",
+    "r[prof(x)[supervise[student(s)]]]",
+    "r[prof(x)[teach[year(y)[course(c1) -> course(c2)]]]]",
+    "r//year(y)[course(c)]",
+    "r[prof(a), prof(b)]",
+    "r[prof(x)[teach[year(y)[course(c1) ->* course(c2)]]]]",
+    "r//teach[year(y)]",
+    "r[prof(x), prof(z)[supervise]]",
+    "r//supervise[student(s1), student(s2)]",
+    "r/prof(x)[teach[year(y)[course(c)]], supervise]",
+    "r//year(y)[course(c1), course(c2)]",
+    "r/prof(x)[supervise[student(s1) -> student(s2)]]",
+    "r//prof(p)[teach[year(q)]]",
+];
+
+/// The value-free Π₂ᵖ family from the ABSCONS° grid row: `n` source labels
+/// under `(a0|…|an-1)*`, each mapped to `r/c` (2ⁿ source match sets).
+fn valuefree_mapping(n: usize) -> xmlmap_core::Mapping {
+    let labels: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+    let ds = xmlmap_dtd::parse(&format!("root r\nr -> ({})*", labels.join("|"))).unwrap();
+    let dt = xmlmap_dtd::parse("root r\nr -> c*").unwrap();
+    let stds = (0..n)
+        .map(|i| xmlmap_core::Std::parse(&format!("r/a{i} --> r/c")).unwrap())
+        .collect();
+    xmlmap_core::Mapping::new(ds, dt, stds)
+}
 
 /// A failing pattern with `n` independent `//`-obligations over a flat
 /// tree — exponential for backtracking, linear for the structural DP
@@ -76,7 +113,9 @@ pub fn run_suite() -> Vec<(&'static str, f64)> {
 
     // Seeded existential probe: the target-side check an std performs.
     let student = xmlmap_patterns::parse("r//student(s)").unwrap();
-    let seed: Valuation = [(Var::new("s"), Value::str("s159_2"))].into_iter().collect();
+    let seed: Valuation = [(Var::new("s"), Value::str("s159_2"))]
+        .into_iter()
+        .collect();
     bench("eval/matches_with_seeded_probe", &mut || {
         assert!(xmlmap_patterns::matches_with(&uni160, &student, &seed));
     });
@@ -84,7 +123,11 @@ pub fn run_suite() -> Vec<(&'static str, f64)> {
     // Failing multi-item pattern, backtracking forced via the seeded path.
     let (advt, advp) = adversarial(3, 24);
     bench("eval/matches_with_adversarial3", &mut || {
-        assert!(!xmlmap_patterns::matches_with(&advt, &advp, &Valuation::new()));
+        assert!(!xmlmap_patterns::matches_with(
+            &advt,
+            &advp,
+            &Valuation::new()
+        ));
     });
 
     // The polynomial structural DP on a wide instance.
@@ -123,6 +166,62 @@ pub fn run_suite() -> Vec<(&'static str, f64)> {
         assert_eq!(ans.len(), 40);
     });
 
+    // ---- consistency micro-suite (type-fixpoint engine workloads) ----
+
+    // Repeated satisfiability probes against one schema: N probes pay the
+    // schema compilation once under the SatCache.
+    let uni_dtd = xmlmap_gen::university_dtd();
+    let probes: Vec<Pattern> = UNI_PROBES
+        .iter()
+        .map(|s| xmlmap_patterns::parse(s).unwrap())
+        .collect();
+    let cache = xmlmap_patterns::SatCache::new(&uni_dtd).with_context("bench probes");
+    bench("sat/probes_university_x16", &mut || {
+        let n_sat = probes
+            .iter()
+            .filter(|p| cache.satisfiable(p, SAT_BUDGET).unwrap().is_some())
+            .count();
+        assert_eq!(n_sat, 16);
+    });
+
+    // Achievable match sets over 8 patterns (the CONS/ABSCONS primitive).
+    let vf8 = valuefree_mapping(8);
+    let srcs8: Vec<&Pattern> = vf8.stds.iter().map(|s| &s.source).collect();
+    bench("sat/match_sets_n8", &mut || {
+        let sets =
+            xmlmap_patterns::achievable_match_sets(&vf8.source_dtd, &srcs8, SAT_BUDGET).unwrap();
+        assert_eq!(sets.len(), 256);
+    });
+
+    // CONS on the EXPTIME family (2ⁿ−1 source match sets, inconsistent).
+    let ce = hard::cons_exptime(6);
+    bench("cons/exptime_n6", &mut || {
+        let ans = consistency::consistent(&ce, SAT_BUDGET).unwrap();
+        assert!(!ans.is_consistent());
+    });
+
+    // CONS with next-sibling chains (the PSPACE-hard family).
+    let cn = hard::cons_nextsib(4);
+    bench("cons/nextsib_n4", &mut || {
+        let ans = consistency::consistent(&cn, SAT_BUDGET).unwrap();
+        assert!(ans.is_consistent());
+    });
+
+    // ABSCONS° on the value-free Π₂ᵖ family.
+    let vf6 = valuefree_mapping(6);
+    bench("abscons/structural_n6", &mut || {
+        let ans = xmlmap_core::abscons_structural(&vf6, SAT_BUDGET)
+            .unwrap()
+            .unwrap();
+        assert!(ans.holds());
+    });
+
+    // Composition consistency: joint engine runs over the middle schema.
+    let (m12, m23) = hard::compose_chain(3);
+    bench("cons/compose_chain3", &mut || {
+        assert!(consistency::composition_consistent(&m12, &m23, SAT_BUDGET).unwrap());
+    });
+
     out
 }
 
@@ -147,10 +246,7 @@ pub fn read_baseline(path: &str) -> Option<Vec<(String, f64)>> {
 }
 
 /// Renders the `BENCH_eval.json` document.
-pub fn render_json(
-    baseline: Option<&[(String, f64)]>,
-    current: &[(&'static str, f64)],
-) -> String {
+pub fn render_json(baseline: Option<&[(String, f64)]>, current: &[(&'static str, f64)]) -> String {
     fn obj(rows: &[(&str, f64)]) -> String {
         let fields: Vec<String> = rows
             .iter()
@@ -160,12 +256,9 @@ pub fn render_json(
     }
     let mut s = String::from("{\n");
     s.push_str("  \"unit\": \"median ns per op\",\n");
-    s.push_str(
-        "  \"command\": \"cargo run --release -p xmlmap-bench --bin tables -- --json\",\n",
-    );
+    s.push_str("  \"command\": \"cargo run --release -p xmlmap-bench --bin tables -- --json\",\n");
     if let Some(base) = baseline {
-        let base_rows: Vec<(&str, f64)> =
-            base.iter().map(|(n, ns)| (n.as_str(), *ns)).collect();
+        let base_rows: Vec<(&str, f64)> = base.iter().map(|(n, ns)| (n.as_str(), *ns)).collect();
         s.push_str(&format!("  \"baseline\": {},\n", obj(&base_rows)));
         let speedups: Vec<(&str, f64)> = current
             .iter()
@@ -186,9 +279,69 @@ pub fn render_json(
     s
 }
 
+/// Parses the `"current"` section of a committed `BENCH_eval.json`-style
+/// document (the gate's reference medians). `None` if the file is absent or
+/// has no parseable `"current"` object.
+pub fn read_committed_current(path: &str) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let start = text.find("\"current\"")?;
+    let open = start + text[start..].find('{')?;
+    let close = open + text[open..].find('}')?;
+    let mut rows = Vec::new();
+    for line in text[open + 1..close].lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() {
+            continue;
+        }
+        let (name, ns) = line.rsplit_once(':')?;
+        rows.push((
+            name.trim().trim_matches('"').to_string(),
+            ns.trim().parse().ok()?,
+        ));
+    }
+    if rows.is_empty() {
+        None
+    } else {
+        Some(rows)
+    }
+}
+
+/// Regression-gate comparison: rows whose fresh median exceeds
+/// `threshold ×` the committed median. Benchmarks present on only one side
+/// are skipped (new rows can't regress; removed rows can't be measured).
+pub fn regressions(
+    committed: &[(String, f64)],
+    current: &[(&'static str, f64)],
+    threshold: f64,
+) -> Vec<(String, f64, f64)> {
+    current
+        .iter()
+        .filter_map(|(name, ns)| {
+            let committed_ns = committed.iter().find(|(cn, _)| cn == name)?.1;
+            (committed_ns > 0.0 && *ns > threshold * committed_ns)
+                .then(|| (name.to_string(), committed_ns, *ns))
+        })
+        .collect()
+}
+
+/// The factor by which a benchmark median may exceed the committed
+/// reference before the `--gate` run fails.
+pub const GATE_THRESHOLD: f64 = 2.0;
+
 /// The `--json` entry point: measure, optionally (re)capture the baseline,
 /// and write `BENCH_eval.json` next to the current directory.
-pub fn run_json(capture_baseline: bool) {
+///
+/// With `gate = Some(path)`, the committed reference medians are read from
+/// `path` *before* measuring (the run overwrites `BENCH_eval.json`), and the
+/// return value is `false` if any shared benchmark regressed by more than
+/// [`GATE_THRESHOLD`]×.
+pub fn run_json(capture_baseline: bool, gate: Option<&str>) -> bool {
+    // Read the committed reference first: measuring rewrites BENCH_eval.json,
+    // and the gate file is usually that same committed artefact.
+    let committed = gate.map(|path| {
+        read_committed_current(path)
+            .unwrap_or_else(|| panic!("--gate {path}: no parseable \"current\" section"))
+    });
     eprintln!("running eval micro-benchmarks ({SAMPLES} samples each)…");
     let current = run_suite();
     if capture_baseline {
@@ -200,6 +353,28 @@ pub fn run_json(capture_baseline: bool) {
     std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
     println!("{json}");
     eprintln!("wrote BENCH_eval.json");
+    if let Some(committed) = committed {
+        let bad = regressions(&committed, &current, GATE_THRESHOLD);
+        if bad.is_empty() {
+            eprintln!(
+                "bench gate: OK ({} shared benchmarks within {GATE_THRESHOLD}x)",
+                current
+                    .iter()
+                    .filter(|(n, _)| committed.iter().any(|(cn, _)| cn == n))
+                    .count()
+            );
+        } else {
+            eprintln!("bench gate: FAILED — regressions over {GATE_THRESHOLD}x:");
+            for (name, was, now) in &bad {
+                eprintln!(
+                    "  {name:<40} {was:>12.0} -> {now:>12.0} ns/op ({:.2}x)",
+                    now / was
+                );
+            }
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -213,6 +388,30 @@ mod tests {
         let json = render_json(Some(&base), &cur);
         assert!(json.contains("\"baseline\""));
         assert!(json.contains("\"a/b\": 3.0"), "{json}");
+    }
+
+    #[test]
+    fn committed_current_roundtrip_and_gate() {
+        let base = vec![("a/b".to_string(), 300.0), ("c/d".to_string(), 50.0)];
+        let cur = vec![("a/b", 100.0), ("c/d", 120.0), ("new/row", 7.0)];
+        let json = render_json(Some(&base), &cur);
+        let dir = std::env::temp_dir().join("xmlmap_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("committed.json");
+        std::fs::write(&path, &json).unwrap();
+        let committed = read_committed_current(path.to_str().unwrap()).unwrap();
+        assert_eq!(
+            committed,
+            vec![
+                ("a/b".to_string(), 100.0),
+                ("c/d".to_string(), 120.0),
+                ("new/row".to_string(), 7.0)
+            ]
+        );
+        // Fresh run: a/b fine, c/d regressed 3x, extra/row ignored.
+        let fresh = vec![("a/b", 150.0), ("c/d", 360.0), ("extra/row", 1.0)];
+        let bad = regressions(&committed, &fresh, GATE_THRESHOLD);
+        assert_eq!(bad, vec![("c/d".to_string(), 120.0, 360.0)]);
     }
 
     #[test]

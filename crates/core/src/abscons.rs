@@ -22,7 +22,7 @@
 use crate::stds::Mapping;
 use std::collections::BTreeMap;
 use xmlmap_dtd::NestedRelationalView;
-use xmlmap_patterns::sat::{self, BudgetExceeded};
+use xmlmap_patterns::sat::{BudgetExceeded, SatCache};
 use xmlmap_patterns::{LabelTest, ListItem, Pattern, Var};
 use xmlmap_trees::{Name, Tree};
 
@@ -52,8 +52,29 @@ impl AbsConsAnswer {
 ///
 /// Exact when no std mentions a variable (SM°); returns `Err` messages
 /// otherwise rather than silently giving the wrong answer.
+///
+/// Convenience wrapper over [`abscons_structural_cached`] with fresh
+/// caches; repeated probes should hold the [`SatCache`]s.
 pub fn abscons_structural(
     m: &Mapping,
+    budget: usize,
+) -> Result<Result<AbsConsAnswer, BudgetExceeded>, String> {
+    let src = SatCache::new(&m.source_dtd).with_context("absolute consistency (source)");
+    let tgt = SatCache::new(&m.target_dtd).with_context("absolute consistency (target)");
+    abscons_structural_cached(m, &src, &tgt, budget)
+}
+
+/// [`abscons_structural`] against caller-held [`SatCache`]s.
+///
+/// *Every* achievable source match set `J` must have a satisfiable target
+/// side. One joint run over all target patterns answers every `J` at once:
+/// `J`'s side is satisfiable iff some achievable target match set `K ⊇ J`
+/// (its witness matches all of `J`; conversely a tree matching all of `J`
+/// realises an exact match set containing `J`).
+pub fn abscons_structural_cached(
+    m: &Mapping,
+    src: &SatCache,
+    tgt: &SatCache,
     budget: usize,
 ) -> Result<Result<AbsConsAnswer, BudgetExceeded>, String> {
     for s in &m.stds {
@@ -65,21 +86,25 @@ pub fn abscons_structural(
         }
     }
     let sources: Vec<&Pattern> = m.stds.iter().map(|s| &s.source).collect();
-    let sets = match sat::achievable_match_sets(&m.source_dtd, &sources, budget) {
+    let sets = match src.achievable_match_sets(&sources, budget) {
         Ok(s) => s,
         Err(b) => return Ok(Err(b)),
     };
-    for (j, witness) in sets {
-        let targets: Vec<&Pattern> = j.iter().map(|&i| &m.stds[i].target).collect();
-        match sat::satisfiable_all(&m.target_dtd, &targets, budget) {
-            Ok(Some(_)) => {}
-            Ok(None) => {
-                return Ok(Ok(AbsConsAnswer::Violated {
-                    witness: Some(witness),
-                    reason: format!("match set {j:?} has an unsatisfiable target side"),
-                }))
-            }
-            Err(b) => return Ok(Err(b)),
+    if sets.is_empty() {
+        // The source DTD admits no tree at all: vacuously consistent.
+        return Ok(Ok(AbsConsAnswer::AbsolutelyConsistent));
+    }
+    let targets: Vec<&Pattern> = m.stds.iter().map(|s| &s.target).collect();
+    let ks = match tgt.achievable_match_sets(&targets, budget) {
+        Ok(k) => k,
+        Err(b) => return Ok(Err(b)),
+    };
+    for (j, witness) in sets.iter() {
+        if !ks.iter().any(|(k, _)| j.is_subset(k)) {
+            return Ok(Ok(AbsConsAnswer::Violated {
+                witness: Some(witness.clone()),
+                reason: format!("match set {j:?} has an unsatisfiable target side"),
+            }));
         }
     }
     Ok(Ok(AbsConsAnswer::AbsolutelyConsistent))
@@ -233,8 +258,7 @@ pub fn abscons_nr_ptime(m: &Mapping) -> Option<AbsConsAnswer> {
         for (label, tuples) in merge_classes(&s.target, &tgt_nr) {
             let arity = tuples.iter().map(|t| t.len()).max().unwrap_or(0);
             for k in 0..arity {
-                let vars_at_k: Vec<&Var> =
-                    tuples.iter().filter_map(|t| t.get(k)).collect();
+                let vars_at_k: Vec<&Var> = tuples.iter().filter_map(|t| t.get(k)).collect();
                 for pair in vars_at_k.windows(2) {
                     let (a, b) = (pair[0], pair[1]);
                     if a == b {
@@ -247,10 +271,8 @@ pub fn abscons_nr_ptime(m: &Mapping) -> Option<AbsConsAnswer> {
                     // satisfiable (choose it equal); two shared variables
                     // need the identical rigid source position.
                     if let (Some(pa), Some(pb)) = (pos_of(a), pos_of(b)) {
-                        let same_rigid = pa.rigid
-                            && pb.rigid
-                            && pa.label == pb.label
-                            && pa.attr == pb.attr;
+                        let same_rigid =
+                            pa.rigid && pb.rigid && pa.label == pb.label && pa.attr == pb.attr;
                         if !same_rigid {
                             return Some(AbsConsAnswer::Violated {
                                 witness: None,
@@ -283,8 +305,7 @@ pub fn abscons_nr_ptime(m: &Mapping) -> Option<AbsConsAnswer> {
                         }
                         match rigid_slots.get(&(label.clone(), k)) {
                             None => {
-                                rigid_slots
-                                    .insert((label.clone(), k), (si, v.clone(), p.clone()));
+                                rigid_slots.insert((label.clone(), k), (si, v.clone(), p.clone()));
                             }
                             Some((oi, ov, op)) => {
                                 if op.label != p.label || op.attr != p.attr {
@@ -340,11 +361,7 @@ mod tests {
         assert!(!ans.holds());
         // …but the value-stripped version IS absolutely consistent,
         // exactly as the paper observes.
-        let stripped = mapping(
-            "root r\nr -> a*",
-            "root r\nr -> a",
-            &["r/a --> r/a"],
-        );
+        let stripped = mapping("root r\nr -> a*", "root r\nr -> a", &["r/a --> r/a"]);
         let ans = abscons_structural(&stripped, BUDGET).unwrap().unwrap();
         assert!(ans.holds());
     }
@@ -498,11 +515,7 @@ mod tests {
     fn structural_violation_detected() {
         // Every nonempty source (a is mandatory) fires the std, but the
         // target side is unsatisfiable.
-        let m = mapping(
-            "root r\nr -> a",
-            "root r\nr -> b",
-            &["r/a --> r/c"],
-        );
+        let m = mapping("root r\nr -> a", "root r\nr -> b", &["r/a --> r/c"]);
         let ans = abscons_structural(&m, BUDGET).unwrap().unwrap();
         let AbsConsAnswer::Violated { witness, .. } = ans else {
             panic!("expected violation");
@@ -510,18 +523,10 @@ mod tests {
         assert!(m.source_dtd.conforms(&witness.unwrap()));
         // Optional source: the empty document avoids firing, but some
         // document still fires it ⇒ still violated.
-        let m2 = mapping(
-            "root r\nr -> a?",
-            "root r\nr -> b",
-            &["r/a --> r/c"],
-        );
+        let m2 = mapping("root r\nr -> a?", "root r\nr -> b", &["r/a --> r/c"]);
         assert!(!abscons_structural(&m2, BUDGET).unwrap().unwrap().holds());
         // Unsatisfiable target never fired ⇒ holds.
-        let m3 = mapping(
-            "root r\nr -> a?",
-            "root r\nr -> b",
-            &["r/zz --> r/c"],
-        );
+        let m3 = mapping("root r\nr -> a?", "root r\nr -> b", &["r/zz --> r/c"]);
         assert!(abscons_structural(&m3, BUDGET).unwrap().unwrap().holds());
     }
 }

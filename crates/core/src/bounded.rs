@@ -19,7 +19,8 @@
 //!   target attribute slot.
 
 use crate::stds::Mapping;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
 use xmlmap_dtd::Dtd;
 use xmlmap_regex::Nfa;
 use xmlmap_trees::{Name, NodeId, Tree, Value};
@@ -191,22 +192,66 @@ pub fn generic_pool(k: usize) -> Vec<Value> {
     (0..k).map(|i| Value::str(format!("v{i}"))).collect()
 }
 
+/// Memoizes [`tree_shapes`] per node bound for one DTD. Shape enumeration
+/// is exponential in the bound; the bounded procedures below call it for
+/// every candidate source, so one cache per search pays it once per bound.
+pub struct ShapeCache {
+    dtd: Dtd,
+    by_bound: Mutex<HashMap<usize, Arc<Vec<Tree>>>>,
+}
+
+impl ShapeCache {
+    /// A fresh, empty cache for `dtd`.
+    pub fn new(dtd: &Dtd) -> ShapeCache {
+        ShapeCache {
+            dtd: dtd.clone(),
+            by_bound: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The DTD this cache enumerates shapes of.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// [`tree_shapes`]`(dtd, max_nodes)`, memoized.
+    pub fn shapes(&self, max_nodes: usize) -> Arc<Vec<Tree>> {
+        let mut map = self.by_bound.lock().unwrap();
+        map.entry(max_nodes)
+            .or_insert_with(|| Arc::new(tree_shapes(&self.dtd, max_nodes)))
+            .clone()
+    }
+}
+
 /// Does `source` have a solution under `m` with at most `max_target_nodes`
 /// nodes? Values are drawn from the source's active domain plus enough
 /// fresh values (one per target slot), which is exhaustive for that size.
+///
+/// Convenience wrapper over [`solution_exists_cached`] with a fresh cache.
 pub fn solution_exists(m: &Mapping, source: &Tree, max_target_nodes: usize) -> Option<Tree> {
+    solution_exists_cached(m, source, max_target_nodes, &ShapeCache::new(&m.target_dtd))
+}
+
+/// [`solution_exists`] against a caller-held target-shape cache
+/// (`shapes` compiled from `m.target_dtd`).
+pub fn solution_exists_cached(
+    m: &Mapping,
+    source: &Tree,
+    max_target_nodes: usize,
+    shapes: &ShapeCache,
+) -> Option<Tree> {
     if !m.source_dtd.conforms(source) {
         return None;
     }
     let mut pool: Vec<Value> = source.data_values().cloned().collect();
     pool.sort();
     pool.dedup();
-    for shape in tree_shapes(&m.target_dtd, max_target_nodes) {
-        let slots = attr_slot_count(&shape);
+    for shape in shapes.shapes(max_target_nodes).iter() {
+        let slots = attr_slot_count(shape);
         let mut full_pool = pool.clone();
         full_pool.extend((0..slots as u64).map(|i| Value::Null(1_000_000 + i)));
         let mut found: Option<Tree> = None;
-        for_each_valued_tree(&shape, &full_pool, &mut |t| {
+        for_each_valued_tree(shape, &full_pool, &mut |t| {
             if m.is_solution(source, t) {
                 found = Some(t.clone());
                 false
@@ -240,11 +285,12 @@ pub fn consistent_bounded(
     max_source_nodes: usize,
     max_target_nodes: usize,
 ) -> BoundedOutcome {
+    let target_shapes = ShapeCache::new(&m.target_dtd);
     for shape in tree_shapes(&m.source_dtd, max_source_nodes) {
         let pool = generic_pool(attr_slot_count(&shape).max(1));
         let mut witness = None;
         for_each_valued_tree(&shape, &pool, &mut |t| {
-            if solution_exists(m, t, max_target_nodes).is_some() {
+            if solution_exists_cached(m, t, max_target_nodes, &target_shapes).is_some() {
                 witness = Some(t.clone());
                 false
             } else {
@@ -268,11 +314,12 @@ pub fn abscons_violation_bounded(
     max_source_nodes: usize,
     max_target_nodes: usize,
 ) -> BoundedOutcome {
+    let target_shapes = ShapeCache::new(&m.target_dtd);
     for shape in tree_shapes(&m.source_dtd, max_source_nodes) {
         let pool = generic_pool(attr_slot_count(&shape).max(1));
         let mut violation = None;
         for_each_valued_tree(&shape, &pool, &mut |t| {
-            if solution_exists(m, t, max_target_nodes).is_none() {
+            if solution_exists_cached(m, t, max_target_nodes, &target_shapes).is_none() {
                 violation = Some(t.clone());
                 false
             } else {

@@ -224,11 +224,13 @@ impl<'m> Chaser<'m> {
             .target_dtd
             .attrs(label)
             .iter()
-            .map(|a| (a.clone(), {
-                let v = Value::Null(self.next_null);
-                self.next_null += 1;
-                v
-            }))
+            .map(|a| {
+                (a.clone(), {
+                    let v = Value::Null(self.next_null);
+                    self.next_null += 1;
+                    v
+                })
+            })
             .collect();
         self.tree.add_child(parent, label.clone(), attrs)
     }
@@ -379,11 +381,13 @@ pub fn canonical_solution(m: &Mapping, source: &Tree) -> Result<Tree, ChaseError
         .target_dtd
         .attrs(m.target_dtd.root())
         .iter()
-        .map(|a| (a.clone(), {
-            let v = Value::Null(chaser.next_null);
-            chaser.next_null += 1;
-            v
-        }))
+        .map(|a| {
+            (a.clone(), {
+                let v = Value::Null(chaser.next_null);
+                chaser.next_null += 1;
+                v
+            })
+        })
         .collect();
     chaser.tree.set_attrs(Tree::ROOT, root_attrs);
 
@@ -485,7 +489,7 @@ mod tests {
         assert!(sol.attr(d_node, "w").unwrap().is_null());
 
         // With a firing, the shared value lands in d.
-        let src = tree!("r" [ "a"("v" = "42") ]);
+        let src = tree!("r"["a"("v" = "42")]);
         let sol = canonical_solution(&m, &src).unwrap();
         let d_node = sol.children(sol.children(Tree::ROOT)[0])[0];
         assert_eq!(sol.attr(d_node, "w"), Some(&Value::str("42")));
@@ -534,7 +538,7 @@ mod tests {
             "root r\nr -> b*\nb @ x, y",
             &["r/a(x) --> r/b(x, z)"],
         );
-        let src = tree!("r" [ "a"("v" = "1") ]);
+        let src = tree!("r"["a"("v" = "1")]);
         let sol = canonical_solution(&m, &src).unwrap();
         let b = sol.children(Tree::ROOT)[0];
         assert_eq!(sol.attr(b, "x"), Some(&Value::str("1")));
@@ -549,7 +553,7 @@ mod tests {
             "root r\nr -> b*\nb @ x, y",
             &["r/a(x) --> r[b(x, z)] ; z = x"],
         );
-        let src = tree!("r" [ "a"("v" = "7") ]);
+        let src = tree!("r"["a"("v" = "7")]);
         let sol = canonical_solution(&m, &src).unwrap();
         let b = sol.children(Tree::ROOT)[0];
         assert_eq!(sol.attr(b, "y"), Some(&Value::str("7")));
@@ -563,7 +567,7 @@ mod tests {
             "root r\nr -> b\nb @ x, y",
             &["r/a(x) --> r[b(x, z)] ; z = x, z != x"],
         );
-        let src = tree!("r" [ "a"("v" = "7") ]);
+        let src = tree!("r"["a"("v" = "7")]);
         let err = canonical_solution(&m, &src).unwrap_err();
         assert!(matches!(err, ChaseError::InequalityViolated(_)), "{err}");
     }
@@ -575,7 +579,7 @@ mod tests {
             "root r\nr -> b\nb @ x, y",
             &["r/a(x) --> r[b(x, z)] ; z != x"],
         );
-        let src = tree!("r" [ "a"("v" = "7") ]);
+        let src = tree!("r"["a"("v" = "7")]);
         let sol = canonical_solution(&m, &src).unwrap();
         assert!(m.is_solution(&src, &sol));
     }
@@ -587,7 +591,7 @@ mod tests {
             "root r\nr -> b",
             &["r/a(x) --> r/nosuch(x)"],
         );
-        let src = tree!("r" [ "a"("v" = "1") ]);
+        let src = tree!("r"["a"("v" = "1")]);
         assert!(matches!(
             canonical_solution(&m, &src),
             Err(ChaseError::NotEmbeddable(_))
@@ -602,7 +606,7 @@ mod tests {
             &["r/a(x) --> r//b(x)"],
         );
         assert!(matches!(
-            canonical_solution(&m, &tree!("r" [ "a"("v" = "1") ])),
+            canonical_solution(&m, &tree!("r"["a"("v" = "1")])),
             Err(ChaseError::OutsideFragment(_))
         ));
         let m2 = mapping(
@@ -611,7 +615,7 @@ mod tests {
             &["r/a(x) --> r/b"],
         );
         assert!(matches!(
-            canonical_solution(&m2, &tree!("r" [ "a"("v" = "1") ])),
+            canonical_solution(&m2, &tree!("r"["a"("v" = "1")])),
             Err(ChaseError::OutsideFragment(_))
         ));
     }

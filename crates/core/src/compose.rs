@@ -45,6 +45,23 @@ pub fn composition_member(
     t3: &Tree,
     max_middle_nodes: usize,
 ) -> Option<Tree> {
+    let shapes = crate::bounded::ShapeCache::new(&m12.target_dtd);
+    composition_member_cached(m12, m23, t1, t3, max_middle_nodes, &shapes)
+}
+
+/// [`composition_member`] against a caller-held [`ShapeCache`] over
+/// `m12.target_dtd`, so repeated membership probes (e.g. over a test suite
+/// of tree pairs) enumerate middle-document shapes once per bound.
+///
+/// [`ShapeCache`]: crate::bounded::ShapeCache
+pub fn composition_member_cached(
+    m12: &Mapping,
+    m23: &Mapping,
+    t1: &Tree,
+    t3: &Tree,
+    max_middle_nodes: usize,
+    shapes: &crate::bounded::ShapeCache,
+) -> Option<Tree> {
     if !m12.source_dtd.conforms(t1) || !m23.target_dtd.conforms(t3) {
         return None;
     }
@@ -77,15 +94,15 @@ pub fn composition_member(
     let mut pool: Vec<Value> = t1.data_values().chain(t3.data_values()).cloned().collect();
     pool.sort();
     pool.dedup();
-    for shape in crate::bounded::tree_shapes(&m12.target_dtd, max_middle_nodes) {
-        let slots = crate::bounded::attr_slot_count(&shape);
+    for shape in shapes.shapes(max_middle_nodes).iter() {
+        let slots = crate::bounded::attr_slot_count(shape);
         let mut full_pool = pool.clone();
         full_pool.extend((0..slots as u64).map(|i| Value::Null(2_000_000 + i)));
         if full_pool.is_empty() {
             full_pool.push(Value::str("•"));
         }
         let mut found = None;
-        crate::bounded::for_each_valued_tree(&shape, &full_pool, &mut |t2| {
+        crate::bounded::for_each_valued_tree(shape, &full_pool, &mut |t2| {
             if m12.is_solution(t1, t2) && m23.is_solution(t2, t3) {
                 found = Some(t2.clone());
                 false
@@ -431,7 +448,17 @@ fn hang_pattern(
                         child.label
                     )));
                 }
-                hang_pattern(arena, dtd, nr, node, child, i, source_vars, fresh_fn, inside_instance)?;
+                hang_pattern(
+                    arena,
+                    dtd,
+                    nr,
+                    node,
+                    child,
+                    i,
+                    source_vars,
+                    fresh_fn,
+                    inside_instance,
+                )?;
             }
             Mult::Plus => {
                 return Err(ComposeError::OutsideClass(format!(
@@ -605,10 +632,7 @@ fn enum_matches(
 
 /// Syntactic composition for the closed class (Thm 8.2). The result is a
 /// Skolem mapping `M₁₃` with `⟦M₁₃⟧ = ⟦M₁₂⟧ ∘ ⟦M₂₃⟧`.
-pub fn compose(
-    m12: &SkolemMapping,
-    m23: &SkolemMapping,
-) -> Result<SkolemMapping, ComposeError> {
+pub fn compose(m12: &SkolemMapping, m23: &SkolemMapping) -> Result<SkolemMapping, ComposeError> {
     // Class checks.
     for (m, which) in [(m12, "M12"), (m23, "M23")] {
         if !m.source_dtd.is_strictly_nested_relational()
@@ -760,7 +784,7 @@ mod tests {
         );
         let t1 = tree!("r" [ "a"("v" = "1"), "a"("v" = "2") ]);
         let good = tree!("w" [ "c"("u" = "1"), "c"("u" = "2") ]);
-        let bad = tree!("w" [ "c"("u" = "1") ]);
+        let bad = tree!("w"["c"("u" = "1")]);
         let middle = composition_member(&m12, &m23, &t1, &good, 4).expect("in composition");
         assert!(m12.is_solution(&t1, &middle) && m23.is_solution(&middle, &good));
         assert!(composition_member(&m12, &m23, &t1, &bad, 4).is_none());
@@ -783,7 +807,7 @@ mod tests {
         // The composed mapping behaves as copy a → c.
         let t1 = tree!("r" [ "a"("v" = "1"), "a"("v" = "2") ]);
         let good = tree!("w" [ "c"("u" = "1"), "c"("u" = "2") ]);
-        let bad = tree!("w" [ "c"("u" = "2") ]);
+        let bad = tree!("w"["c"("u" = "2")]);
         assert!(s13.is_solution(&t1, &good));
         assert!(!s13.is_solution(&t1, &bad));
     }
@@ -815,12 +839,12 @@ mod tests {
             "root w\nw -> d*\nd @ u, t",
             &["m[b(x), c(y)] --> w/d(x, y)"],
         );
-        let t1 = tree!("r" [ "a"("v" = "1", "w" = "2") ]);
+        let t1 = tree!("r"["a"("v" = "1", "w" = "2")]);
         // Semantic composition: the middle has b(1), c(2) ⇒ target needs
         // d(1,2) but also the cross pairs from independent matches: the
         // middle fires m[b(x), c(y)] for every b/c pair — just (1,2) here.
-        let good = tree!("w" [ "d"("u" = "1", "t" = "2") ]);
-        let bad = tree!("w" [ "d"("u" = "2", "t" = "1") ]);
+        let good = tree!("w"["d"("u" = "1", "t" = "2")]);
+        let bad = tree!("w"["d"("u" = "2", "t" = "1")]);
         assert_eq!(
             composition_member(&m12, &m23, &t1, &good, 4).is_some(),
             s13.is_solution(&t1, &good)
@@ -854,9 +878,9 @@ mod tests {
         assert!(premise.contains('a'), "premise: {premise}");
 
         let empty = tree!("r");
-        let with_a = tree!("r" [ "a"("v" = "1") ]);
+        let with_a = tree!("r"["a"("v" = "1")]);
         let t3_empty = tree!("w");
-        let t3_c = tree!("w" [ "c"("u" = "k") ]);
+        let t3_c = tree!("w"["c"("u" = "k")]);
         // Empty source: no flag needed; empty target is fine.
         assert!(s13.is_solution(&empty, &t3_empty));
         // Source with a: flag exists in every middle; target needs a c.
@@ -882,7 +906,7 @@ mod tests {
         // No Σ12 copies were charged: the premise is the bare root.
         assert!(s13.stds[0].source.list.is_empty());
         let empty = tree!("r");
-        assert!(s13.is_solution(&empty, &tree!("w" [ "mark" ])));
+        assert!(s13.is_solution(&empty, &tree!("w"["mark"])));
         assert!(!s13.is_solution(&empty, &tree!("w")));
     }
 
@@ -915,14 +939,14 @@ mod tests {
         // Compare semantics on a grid of instances.
         let t1s = [
             tree!("r"),
-            tree!("r" [ "a"("v" = "1") ]),
+            tree!("r"["a"("v" = "1")]),
             tree!("r" [ "a"("v" = "1"), "a"("v" = "2") ]),
         ];
         let t4s = [
             tree!("z"),
-            tree!("z" [ "d"("t" = "1", "t2" = "n") ]),
+            tree!("z"["d"("t" = "1", "t2" = "n")]),
             tree!("z" [ "d"("t" = "1", "t2" = "n"), "d"("t" = "2", "t2" = "n") ]),
-            tree!("z" [ "d"("t" = "9", "t2" = "n") ]),
+            tree!("z"["d"("t" = "9", "t2" = "n")]),
         ];
         for t1 in &t1s {
             for t4 in &t4s {
@@ -961,6 +985,9 @@ mod tests {
     fn rejects_middle_mismatch() {
         let s12 = skolem("root r\nr -> a*\na @ v", "root m\nm -> b*\nb @ w", &[]);
         let s23 = skolem("root m2\nm2 -> b*\nb @ w", "root w\nw -> c*\nc @ u", &[]);
-        assert!(matches!(compose(&s12, &s23), Err(ComposeError::MiddleMismatch)));
+        assert!(matches!(
+            compose(&s12, &s23),
+            Err(ComposeError::MiddleMismatch)
+        ));
     }
 }

@@ -147,7 +147,10 @@ mod tests {
     #[test]
     fn parsing() {
         let cs = parse_conditions("x = y, a != b").unwrap();
-        assert_eq!(cs, vec![Comparison::eq("x", "y"), Comparison::neq("a", "b")]);
+        assert_eq!(
+            cs,
+            vec![Comparison::eq("x", "y"), Comparison::neq("a", "b")]
+        );
         assert_eq!(parse_conditions("").unwrap(), vec![]);
         assert_eq!(parse_conditions("  ").unwrap(), vec![]);
         assert!(parse_conditions("x < y").is_err());

@@ -16,7 +16,7 @@
 use crate::signature::Signature;
 use crate::stds::Mapping;
 use std::collections::BTreeSet;
-use xmlmap_patterns::sat::{self, BudgetExceeded};
+use xmlmap_patterns::sat::{self, BudgetExceeded, SatCache};
 use xmlmap_patterns::Pattern;
 use xmlmap_trees::Tree;
 
@@ -86,25 +86,68 @@ pub fn data_free(m: &Mapping) -> bool {
 ///
 /// The mapping is consistent iff some achievable source match set `J` has a
 /// satisfiable target side `D_t ∧ {π′_j : j ∈ J}`. Returns witness trees.
+///
+/// Convenience wrapper over [`consistent_cached`] with fresh caches; when
+/// probing one schema pair repeatedly, build the [`SatCache`]s once.
 pub fn consistent(m: &Mapping, budget: usize) -> Result<ConsAnswer, ConsError> {
+    let src = SatCache::new(&m.source_dtd).with_context("consistency (source match sets)");
+    let tgt = SatCache::new(&m.target_dtd).with_context("consistency (target side)");
+    consistent_cached(m, &src, &tgt, budget)
+}
+
+/// [`consistent`] against caller-held [`SatCache`]s (`src` compiled from
+/// `m.source_dtd`, `tgt` from `m.target_dtd`).
+///
+/// Instead of one satisfiability run per candidate match set `J` (up to
+/// `2^n`), a single joint run over *all* target patterns enumerates the
+/// achievable target match sets `K`; the target side of `J` is satisfiable
+/// iff some achievable `K ⊇ J` — its witness matches every pattern of `J`,
+/// and conversely any tree matching all of `J` realises an exact match set
+/// containing `J`.
+pub fn consistent_cached(
+    m: &Mapping,
+    src: &SatCache,
+    tgt: &SatCache,
+    budget: usize,
+) -> Result<ConsAnswer, ConsError> {
     if !data_free(m) {
         return Err(ConsError::DataComparisons(m.signature()));
     }
     let sources: Vec<&Pattern> = m.stds.iter().map(|s| &s.source).collect();
-    let match_sets = sat::achievable_match_sets(&m.source_dtd, &sources, budget)
+    let match_sets = src
+        .achievable_match_sets(&sources, budget)
         .map_err(ConsError::Budget)?;
 
     // Try smaller match sets first: fewer target obligations.
-    let mut ordered = match_sets;
+    let mut ordered: Vec<&(BTreeSet<usize>, Tree)> = match_sets.iter().collect();
     ordered.sort_by_key(|(j, _)| j.len());
+
+    // An achievable empty match set fires nothing: consistent iff the
+    // target DTD has any conforming tree (skips the joint run below).
+    if let Some((_, source_witness)) = ordered.first().filter(|(j, _)| j.is_empty()) {
+        return Ok(
+            match tgt
+                .satisfiable_all(&[], budget)
+                .map_err(ConsError::Budget)?
+            {
+                Some(target_witness) => ConsAnswer::Consistent {
+                    source: source_witness.clone(),
+                    target: target_witness,
+                },
+                None => ConsAnswer::Inconsistent, // target DTD unsatisfiable
+            },
+        );
+    }
+
+    let targets: Vec<&Pattern> = m.stds.iter().map(|s| &s.target).collect();
+    let ks = tgt
+        .achievable_match_sets(&targets, budget)
+        .map_err(ConsError::Budget)?;
     for (j, source_witness) in ordered {
-        let targets: Vec<&Pattern> = j.iter().map(|&i| &m.stds[i].target).collect();
-        if let Some(target_witness) =
-            sat::satisfiable_all(&m.target_dtd, &targets, budget).map_err(ConsError::Budget)?
-        {
+        if let Some((_, target_witness)) = ks.iter().find(|(k, _)| j.is_subset(k)) {
             return Ok(ConsAnswer::Consistent {
-                source: source_witness,
-                target: target_witness,
+                source: source_witness.clone(),
+                target: target_witness.clone(),
             });
         }
     }
@@ -187,13 +230,32 @@ pub fn composition_consistent(
     m23: &Mapping,
     budget: usize,
 ) -> Result<bool, ConsError> {
+    let src = SatCache::new(&m12.source_dtd).with_context("composition consistency (source)");
+    let mid = SatCache::new(&m12.target_dtd).with_context("composition consistency (middle)");
+    let tgt = SatCache::new(&m23.target_dtd).with_context("composition consistency (target)");
+    composition_consistent_cached(m12, m23, &src, &mid, &tgt, budget)
+}
+
+/// [`composition_consistent`] against caller-held [`SatCache`]s (`src` for
+/// `m12.source_dtd`, `mid` for the shared middle schema, `tgt` for
+/// `m23.target_dtd`). The final side uses one joint run over all Σ23
+/// targets, as in [`consistent_cached`].
+pub fn composition_consistent_cached(
+    m12: &Mapping,
+    m23: &Mapping,
+    src: &SatCache,
+    mid: &SatCache,
+    tgt: &SatCache,
+    budget: usize,
+) -> Result<bool, ConsError> {
     if !data_free(m12) || !data_free(m23) {
         return Err(ConsError::DataComparisons(
             m12.signature().union(m23.signature()),
         ));
     }
     let sources1: Vec<&Pattern> = m12.stds.iter().map(|s| &s.source).collect();
-    let js = sat::achievable_match_sets(&m12.source_dtd, &sources1, budget)
+    let js = src
+        .achievable_match_sets(&sources1, budget)
         .map_err(ConsError::Budget)?;
 
     // Middle patterns: Σ12 targets (must hold when fired) + Σ23 sources
@@ -201,31 +263,59 @@ pub fn composition_consistent(
     let n12 = m12.stds.len();
     let mut middle: Vec<&Pattern> = m12.stds.iter().map(|s| &s.target).collect();
     middle.extend(m23.stds.iter().map(|s| &s.source));
-    let middle_sets = sat::achievable_match_sets(&m12.target_dtd, &middle, budget)
+    let middle_sets = mid
+        .achievable_match_sets(&middle, budget)
         .map_err(ConsError::Budget)?;
 
-    for (j, _) in &js {
-        for (mset, _) in &middle_sets {
-            // The middle document must match every fired Σ12 target...
-            if !j.iter().all(|i| mset.contains(i)) {
-                continue;
-            }
-            // ...and its Σ23 match set K determines the final obligations.
-            let k: BTreeSet<usize> = mset
-                .iter()
-                .filter(|&&x| x >= n12)
-                .map(|&x| x - n12)
-                .collect();
-            let targets3: Vec<&Pattern> = k.iter().map(|&i| &m23.stds[i].target).collect();
-            if sat::satisfiable_all(&m23.target_dtd, &targets3, budget)
-                .map_err(ConsError::Budget)?
-                .is_some()
-            {
-                return Ok(true);
-            }
+    // Viable Σ23 obligation sets: some achievable source J is covered by a
+    // middle match set inducing them.
+    let mut viable: Vec<BTreeSet<usize>> = Vec::new();
+    for (mset, _) in middle_sets.iter() {
+        // The middle document must match every fired Σ12 target...
+        if !js.iter().any(|(j, _)| j.iter().all(|i| mset.contains(i))) {
+            continue;
+        }
+        // ...and its Σ23 match set K determines the final obligations.
+        let k: BTreeSet<usize> = mset
+            .iter()
+            .filter(|&&x| x >= n12)
+            .map(|&x| x - n12)
+            .collect();
+        if !viable.contains(&k) {
+            viable.push(k);
         }
     }
-    Ok(false)
+    final_side_satisfiable(m23, tgt, viable, budget)
+}
+
+/// Is some obligation set's target side `D_t ∧ {targets of K}` satisfiable?
+/// One joint run over all targets answers every `K` at once (`K` is
+/// satisfiable iff some achievable target match set contains it).
+fn final_side_satisfiable(
+    m: &Mapping,
+    tgt: &SatCache,
+    mut obligations: Vec<BTreeSet<usize>>,
+    budget: usize,
+) -> Result<bool, ConsError> {
+    if obligations.is_empty() {
+        return Ok(false);
+    }
+    obligations.sort_by_key(|k| k.len());
+    if obligations[0].is_empty() {
+        // Nothing fired: satisfiable iff the target DTD has any tree — and
+        // if it has none, no other obligation set can do better.
+        return Ok(tgt
+            .satisfiable_all(&[], budget)
+            .map_err(ConsError::Budget)?
+            .is_some());
+    }
+    let targets: Vec<&Pattern> = m.stds.iter().map(|s| &s.target).collect();
+    let ks = tgt
+        .achievable_match_sets(&targets, budget)
+        .map_err(ConsError::Budget)?;
+    Ok(obligations
+        .iter()
+        .any(|k| ks.iter().any(|(kk, _)| k.is_subset(kk))))
 }
 
 /// Consistency of an n-fold composition `⟦M₁⟧ ∘ … ∘ ⟦Mₙ⟧` (Prop 7.2),
@@ -237,10 +327,7 @@ pub fn composition_consistent(
 /// the pattern family (targets of `Mᵢ` ∪ sources of `Mᵢ₊₁`); a middle
 /// match set is viable iff it covers some currently-achievable obligation
 /// set, and it induces the obligation set for the next schema.
-pub fn composition_chain_consistent(
-    chain: &[&Mapping],
-    budget: usize,
-) -> Result<bool, ConsError> {
+pub fn composition_chain_consistent(chain: &[&Mapping], budget: usize) -> Result<bool, ConsError> {
     let Some((first, rest)) = chain.split_first() else {
         return Ok(true); // the empty composition is the identity
     };
@@ -289,17 +376,10 @@ pub fn composition_chain_consistent(
         obligations = next;
         prev = *m;
     }
-    // Final schema: some obligation set must have a satisfiable target side.
-    for j in &obligations {
-        let targets: Vec<&Pattern> = j.iter().map(|&i| &prev.stds[i].target).collect();
-        if sat::satisfiable_all(&prev.target_dtd, &targets, budget)
-            .map_err(ConsError::Budget)?
-            .is_some()
-        {
-            return Ok(true);
-        }
-    }
-    Ok(false)
+    // Final schema: some obligation set must have a satisfiable target side
+    // (one joint run over all of prev's targets).
+    let tgt = SatCache::new(&prev.target_dtd).with_context("chain consistency (final side)");
+    final_side_satisfiable(prev, &tgt, obligations, budget)
 }
 
 #[cfg(test)]
@@ -508,16 +588,8 @@ mod tests {
         // M12 forces the middle to contain b1; M23 fires on b1 and demands
         // an impossible final target. Each mapping alone is consistent
         // (M23's source b1 is optional), but the composition is not.
-        let m12 = mapping(
-            "root r\nr -> a",
-            "root m\nm -> b1",
-            &["r/a --> m/b1"],
-        );
-        let m23 = mapping(
-            "root m\nm -> b1?",
-            "root w\nw -> c?",
-            &["m/b1 --> w/c/c"],
-        );
+        let m12 = mapping("root r\nr -> a", "root m\nm -> b1", &["r/a --> m/b1"]);
+        let m23 = mapping("root m\nm -> b1?", "root w\nw -> c?", &["m/b1 --> w/c/c"]);
         assert!(consistent(&m12, BUDGET).unwrap().is_consistent());
         assert!(consistent(&m23, BUDGET).unwrap().is_consistent());
         assert!(!composition_consistent(&m12, &m23, BUDGET).unwrap());

@@ -326,7 +326,7 @@ mod tests {
             "root r\nr -> c\nc @ w",
             &["r/a(x) --> r/c(x)"],
         );
-        let src = tree!("r" [ "a"("v" = "1") ]);
+        let src = tree!("r"["a"("v" = "1")]);
         let solution = canonical_solution(&m, &src).unwrap();
         let reduced = reduce_solution(&m, &solution);
         assert_eq!(reduced, solution);

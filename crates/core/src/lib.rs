@@ -13,19 +13,27 @@ pub mod bounded;
 pub mod chase;
 pub mod compose;
 pub mod cond;
-pub mod exchange;
 pub mod consistency;
+pub mod exchange;
 pub mod signature;
 pub mod skolem;
 pub mod stds;
 
-pub use abscons::{abscons_nr_ptime, abscons_structural, AbsConsAnswer};
-pub use bounded::{abscons_violation_bounded, consistent_bounded, solution_exists, tree_shapes, BoundedOutcome};
-pub use consistency::{composition_chain_consistent, composition_consistent, consistent, consistent_nr_ptime, minimal_nr_tree, ConsAnswer, ConsError};
+pub use abscons::{abscons_nr_ptime, abscons_structural, abscons_structural_cached, AbsConsAnswer};
+pub use bounded::{
+    abscons_violation_bounded, consistent_bounded, solution_exists, solution_exists_cached,
+    tree_shapes, BoundedOutcome, ShapeCache,
+};
 pub use chase::{canonical_solution, ChaseError};
-pub use compose::{compose, composition_member, ComposeError};
-pub use exchange::{certain_answers, nest_solution, reduce_solution, reduced_solution, CertainAnswersError};
+pub use compose::{compose, composition_member, composition_member_cached, ComposeError};
 pub use cond::{all_hold, parse_conditions, CompOp, Comparison};
+pub use consistency::{
+    composition_chain_consistent, composition_consistent, composition_consistent_cached,
+    consistent, consistent_cached, consistent_nr_ptime, minimal_nr_tree, ConsAnswer, ConsError,
+};
+pub use exchange::{
+    certain_answers, nest_solution, reduce_solution, reduced_solution, CertainAnswersError,
+};
 pub use signature::Signature;
 pub use skolem::{SkolemMapping, SkolemStd, Term, TermPattern};
 pub use stds::{Mapping, Std};

@@ -38,9 +38,7 @@ impl Term {
     pub fn rename(&self, f: &mut impl FnMut(&Var) -> Var) -> Term {
         match self {
             Term::Var(v) => Term::Var(f(v)),
-            Term::App(g, args) => {
-                Term::App(g.clone(), args.iter().map(|t| t.rename(f)).collect())
-            }
+            Term::App(g, args) => Term::App(g.clone(), args.iter().map(|t| t.rename(f)).collect()),
         }
     }
 
@@ -126,9 +124,7 @@ impl TermPattern {
                 ListItem::Seq { members, ops } if ops.is_empty() && members.len() == 1 => {
                     children.push(TermPattern::from_pattern(&members[0])?);
                 }
-                ListItem::Seq { .. } => {
-                    return Err("horizontal operators in a term pattern".into())
-                }
+                ListItem::Seq { .. } => return Err("horizontal operators in a term pattern".into()),
                 ListItem::Descendant(_) => return Err("descendant in a term pattern".into()),
             }
         }
@@ -247,8 +243,8 @@ impl SkolemMapping {
             {
                 return Err(format!("std #{i} uses ≠, outside the closed class"));
             }
-            let target = TermPattern::from_pattern(&s.target)
-                .map_err(|e| format!("std #{i}: {e}"))?;
+            let target =
+                TermPattern::from_pattern(&s.target).map_err(|e| format!("std #{i}: {e}"))?;
             if !s.source.is_fully_specified() {
                 return Err(format!("std #{i}: source is not fully specified"));
             }
@@ -530,7 +526,7 @@ mod tests {
         let sk = SkolemMapping::from_mapping(&plain).unwrap();
         let src = tree!("r" [ "a"("v" = "1"), "a"("v" = "2") ]);
         let good = tree!("r" [ "b"("w" = "1"), "b"("w" = "2") ]);
-        let bad = tree!("r" [ "b"("w" = "1") ]);
+        let bad = tree!("r"["b"("w" = "1")]);
         assert_eq!(plain.is_solution(&src, &good), sk.is_solution(&src, &good));
         assert_eq!(plain.is_solution(&src, &bad), sk.is_solution(&src, &bad));
         assert!(sk.is_solution(&src, &good));
@@ -560,10 +556,10 @@ mod tests {
         };
         assert!(m.is_solution(&src, &two_ids));
         // One id reused: also fine (functions may collide).
-        let one_id = tree!("r" [ "t"("id" = "i", "name" = "ada") ]);
+        let one_id = tree!("r"["t"("id" = "i", "name" = "ada")]);
         assert!(m.is_solution(&src, &one_id));
         // No tuple for ada at all: violated.
-        let none = tree!("r" [ "t"("id" = "i", "name" = "bob") ]);
+        let none = tree!("r"["t"("id" = "i", "name" = "bob")]);
         assert!(!m.is_solution(&src, &none));
     }
 
@@ -595,7 +591,7 @@ mod tests {
                 },
             ],
         };
-        let src = tree!("r" [ "a"("v" = "1") ]);
+        let src = tree!("r"["a"("v" = "1")]);
         // b and c must carry the SAME value (both are f(1)).
         let same = tree!("r" [ "b"("w" = "k"), "c"("w" = "k") ]);
         let diff = tree!("r" [ "b"("w" = "k"), "c"("w" = "j") ]);

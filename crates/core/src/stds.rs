@@ -302,9 +302,9 @@ impl Mapping {
                         target.push_str(line);
                         target.push('\n');
                     }
-                    Some(2) => stds.push(
-                        Std::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?,
-                    ),
+                    Some(2) => {
+                        stds.push(Std::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?)
+                    }
                     _ => {
                         return Err(format!(
                             "line {}: content before the first [section]",
@@ -469,9 +469,9 @@ mod tests {
     #[test]
     fn target_condition_checked() {
         let s = Std::parse("r[a(x)] --> r[b(x, z)] ; x != z").unwrap();
-        let src = tree!("r" [ "a"("v" = "1") ]);
-        let ok = tree!("r" [ "b"("v" = "1", "w" = "2") ]);
-        let bad = tree!("r" [ "b"("v" = "1", "w" = "1") ]);
+        let src = tree!("r"["a"("v" = "1")]);
+        let ok = tree!("r"["b"("v" = "1", "w" = "2")]);
+        let bad = tree!("r"["b"("v" = "1", "w" = "1")]);
         assert!(s.satisfied(&src, &ok));
         assert!(!s.satisfied(&src, &bad));
     }
@@ -531,7 +531,7 @@ mod tests {
         };
         assert!(m.is_solution(&source_tree(), &good));
         // Non-conforming target: solution fails even if stds hold.
-        assert!(!m.is_solution(&source_tree(), &tree!("r" [ "junk" ])));
+        assert!(!m.is_solution(&source_tree(), &tree!("r"["junk"])));
         // Non-conforming source.
         assert!(!m.is_solution(&tree!("x"), &good));
         assert_eq!(m.signature().to_string(), "SM(↓,⇒,≠)");

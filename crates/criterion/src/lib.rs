@@ -149,12 +149,7 @@ impl BenchmarkGroup<'_> {
 
     fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
         match bencher.median_ns {
-            Some(ns) => println!(
-                "{}/{:<28} time: [{}]",
-                self.name,
-                id.name,
-                format_ns(ns)
-            ),
+            Some(ns) => println!("{}/{:<28} time: [{}]", self.name, id.name, format_ns(ns)),
             None => println!("{}/{} — no measurement taken", self.name, id.name),
         }
     }
@@ -284,7 +279,9 @@ mod tests {
     fn group_runs_benches() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("shim");
-        group.sample_size(3).measurement_time(Duration::from_millis(5));
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
         let mut ran = false;
         group.bench_function("noop", |b| {
             b.iter(|| 1 + 1);

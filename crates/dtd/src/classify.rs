@@ -203,7 +203,10 @@ pub struct NestedRelationalView {
 impl NestedRelationalView {
     /// The ordered child slots of an element type.
     pub fn slots(&self, label: &Name) -> &[(Name, Mult)] {
-        self.children.get(label).map(|v| v.as_slice()).unwrap_or(&[])
+        self.children
+            .get(label)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Does every non-root reachable label occur in exactly one production,
@@ -311,7 +314,10 @@ mod tests {
         assert!(nr.is_tree_shaped());
         assert_eq!(nr.mult(&Name::new("course")), Some(Mult::Star));
         assert_eq!(nr.mult(&Name::new("taughtby")), Some(Mult::One));
-        assert_eq!(nr.parent(&Name::new("supervisor")), Some(&Name::new("student")));
+        assert_eq!(
+            nr.parent(&Name::new("supervisor")),
+            Some(&Name::new("student"))
+        );
         assert_eq!(
             nr.path(&Name::new("taughtby")).unwrap(),
             vec![Name::new("r"), Name::new("course"), Name::new("taughtby")]
@@ -386,9 +392,13 @@ mod tests {
     fn shared_label_is_not_tree_shaped() {
         // c occurs under both a and b.
         let d = parse("root r\nr -> a, b\na -> c?\nb -> c?");
-        assert!(!d.is_nested_relational() || {
-            let nr = d.nested_relational().unwrap();
-            !nr.is_tree_shaped() && nr.parent(&Name::new("c")).is_none() && !nr.is_rigid(&Name::new("c"))
-        });
+        assert!(
+            !d.is_nested_relational() || {
+                let nr = d.nested_relational().unwrap();
+                !nr.is_tree_shaped()
+                    && nr.parent(&Name::new("c")).is_none()
+                    && !nr.is_rigid(&Name::new("c"))
+            }
+        );
     }
 }

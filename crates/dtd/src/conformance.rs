@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn unknown_label() {
-        let t = tree!("r" [ "dean" ]);
+        let t = tree!("r"["dean"]);
         let e = d1().check(&t).unwrap_err();
         assert!(matches!(e, ConformanceError::UnknownLabel { .. }));
     }
@@ -269,8 +269,8 @@ mod tests {
     #[test]
     fn leaf_elements_must_be_leaves() {
         let d = crate::parse("r -> a\na -> ").unwrap();
-        assert!(d.conforms(&tree!("r" [ "a" ])));
-        assert!(!d.conforms(&tree!("r" [ "a" [ "a" ] ])));
+        assert!(d.conforms(&tree!("r"["a"])));
+        assert!(!d.conforms(&tree!("r"["a"["a"]])));
     }
 
     #[test]
@@ -280,7 +280,11 @@ mod tests {
         assert!(!d.conforms(&t));
         d.normalize_attrs(&mut t).unwrap();
         assert!(d.conforms(&t));
-        let names: Vec<&str> = t.attrs(Tree::ROOT).iter().map(|(a, _)| a.as_str()).collect();
+        let names: Vec<&str> = t
+            .attrs(Tree::ROOT)
+            .iter()
+            .map(|(a, _)| a.as_str())
+            .collect();
         assert_eq!(names, ["x", "y"]);
 
         // Wrong attribute set still errors.

@@ -66,7 +66,10 @@ impl Dtd {
 
     /// The ordered attribute list `A_D(label)`.
     pub fn attrs(&self, label: &Name) -> &[Name] {
-        self.attributes.get(label).map(|v| v.as_slice()).unwrap_or(&[])
+        self.attributes
+            .get(label)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of attributes of `label`.
@@ -295,7 +298,15 @@ mod tests {
         let names: Vec<&str> = d.alphabet().map(|n| n.as_str()).collect();
         assert_eq!(
             names,
-            ["course", "prof", "r", "student", "supervise", "teach", "year"]
+            [
+                "course",
+                "prof",
+                "r",
+                "student",
+                "supervise",
+                "teach",
+                "year"
+            ]
         );
         assert_eq!(d.reachable().len(), 7);
 

@@ -191,7 +191,10 @@ mod tests {
         assert!(parse("r @ x\nr @ y").is_err());
         assert!(parse("root r\nroot s").is_err());
         assert!(matches!(parse(""), Err(ParseDtdError::Empty)));
-        assert!(matches!(parse("root r\na -> r"), Err(ParseDtdError::Invalid(_))));
+        assert!(matches!(
+            parse("root r\na -> r"),
+            Err(ParseDtdError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -119,7 +119,10 @@ mod tests {
                     vec![Value::str("a2"), Value::str("b2")],
                 ],
             ),
-            (rels[1].clone(), vec![vec![Value::str("c"), Value::str("d")]]),
+            (
+                rels[1].clone(),
+                vec![vec![Value::str("c"), Value::str("d")]],
+            ),
         ];
         let t = instance_to_tree(&inst);
         let d = schema_to_dtd(&rels).unwrap();

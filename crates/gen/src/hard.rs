@@ -43,9 +43,7 @@ pub fn cons_nextsib(n: usize) -> Mapping {
         .map(|i| {
             // source: a chain a → b → a → b … of length i+1.
             let members: Vec<Pattern> = (0..=i)
-                .map(|k| {
-                    Pattern::leaf(if k % 2 == 0 { "a" } else { "b" }, Vec::<Var>::new())
-                })
+                .map(|k| Pattern::leaf(if k % 2 == 0 { "a" } else { "b" }, Vec::<Var>::new()))
                 .collect();
             let ops = vec![SeqOp::Next; i];
             let source = Pattern::leaf("r", Vec::<Var>::new()).seq(members, ops);
@@ -60,10 +58,7 @@ pub fn cons_nextsib(n: usize) -> Mapping {
 /// 2ⁿ achievable points. Returns `(dtd, pattern)`.
 pub fn sat_hard(n: usize) -> (Dtd, Pattern) {
     let leaves: Vec<String> = (0..n).map(|i| format!("a{i}?")).collect();
-    let d = dtd(&format!(
-        "root r\nr -> u\nu -> u?, {}",
-        leaves.join(", ")
-    ));
+    let d = dtd(&format!("root r\nr -> u\nu -> u?, {}", leaves.join(", ")));
     let mut p = Pattern::leaf("r", Vec::<Var>::new());
     for i in 0..n {
         p = p.descendant(Pattern::leaf(format!("a{i}").as_str(), Vec::<Var>::new()));
@@ -326,11 +321,7 @@ mod tests {
         let m = membership_vars_hard(2);
         let (t1, _) = membership_hard_instance(2, 2);
         let mut bad = Tree::new("r");
-        bad.add_child(
-            Tree::ROOT,
-            "b",
-            [("w", xmlmap_trees::Value::str("v0"))],
-        );
+        bad.add_child(Tree::ROOT, "b", [("w", xmlmap_trees::Value::str("v0"))]);
         assert!(!m.is_solution(&t1, &bad));
     }
 

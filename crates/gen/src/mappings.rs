@@ -107,8 +107,7 @@ fn random_nr_pattern(
     let slots: Vec<(Name, Mult)> = nr.slots(label).to_vec();
     for (child, _) in slots {
         if rng.gen_bool(config.branch_probability) {
-            let sub =
-                random_nr_pattern(dtd, &child, depth - 1, config, var_counter, vars_out, rng);
+            let sub = random_nr_pattern(dtd, &child, depth - 1, config, var_counter, vars_out, rng);
             pattern = pattern.child(sub);
         }
     }

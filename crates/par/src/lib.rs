@@ -52,7 +52,11 @@ where
     });
     results
         .into_iter()
-        .map(|cell| cell.into_inner().unwrap().expect("worker filled every slot"))
+        .map(|cell| {
+            cell.into_inner()
+                .unwrap()
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 

@@ -343,8 +343,7 @@ mod tests {
         let fs = Pattern::leaf("r", Vec::<Var>::new()).child(Pattern::leaf("a", ["x"]));
         assert!(fs.is_fully_specified());
 
-        let desc =
-            Pattern::leaf("r", Vec::<Var>::new()).descendant(Pattern::wildcard(["z"]));
+        let desc = Pattern::leaf("r", Vec::<Var>::new()).descendant(Pattern::wildcard(["z"]));
         assert!(desc.uses_descendant());
         assert!(desc.uses_wildcard());
 
@@ -365,7 +364,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "sequence arity mismatch")]
     fn bad_seq_arity_panics() {
-        let _ = Pattern::leaf("r", Vec::<Var>::new())
-            .seq(vec![Pattern::leaf("a", Vec::<Var>::new())], vec![SeqOp::Next]);
+        let _ = Pattern::leaf("r", Vec::<Var>::new()).seq(
+            vec![Pattern::leaf("a", Vec::<Var>::new())],
+            vec![SeqOp::Next],
+        );
     }
 }

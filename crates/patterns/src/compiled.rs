@@ -35,7 +35,10 @@ struct CNode {
 /// A flattened list item; members reference [`CompiledPattern::nodes`].
 enum CItem {
     /// `π₁ op π₂ op … πₖ` — a sequence of siblings.
-    Seq { members: Vec<usize>, ops: Vec<SeqOp> },
+    Seq {
+        members: Vec<usize>,
+        ops: Vec<SeqOp>,
+    },
     /// `//π` — some proper descendant.
     Descendant(usize),
 }
@@ -194,8 +197,9 @@ impl<'t, 'p> Matcher<'t, 'p> {
             match &p.label {
                 LabelTest::Wildcard => wild[pi / 64] |= 1 << (pi % 64),
                 LabelTest::Label(name) => {
-                    by_label.entry(name.as_str()).or_insert_with(|| vec![0u64; words])
-                        [pi / 64] |= 1 << (pi % 64);
+                    by_label
+                        .entry(name.as_str())
+                        .or_insert_with(|| vec![0u64; words])[pi / 64] |= 1 << (pi % 64);
                 }
             }
         }
@@ -278,8 +282,7 @@ impl<'t, 'p> Matcher<'t, 'p> {
             return false;
         }
         let width = children.len();
-        let member_ok =
-            |m: usize, i: usize| self.bit(&self.ok, children[i].index(), members[m]);
+        let member_ok = |m: usize, i: usize| self.bit(&self.ok, children[i].index(), members[m]);
         let can = &mut scratch.can;
         can.clear();
         can.extend((0..width).map(|i| member_ok(members.len() - 1, i)));
@@ -403,7 +406,9 @@ impl<'t, 'p> Matcher<'t, 'p> {
             env: seed_env.to_vec(),
             trail: Vec::new(),
         };
-        !self.visit_pattern(&mut state, node, self.pat.root(), &mut |_, st| found(&st.env))
+        !self.visit_pattern(&mut state, node, self.pat.root(), &mut |_, st| {
+            found(&st.env)
+        })
     }
 
     /// Boolean probe under a dense seed (see
@@ -532,10 +537,9 @@ impl<'t, 'p> Matcher<'t, 'p> {
                         continue;
                     }
                     if self.ok_bit(x, *d) {
-                        let alive =
-                            self.visit_pattern(state, x, *d, &mut |matcher, st| {
-                                matcher.visit_items(st, tnode, pnode, k + 1, cont)
-                            });
+                        let alive = self.visit_pattern(state, x, *d, &mut |matcher, st| {
+                            matcher.visit_items(st, tnode, pnode, k + 1, cont)
+                        });
                         if !alive {
                             return false;
                         }
@@ -548,8 +552,7 @@ impl<'t, 'p> Matcher<'t, 'p> {
                 let children = self.tree.children(tnode);
                 for i in 0..children.len() {
                     let alive =
-                        self.visit_seq(children, i, members, ops, 0, state, &mut |matcher,
-                                                                                  st| {
+                        self.visit_seq(children, i, members, ops, 0, state, &mut |matcher, st| {
                             matcher.visit_items(st, tnode, pnode, k + 1, cont)
                         });
                     if !alive {
@@ -680,8 +683,7 @@ mod tests {
         let c = CompiledPattern::new(&p);
         let m = Matcher::new(&t, &c);
         for (val, expect) in [("1", true), ("2", true), ("9", false)] {
-            let seed: Valuation =
-                [(Var::new("x"), Value::str(val))].into_iter().collect();
+            let seed: Valuation = [(Var::new("x"), Value::str(val))].into_iter().collect();
             assert_eq!(m.matches_with(&seed), expect, "seed x={val}");
         }
         // Seeds outside the pattern's variables pass through untouched.

@@ -126,10 +126,9 @@ mod tests {
     fn paper_pattern_pi1_enumerates_all_tuples() {
         // π₁ with both course variables: each (cn1, cn2) pair of child
         // courses of the same year, in any order (no horizontal constraint).
-        let p = parse(
-            "r[prof(x)[teach[year(y)[course(cn1), course(cn2)]], supervise[student(s)]]]",
-        )
-        .unwrap();
+        let p =
+            parse("r[prof(x)[teach[year(y)[course(cn1), course(cn2)]], supervise[student(s)]]]")
+                .unwrap();
         let ms = all_matches(&intro_tree(), &p);
         // cn1, cn2 ∈ {cs1, cs2} (4 combinations) × s ∈ {Sue, Bob}.
         assert_eq!(ms.len(), 8);
@@ -144,8 +143,9 @@ mod tests {
 
     #[test]
     fn next_sibling_restricts_order() {
-        let p = parse("r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], supervise[student(s)]]]")
-            .unwrap();
+        let p =
+            parse("r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], supervise[student(s)]]]")
+                .unwrap();
         let ms = all_matches(&intro_tree(), &p);
         // Only cs1 → cs2 in document order; two students.
         assert_eq!(ms.len(), 2);
@@ -279,7 +279,7 @@ mod tests {
         let mut k = 0;
         rename(&mut p, &mut k);
         p = p.descendant(parse("zz").unwrap()); // make it fail
-        // Must answer (false) immediately via the DP.
+                                                // Must answer (false) immediately via the DP.
         assert_eq!(matches_structural(&t, &p), Some(false));
         assert!(!matches(&t, &p));
 

@@ -18,7 +18,11 @@
 //! * [`reference`] — the naive spec evaluator kept for differential tests;
 //! * [`sat`] — satisfiability of patterns w.r.t. a DTD and achievable
 //!   match-set enumeration (Lemma 4.1, and the engine behind Thm 5.2 /
-//!   Prop 6.1 in `xmlmap-core`).
+//!   Prop 6.1 in `xmlmap-core`);
+//! * [`sat_compiled`] — the compiled fixpoint engine behind [`sat`]:
+//!   interned type bitsets, a dependency-driven worklist, and the per-DTD
+//!   [`SatCache`] for repeated probes. The original engine survives as
+//!   [`sat::reference`] for differential tests.
 
 pub mod ast;
 pub mod compiled;
@@ -27,12 +31,12 @@ pub mod minimize;
 pub mod parse;
 pub mod reference;
 pub mod sat;
+pub mod sat_compiled;
 
 pub use ast::{LabelTest, ListItem, Pattern, SeqOp, Var};
 pub use compiled::{CompiledPattern, Matcher};
 pub use eval::{
-    all_matches, for_each_match, matches, matches_at, matches_structural, matches_with,
-    Valuation,
+    all_matches, for_each_match, matches, matches_at, matches_structural, matches_with, Valuation,
 };
 pub use minimize::minimize;
 pub use parse::{parse, PatternParseError};
@@ -40,6 +44,7 @@ pub use sat::{
     achievable_match_sets, contained_in, equivalent, satisfiable, satisfiable_all,
     satisfiable_with_negations, BudgetExceeded, TypeEngine, DEFAULT_BUDGET,
 };
+pub use sat_compiled::{SatCache, SatEngine};
 
 #[cfg(test)]
 mod proptests {

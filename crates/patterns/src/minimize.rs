@@ -32,11 +32,7 @@ fn item_has_vars(item: &ListItem) -> bool {
 /// items (anywhere in the pattern) whose removal preserves equivalence.
 /// The result matches exactly the same documents with exactly the same
 /// valuations.
-pub fn minimize(
-    dtd: &Dtd,
-    pattern: &Pattern,
-    budget: usize,
-) -> Result<Pattern, BudgetExceeded> {
+pub fn minimize(dtd: &Dtd, pattern: &Pattern, budget: usize) -> Result<Pattern, BudgetExceeded> {
     let mut current = pattern.clone();
     loop {
         let mut changed = false;

@@ -131,7 +131,11 @@ impl<'a> Parser<'a> {
             }
         }
 
-        let mut pat = Pattern { label, vars, list: Vec::new() };
+        let mut pat = Pattern {
+            label,
+            vars,
+            list: Vec::new(),
+        };
 
         // Optional list, or the `/`, `//` path abbreviations.
         self.skip_ws();
@@ -215,9 +219,8 @@ mod tests {
 
     #[test]
     fn parses_paper_pi3() {
-        let pat = p(
-            "r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], supervise[student(s)]]]",
-        );
+        let pat =
+            p("r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], supervise[student(s)]]]");
         let vars: Vec<String> = pat.variables().iter().map(|v| v.to_string()).collect();
         assert_eq!(vars, ["x", "y", "cn1", "cn2", "s"]);
         assert!(pat.uses_next_sibling());

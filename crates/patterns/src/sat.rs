@@ -30,432 +30,53 @@
 //! The machine-state space is worst-case exponential in the pattern size —
 //! as it must be: the problems are EXPTIME-/Π₂ᵖ-complete. A configurable
 //! budget bounds the exploration and reports overruns explicitly.
+//!
+//! ## Two engines
+//!
+//! The entry points below run the **compiled** engine
+//! ([`crate::sat_compiled`]): interned labels and type bitsets, flat-word
+//! machine states with hashed dedup, a dependency-driven worklist instead
+//! of whole-alphabet re-sweeps, and an optional gated parallel frontier
+//! (see DESIGN.md §8). Repeated probes against one schema should go
+//! through [`SatCache`], which compiles the DTD and each pattern set once
+//! and memoizes match-set results. The original engine survives unchanged
+//! as [`reference`] ([`TypeEngine`] re-exported for compatibility) and is
+//! differentially tested against the compiled one in `tests/sat_equiv.rs`.
 
-use crate::ast::{ListItem, Pattern, SeqOp};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use crate::ast::{ListItem, Pattern};
+use std::collections::{BTreeSet, HashMap};
 use xmlmap_dtd::Dtd;
-use xmlmap_regex::Nfa;
-use xmlmap_trees::{Name, Tree, Value};
+use xmlmap_trees::{Name, Tree};
+
+pub mod reference;
+
+pub use crate::sat_compiled::{SatCache, SatEngine};
+pub use reference::TypeEngine;
 
 /// The exploration exceeded its state budget; the answer is unknown.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BudgetExceeded {
     /// The budget that was exhausted (machine states explored).
     pub budget: usize,
+    /// States actually explored when the engine gave up (≥ budget).
+    pub states_explored: usize,
+    /// Which operation blew the budget (caller-supplied, e.g.
+    /// `"consistency check"` or `"reference engine"`).
+    pub context: String,
 }
 
 impl std::fmt::Display for BudgetExceeded {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "type-fixpoint exploration exceeded its budget of {} states",
-            self.budget
+            "type-fixpoint exploration ({}) exceeded its budget of {} states \
+             ({} states explored at abort)",
+            self.context, self.budget, self.states_explored
         )
     }
 }
 
 impl std::error::Error for BudgetExceeded {}
-
-/// A compact bitset used for component types.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-struct Bits(Vec<u64>);
-
-impl Bits {
-    fn new(len: usize) -> Bits {
-        Bits(vec![0; len.div_ceil(64)])
-    }
-    fn set(&mut self, i: usize) {
-        self.0[i / 64] |= 1 << (i % 64);
-    }
-    fn get(&self, i: usize) -> bool {
-        self.0[i / 64] & (1 << (i % 64)) != 0
-    }
-    fn or_assign(&mut self, other: &Bits) {
-        for (a, b) in self.0.iter_mut().zip(&other.0) {
-            *a |= b;
-        }
-    }
-}
-
-/// Flattened pattern node.
-struct NodeC {
-    label: crate::ast::LabelTest,
-    arity: usize,
-    items: Vec<ItemC>,
-}
-
-/// Flattened list item.
-enum ItemC {
-    /// `//π` where π has the given pattern-node id.
-    Desc(usize),
-    /// A sequence item, indexing into the global sequence table.
-    Seq(usize),
-}
-
-/// A sequence acceptor: members (pattern-node ids) and operators.
-struct SeqC {
-    members: Vec<usize>,
-    ops: Vec<SeqOp>,
-}
-
-/// An achievable `(label, type)` pair plus the witness word that produced it.
-struct PairInfo {
-    label: Name,
-    typ: Bits,
-    /// Children realisation: ids of achievable pairs, in order.
-    word: Vec<usize>,
-}
-
-/// The satisfiability engine for a DTD and a set of patterns.
-pub struct TypeEngine<'a> {
-    dtd: &'a Dtd,
-    nodes: Vec<NodeC>,
-    seqs: Vec<SeqC>,
-    /// Root pattern-node id of each input pattern.
-    roots: Vec<usize>,
-    /// pid → SubtreeMatch component index (only for `//`-referenced nodes).
-    subtree_bit: HashMap<usize, usize>,
-    n_comps: usize,
-    /// Achievable pairs, in discovery order (witness words only reference
-    /// earlier sweeps, so recursion over them is well-founded).
-    pairs: Vec<PairInfo>,
-    pair_index: HashMap<(Name, Bits), usize>,
-    states_explored: usize,
-    budget: usize,
-}
-
-/// One machine state of the per-label word exploration.
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct MachineState {
-    /// Subset state of the production NFA.
-    dtd: BTreeSet<usize>,
-    /// Subset state of every sequence acceptor.
-    seqs: Vec<BTreeSet<usize>>,
-    /// `SubtreeMatch` components seen on some symbol so far.
-    seen: Bits,
-}
-
-impl<'a> TypeEngine<'a> {
-    /// Builds the engine for `dtd` and `patterns`. `budget` bounds the total
-    /// number of machine states explored (across all sweeps).
-    pub fn new(dtd: &'a Dtd, patterns: &[&Pattern], budget: usize) -> TypeEngine<'a> {
-        let mut nodes: Vec<NodeC> = Vec::new();
-        let mut seqs: Vec<SeqC> = Vec::new();
-        let mut desc_pids: Vec<usize> = Vec::new();
-
-        fn flatten(
-            p: &Pattern,
-            nodes: &mut Vec<NodeC>,
-            seqs: &mut Vec<SeqC>,
-            desc_pids: &mut Vec<usize>,
-        ) -> usize {
-            let pid = nodes.len();
-            nodes.push(NodeC {
-                label: p.label.clone(),
-                arity: p.vars.len(),
-                items: Vec::new(),
-            });
-            let mut items = Vec::new();
-            for item in &p.list {
-                match item {
-                    ListItem::Descendant(sub) => {
-                        let sub_pid = flatten(sub, nodes, seqs, desc_pids);
-                        desc_pids.push(sub_pid);
-                        items.push(ItemC::Desc(sub_pid));
-                    }
-                    ListItem::Seq { members, ops } => {
-                        let member_pids = members
-                            .iter()
-                            .map(|m| flatten(m, nodes, seqs, desc_pids))
-                            .collect();
-                        seqs.push(SeqC {
-                            members: member_pids,
-                            ops: ops.clone(),
-                        });
-                        items.push(ItemC::Seq(seqs.len() - 1));
-                    }
-                }
-            }
-            nodes[pid].items = items;
-            pid
-        }
-
-        let roots = patterns
-            .iter()
-            .map(|p| flatten(p, &mut nodes, &mut seqs, &mut desc_pids))
-            .collect();
-
-        // Components: NodeMatch(pid) = bit pid; SubtreeMatch for every
-        // `//`-referenced pid, and (transitively) everything below them —
-        // SubtreeMatch(q) needs NodeMatch(q) at descendants, which the
-        // engine gets from types, so only the referenced pid needs a bit.
-        let n_nodes = nodes.len();
-        let mut subtree_bit = HashMap::new();
-        for pid in desc_pids {
-            let next = n_nodes + subtree_bit.len();
-            subtree_bit.entry(pid).or_insert(next);
-        }
-        let n_comps = n_nodes + subtree_bit.len();
-
-        TypeEngine {
-            dtd,
-            nodes,
-            seqs,
-            roots,
-            subtree_bit,
-            n_comps,
-            pairs: Vec::new(),
-            pair_index: HashMap::new(),
-            states_explored: 0,
-            budget,
-        }
-    }
-
-    /// Runs the fixpoint to completion.
-    pub fn run(&mut self) -> Result<(), BudgetExceeded> {
-        loop {
-            let frozen = self.pairs.len();
-            let labels: Vec<Name> = self.dtd.alphabet().cloned().collect();
-            let mut discovered: Vec<PairInfo> = Vec::new();
-            for label in &labels {
-                self.explore_label(label, frozen, &mut discovered)?;
-            }
-            let mut grew = false;
-            for info in discovered {
-                let key = (info.label.clone(), info.typ.clone());
-                if !self.pair_index.contains_key(&key) {
-                    self.pair_index.insert(key, self.pairs.len());
-                    self.pairs.push(info);
-                    grew = true;
-                }
-            }
-            if !grew {
-                return Ok(());
-            }
-        }
-    }
-
-    /// Explores all children words for `label` over the first `frozen`
-    /// achievable pairs, collecting every realizable `(label, τ)`.
-    fn explore_label(
-        &mut self,
-        label: &Name,
-        frozen: usize,
-        discovered: &mut Vec<PairInfo>,
-    ) -> Result<(), BudgetExceeded> {
-        let epsilon_nfa = Nfa::epsilon();
-        let nfa: &Nfa<Name> = self.dtd.horizontal(label).unwrap_or(&epsilon_nfa);
-
-        let initial = MachineState {
-            dtd: BTreeSet::from([0usize]),
-            seqs: vec![BTreeSet::from([0usize]); self.seqs.len()],
-            seen: Bits::new(self.n_comps),
-        };
-        let mut index: HashMap<MachineState, usize> = HashMap::new();
-        let mut states: Vec<MachineState> = Vec::new();
-        let mut parent: Vec<Option<(usize, usize)>> = Vec::new(); // (state, pair id)
-        let mut queue = VecDeque::new();
-        index.insert(initial.clone(), 0);
-        states.push(initial);
-        parent.push(None);
-        queue.push_back(0usize);
-        let mut emitted: BTreeSet<Bits> = BTreeSet::new();
-
-        while let Some(si) = queue.pop_front() {
-            self.states_explored += 1;
-            if self.states_explored > self.budget {
-                return Err(BudgetExceeded {
-                    budget: self.budget,
-                });
-            }
-            let state = states[si].clone();
-
-            // Complete word? Emit the induced type.
-            if state.dtd.iter().any(|&q| nfa.accepting[q]) {
-                let typ = self.induced_type(label, &state);
-                if emitted.insert(typ.clone())
-                    && !self
-                        .pair_index
-                        .contains_key(&(label.clone(), typ.clone()))
-                {
-                    // Reconstruct the witness word.
-                    let mut word = Vec::new();
-                    let mut cur = si;
-                    while let Some((prev, pid)) = parent[cur] {
-                        word.push(pid);
-                        cur = prev;
-                    }
-                    word.reverse();
-                    // A later-discovered duplicate within `discovered` is
-                    // filtered by the caller's index check.
-                    discovered.push(PairInfo {
-                        label: label.clone(),
-                        typ,
-                        word,
-                    });
-                }
-            }
-
-            // Transitions on every achievable pair.
-            for pid in 0..frozen {
-                let next = self.step(&state, nfa, pid);
-                if next.dtd.is_empty() {
-                    continue; // the production can never complete from here
-                }
-                if !index.contains_key(&next) {
-                    let ni = states.len();
-                    index.insert(next.clone(), ni);
-                    states.push(next);
-                    parent.push(Some((si, pid)));
-                    queue.push_back(ni);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// One machine transition on the achievable pair `pid`.
-    fn step(&self, state: &MachineState, nfa: &Nfa<Name>, pid: usize) -> MachineState {
-        let pair = &self.pairs[pid];
-        // DTD production part.
-        let mut dtd = BTreeSet::new();
-        for &q in &state.dtd {
-            for (sym, q2) in &nfa.transitions[q] {
-                if sym == &pair.label {
-                    dtd.insert(*q2);
-                }
-            }
-        }
-        // Sequence acceptors.
-        let mut seqs = Vec::with_capacity(self.seqs.len());
-        for (k, seq) in self.seqs.iter().enumerate() {
-            let n = seq.members.len();
-            let mut next = BTreeSet::new();
-            for &s in &state.seqs[k] {
-                if s == n {
-                    next.insert(n); // trailing Σ*
-                    continue;
-                }
-                // Gap self-loop: leading Σ* at 0, or →* gaps.
-                if s == 0 || seq.ops[s - 1] == SeqOp::Following {
-                    next.insert(s);
-                }
-                // Advance when the symbol's type matches the member.
-                if pair.typ.get(seq.members[s]) {
-                    next.insert(s + 1);
-                }
-            }
-            seqs.push(next);
-        }
-        // Seen SubtreeMatch components.
-        let mut seen = state.seen.clone();
-        seen.or_assign(&pair.typ);
-        // Only the SubtreeMatch range matters for `seen`; NodeMatch bits of
-        // children are harmless to keep (they are never read from `seen`).
-        MachineState { dtd, seqs, seen }
-    }
-
-    /// The type induced at an ℓ-labelled node whose children produced
-    /// machine state `state`.
-    fn induced_type(&self, label: &Name, state: &MachineState) -> Bits {
-        let mut typ = Bits::new(self.n_comps);
-        let arity = self.dtd.arity(label);
-        for (pid, node) in self.nodes.iter().enumerate() {
-            // An empty variable tuple imposes no arity requirement
-            // (mirrors `eval`; see the comment there).
-            if !node.label.accepts(label) || (node.arity != 0 && node.arity != arity) {
-                continue;
-            }
-            let all_items = node.items.iter().all(|item| match item {
-                ItemC::Desc(sub) => state.seen.get(self.subtree_bit[sub]),
-                ItemC::Seq(k) => {
-                    let n = self.seqs[*k].members.len();
-                    state.seqs[*k].contains(&n)
-                }
-            });
-            if all_items {
-                typ.set(pid);
-            }
-        }
-        // SubtreeMatch: here or in some child's subtree.
-        for (&pid, &bit) in &self.subtree_bit {
-            if typ.get(pid) || state.seen.get(bit) {
-                typ.set(bit);
-            }
-        }
-        typ
-    }
-
-    /// All achievable root match sets `J` (indices into the input pattern
-    /// list), each with a witness document conforming to the DTD. Every
-    /// attribute of the witness carries the same constant, so implicit
-    /// equalities in patterns are always satisfied.
-    pub fn root_match_sets(&mut self) -> Result<Vec<(BTreeSet<usize>, Tree)>, BudgetExceeded> {
-        self.run()?;
-        let mut out: Vec<(BTreeSet<usize>, Tree)> = Vec::new();
-        let mut seen: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
-        for (id, info) in self.pairs.iter().enumerate() {
-            if &info.label != self.dtd.root() {
-                continue;
-            }
-            let set: BTreeSet<usize> = self
-                .roots
-                .iter()
-                .enumerate()
-                .filter(|(_, &pid)| info.typ.get(pid))
-                .map(|(i, _)| i)
-                .collect();
-            if seen.insert(set.clone()) {
-                out.push((set, self.build_witness(id)));
-            }
-        }
-        Ok(out)
-    }
-
-    /// Is there a `T ⊨ D` matching **all** input patterns at the root?
-    /// Returns a witness. (Lemma 4.1 is the single-pattern case.)
-    pub fn satisfiable_conj(&mut self) -> Result<Option<Tree>, BudgetExceeded> {
-        let n = self.roots.len();
-        let sets = self.root_match_sets()?;
-        Ok(sets
-            .into_iter()
-            .find(|(set, _)| set.len() == n)
-            .map(|(_, tree)| tree))
-    }
-
-    /// Total machine states explored so far (diagnostics for benches).
-    pub fn states_explored(&self) -> usize {
-        self.states_explored
-    }
-
-    fn build_witness(&self, pair_id: usize) -> Tree {
-        fn attach(engine: &TypeEngine<'_>, tree: &mut Tree, at: xmlmap_trees::NodeId, pid: usize) {
-            for &child in &engine.pairs[pid].word {
-                let info = &engine.pairs[child];
-                let node = tree.add_child(
-                    at,
-                    info.label.clone(),
-                    engine
-                        .dtd
-                        .attrs(&info.label)
-                        .iter()
-                        .map(|a| (a.clone(), Value::str("d"))),
-                );
-                attach(engine, tree, node, child);
-            }
-        }
-        let info = &self.pairs[pair_id];
-        let mut tree = Tree::with_root_attrs(
-            info.label.clone(),
-            self.dtd
-                .attrs(&info.label)
-                .iter()
-                .map(|a| (a.clone(), Value::str("d"))),
-        );
-        attach(self, &mut tree, Tree::ROOT, pair_id);
-        tree
-    }
-}
 
 /// Pattern satisfiability w.r.t. a DTD (Lemma 4.1): is there `T ⊨ D` with
 /// `π(T) ≠ ∅`? Returns a witness document.
@@ -464,7 +85,9 @@ pub fn satisfiable(
     pattern: &Pattern,
     budget: usize,
 ) -> Result<Option<Tree>, BudgetExceeded> {
-    TypeEngine::new(dtd, &[pattern], budget).satisfiable_conj()
+    SatEngine::new(dtd, &[pattern], budget)
+        .with_context("pattern satisfiability")
+        .satisfiable_conj()
 }
 
 /// Joint satisfiability of a pattern conjunction w.r.t. a DTD.
@@ -473,16 +96,20 @@ pub fn satisfiable_all(
     patterns: &[&Pattern],
     budget: usize,
 ) -> Result<Option<Tree>, BudgetExceeded> {
-    TypeEngine::new(dtd, patterns, budget).satisfiable_conj()
+    SatEngine::new(dtd, patterns, budget)
+        .with_context("conjunctive satisfiability")
+        .satisfiable_conj()
 }
 
-/// All achievable root match sets with witnesses (see [`TypeEngine`]).
+/// All achievable root match sets with witnesses (see module docs).
 pub fn achievable_match_sets(
     dtd: &Dtd,
     patterns: &[&Pattern],
     budget: usize,
 ) -> Result<Vec<(BTreeSet<usize>, Tree)>, BudgetExceeded> {
-    TypeEngine::new(dtd, patterns, budget).root_match_sets()
+    SatEngine::new(dtd, patterns, budget)
+        .with_context("match-set enumeration")
+        .root_match_sets()
 }
 
 /// Default exploration budget: generous for interactive use, bounded enough
@@ -645,8 +272,11 @@ mod tests {
     #[test]
     fn satisfiable_basic() {
         let d = dtd(D1);
-        let p = pat("r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], supervise[student(s)]]]");
-        let w = satisfiable(&d, &p, DEFAULT_BUDGET).unwrap().expect("satisfiable");
+        let p =
+            pat("r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], supervise[student(s)]]]");
+        let w = satisfiable(&d, &p, DEFAULT_BUDGET)
+            .unwrap()
+            .expect("satisfiable");
         assert!(d.conforms(&w));
         assert!(eval::matches(&w, &p), "witness must match:\n{w:?}");
     }
@@ -679,7 +309,9 @@ mod tests {
         // r/prof/teach/year(y); wildcards must respect arities (prof has
         // one attribute, teach none).
         let p = pat("r[_(x)[_[_(y)]]]");
-        let w = satisfiable(&d, &p, DEFAULT_BUDGET).unwrap().expect("satisfiable");
+        let w = satisfiable(&d, &p, DEFAULT_BUDGET)
+            .unwrap()
+            .expect("satisfiable");
         assert!(eval::matches(&w, &p));
     }
 
@@ -768,7 +400,9 @@ mod tests {
     fn recursive_dtd_descendant() {
         let d = dtd("root r\nr -> a\na -> a?, b?\nb -> ");
         let p = pat("r//b");
-        let w = satisfiable(&d, &p, DEFAULT_BUDGET).unwrap().expect("satisfiable");
+        let w = satisfiable(&d, &p, DEFAULT_BUDGET)
+            .unwrap()
+            .expect("satisfiable");
         assert!(d.conforms(&w));
         assert!(eval::matches(&w, &p));
     }
@@ -777,7 +411,12 @@ mod tests {
     fn budget_exhaustion_reports() {
         let d = dtd(D1);
         let p = pat("r//course(c)");
-        assert!(satisfiable(&d, &p, 2).is_err());
+        let err = satisfiable(&d, &p, 2).unwrap_err();
+        assert_eq!(err.budget, 2);
+        assert!(err.states_explored > 2);
+        let msg = err.to_string();
+        assert!(msg.contains("pattern satisfiability"), "{msg}");
+        assert!(msg.contains("budget of 2"), "{msg}");
     }
 
     #[test]
@@ -816,27 +455,41 @@ mod tests {
     }
 
     #[test]
+    fn sat_cache_repeated_probes() {
+        let d = dtd(D1);
+        let cache = SatCache::new(&d);
+        let p = pat("r//course(c)");
+        let q = pat("r//teach[//student(s)]");
+        for _ in 0..3 {
+            assert!(cache.satisfiable(&p, DEFAULT_BUDGET).unwrap().is_some());
+            assert!(cache.satisfiable(&q, DEFAULT_BUDGET).unwrap().is_none());
+        }
+        // Cached witnesses still conform and match.
+        let w = cache.satisfiable(&p, DEFAULT_BUDGET).unwrap().unwrap();
+        assert!(d.conforms(&w));
+        assert!(eval::matches(&w, &p));
+    }
+
+    #[test]
     fn nr_satisfiability_agrees_with_engine() {
-        let d = dtd(
-            "root r
+        let d = dtd("root r
              r -> a, b*, c?
              a -> d?
              b -> e
              c @ v
-             e @ w",
-        );
+             e @ w");
         for (text, expect) in [
             ("r/a", true),
             ("r/a/d", true),
             ("r//d", true),
             ("r[a, b[e(x)], c(y)]", true),
             ("r//e(x)", true),
-            ("r/e(x)", false),      // e is not a child of r
+            ("r/e(x)", false), // e is not a child of r
             ("r//c(x)", true),
-            ("r/c(x, y)", false),   // arity mismatch
+            ("r/c(x, y)", false), // arity mismatch
             ("r[//d, //e(x)]", true),
-            ("r/b/d", false),       // d not under b
-            ("_[a]", true),         // wildcard root still sits at r
+            ("r/b/d", false), // d not under b
+            ("_[a]", true),   // wildcard root still sits at r
         ] {
             let pat = parse(text).unwrap();
             let fast = satisfiable_nr(&d, &pat).expect("inside fragment");

@@ -44,7 +44,11 @@ mod proptests {
 
     fn arb_word() -> impl Strategy<Value = Vec<Name>> {
         proptest::collection::vec(
-            prop_oneof![Just(Name::new("a")), Just(Name::new("b")), Just(Name::new("c"))],
+            prop_oneof![
+                Just(Name::new("a")),
+                Just(Name::new("b")),
+                Just(Name::new("c"))
+            ],
             0..6,
         )
     }

@@ -302,7 +302,10 @@ fn glushkov(regex: &Regex, symbols_at: &mut Vec<Name>) -> GlushkovInfo {
                 follow.entry(k).or_default().extend(v);
             }
             for &l in &ia.last {
-                follow.entry(l).or_default().extend(ib.first.iter().copied());
+                follow
+                    .entry(l)
+                    .or_default()
+                    .extend(ib.first.iter().copied());
             }
             let mut first = ia.first;
             if ia.nullable {
@@ -341,7 +344,10 @@ fn glushkov(regex: &Regex, symbols_at: &mut Vec<Name>) -> GlushkovInfo {
             let ia = glushkov(a, symbols_at);
             let mut follow = ia.follow;
             for &l in &ia.last {
-                follow.entry(l).or_default().extend(ia.first.iter().copied());
+                follow
+                    .entry(l)
+                    .or_default()
+                    .extend(ia.first.iter().copied());
             }
             GlushkovInfo {
                 nullable: matches!(regex, Regex::Star(_)) || ia.nullable,
@@ -447,12 +453,7 @@ mod tests {
         let upper = n.map(|x| Name::new(x.as_str().to_uppercase()));
         assert!(upper.accepts(&word("A B")));
         // Expand each symbol x to {x1, x2}.
-        let exp = n.expand(|x| {
-            vec![
-                Name::new(format!("{x}1")),
-                Name::new(format!("{x}2")),
-            ]
-        });
+        let exp = n.expand(|x| vec![Name::new(format!("{x}1")), Name::new(format!("{x}2"))]);
         assert!(exp.accepts(&word("a1 b2")));
         assert!(exp.accepts(&word("a2 b1")));
         assert!(!exp.accepts(&word("a b")));

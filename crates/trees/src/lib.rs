@@ -131,13 +131,16 @@ mod proptests {
             children: vec![],
         });
         let spec = leaf.prop_recursive(3, 16, 4, |inner| {
-            (arb_name(), arb_attrs(), proptest::collection::vec(inner, 0..4)).prop_map(
-                |(label, attrs, children)| Spec {
+            (
+                arb_name(),
+                arb_attrs(),
+                proptest::collection::vec(inner, 0..4),
+            )
+                .prop_map(|(label, attrs, children)| Spec {
                     label,
                     attrs,
                     children,
-                },
-            )
+                })
         });
         fn build(tree: &mut Tree, at: crate::NodeId, spec: &Spec) {
             for c in &spec.children {
@@ -221,7 +224,7 @@ mod tests {
 
     #[test]
     fn tree_macro_matches_builder() {
-        let via_macro = tree!("r" [ "a"("v" = "1") [ "b" ] ]);
+        let via_macro = tree!("r"["a"("v" = "1")["b"]]);
         let mut via_builder = Tree::new("r");
         let a = via_builder.add_child(Tree::ROOT, "a", [("v", Value::str("1"))]);
         via_builder.add_elem(a, "b");

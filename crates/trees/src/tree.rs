@@ -198,7 +198,11 @@ impl Tree {
     /// the current children (panics otherwise).
     pub fn set_children(&mut self, n: NodeId, children: Vec<NodeId>) {
         let current = &self.nodes[n.index()].children;
-        assert_eq!(children.len(), current.len(), "set_children: length mismatch");
+        assert_eq!(
+            children.len(),
+            current.len(),
+            "set_children: length mismatch"
+        );
         let mut a = children.clone();
         let mut b = current.clone();
         a.sort_unstable();

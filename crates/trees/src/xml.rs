@@ -21,7 +21,11 @@ pub struct XmlError {
 
 impl std::fmt::Display for XmlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -250,7 +254,13 @@ pub fn to_string(tree: &Tree) -> String {
             for &c in tree.children(n) {
                 node(tree, c, out, depth + 1);
             }
-            let _ = writeln!(out, "{:indent$}</{}>", "", tree.label(n), indent = depth * 2);
+            let _ = writeln!(
+                out,
+                "{:indent$}</{}>",
+                "",
+                tree.label(n),
+                indent = depth * 2
+            );
         }
     }
     node(tree, Tree::ROOT, &mut out, 0);
@@ -289,7 +299,11 @@ mod tests {
     #[test]
     fn parses_attributes_in_order() {
         let t = parse(r#"<c cno="cs1" year="2008"/>"#).unwrap();
-        let names: Vec<&str> = t.attrs(Tree::ROOT).iter().map(|(a, _)| a.as_str()).collect();
+        let names: Vec<&str> = t
+            .attrs(Tree::ROOT)
+            .iter()
+            .map(|(a, _)| a.as_str())
+            .collect();
         assert_eq!(names, ["cno", "year"]);
     }
 

@@ -38,10 +38,7 @@ fn main() {
     let exchange = Mapping::new(
         catalogue.clone(),
         citations.clone(),
-        vec![Std::parse(
-            "catalogue/book(t)[author(a)] --> db/work(t)/credit(a)",
-        )
-        .unwrap()],
+        vec![Std::parse("catalogue/book(t)[author(a)] --> db/work(t)/credit(a)").unwrap()],
     );
     println!("exchange mapping class: {}", exchange.signature());
 
@@ -50,8 +47,7 @@ fn main() {
     // is redundant; minimisation strips it.
     let verbose = xmlmap::patterns::parse("catalogue[book(t)[author(a)], //author]").unwrap();
     let minimal =
-        xmlmap::patterns::minimize(&catalogue, &verbose, xmlmap::patterns::DEFAULT_BUDGET)
-            .unwrap();
+        xmlmap::patterns::minimize(&catalogue, &verbose, xmlmap::patterns::DEFAULT_BUDGET).unwrap();
     println!("minimised query: {verbose}  ⇒  {minimal}");
     assert_eq!(minimal.to_string(), "catalogue[book(t)[author(a)]]");
 
@@ -91,11 +87,7 @@ fn main() {
     let answers = xmlmap::core::certain_answers(&exchange, &source, &who_wrote).unwrap();
     println!("certain (title, author) pairs:");
     for a in &answers {
-        println!(
-            "  {} — {}",
-            a[&Name::new("t")],
-            a[&Name::new("a")]
-        );
+        println!("  {} — {}", a[&Name::new("t")], a[&Name::new("a")]);
     }
     assert_eq!(answers.len(), 3);
 
@@ -128,7 +120,7 @@ fn main() {
         ]
     };
     assert!(s13.is_solution(&source, &stats_doc));
-    let missing = tree!("stats" [ "entry"("who" = "Libkin") ]);
+    let missing = tree!("stats"["entry"("who" = "Libkin")]);
     assert!(!s13.is_solution(&source, &missing));
     println!("composition verified on the sample documents ✓");
 }

@@ -132,8 +132,7 @@ fn main() {
 
     println!("\nWitness documents for the consistent cases:");
     for case in suite() {
-        if let Ok(ConsAnswer::Consistent { source, target }) = consistent(&case.mapping, BUDGET)
-        {
+        if let Ok(ConsAnswer::Consistent { source, target }) = consistent(&case.mapping, BUDGET) {
             assert!(case.mapping.is_solution(&source, &target));
             println!(
                 "  {:<24} source {} nodes, solution {} nodes (verified)",

@@ -49,7 +49,11 @@ fn main() {
                     ("year", Value::str(format!("y{}", p % 4))),
                 ],
             );
-            target.add_child(course, "taughtby", [("teacher", Value::str(format!("p{p}")))]);
+            target.add_child(
+                course,
+                "taughtby",
+                [("teacher", Value::str(format!("p{p}")))],
+            );
         }
     }
     for p in 0..2u32 {
@@ -58,7 +62,11 @@ fn main() {
             "student",
             [("sid", Value::str(format!("s{p}_0")))],
         );
-        target.add_child(student, "supervisor", [("name", Value::str(format!("p{p}")))]);
+        target.add_child(
+            student,
+            "supervisor",
+            [("name", Value::str(format!("p{p}")))],
+        );
     }
     assert!(d2.conforms(&target));
     println!(
@@ -79,7 +87,11 @@ fn main() {
                     ("year", Value::str(format!("y{}", p % 4))),
                 ],
             );
-            reversed.add_child(course, "taughtby", [("teacher", Value::str(format!("p{p}")))]);
+            reversed.add_child(
+                course,
+                "taughtby",
+                [("teacher", Value::str(format!("p{p}")))],
+            );
         }
     }
     for p in 0..2u32 {
@@ -88,7 +100,11 @@ fn main() {
             "student",
             [("sid", Value::str(format!("s{p}_0")))],
         );
-        reversed.add_child(student, "supervisor", [("name", Value::str(format!("p{p}")))]);
+        reversed.add_child(
+            student,
+            "supervisor",
+            [("name", Value::str(format!("p{p}")))],
+        );
     }
     println!(
         "(source, reversed) ∈ ⟦M⟧?  {}",
@@ -106,10 +122,8 @@ fn main() {
                  --> r[course(cn1, y)[taughtby(x)], course(cn2, y)[taughtby(x)]]",
             )
             .unwrap(),
-            Std::parse(
-                "r[prof(x)[supervise[student(s)]]] --> r[student(s)[supervisor(x)]]",
-            )
-            .unwrap(),
+            Std::parse("r[prof(x)[supervise[student(s)]]] --> r[student(s)[supervisor(x)]]")
+                .unwrap(),
         ],
     );
     let solution = canonical_solution(&chaseable, &source).expect("chase succeeds");

@@ -94,9 +94,7 @@ fn main() {
     for (name, t3) in [("good", &good), ("bad", &bad)] {
         let semantic = composition_member(&m12, &m23, &source, t3, 8).is_some();
         let syntactic = s13.is_solution(&source, t3);
-        println!(
-            "\n{name}: semantic composition = {semantic}, composed mapping = {syntactic}"
-        );
+        println!("\n{name}: semantic composition = {semantic}, composed mapping = {syntactic}");
         assert_eq!(semantic, syntactic, "Thm 8.2: ⟦M13⟧ = ⟦M12⟧ ∘ ⟦M23⟧");
     }
 

@@ -55,7 +55,11 @@ fn main() {
         .unwrap()],
     );
 
-    for (name, m) in [("plain", &m1), ("dedup (≠)", &m2), ("ordered (→, →*, ≠)", &m3)] {
+    for (name, m) in [
+        ("plain", &m1),
+        ("dedup (≠)", &m2),
+        ("ordered (→, →*, ≠)", &m3),
+    ] {
         println!("mapping {name}: class {}", m.signature());
     }
 
@@ -75,9 +79,11 @@ fn main() {
     // not — exactly the distinction the paper introduces ≠ for.
     assert_eq!(m1.stds[0].firings(&dup_source).len(), 1);
     assert_eq!(m2.stds[0].firings(&dup_source).len(), 0);
-    println!("\nduplicate-course source: plain fires {} time(s), dedup fires {}",
+    println!(
+        "\nduplicate-course source: plain fires {} time(s), dedup fires {}",
         m1.stds[0].firings(&dup_source).len(),
-        m2.stds[0].firings(&dup_source).len());
+        m2.stds[0].firings(&dup_source).len()
+    );
 
     // ── Chase mapping 1 and inspect the exchanged document ─────────────
     let source = xmlmap::gen::university_tree(3, 2);
@@ -115,8 +121,14 @@ fn main() {
         ]
     };
     println!("\norder-preserving mapping:");
-    println!("  courses in source order:  {}", m3.is_solution(&ordered_source, &in_order));
-    println!("  courses flipped:          {}", m3.is_solution(&ordered_source, &flipped));
+    println!(
+        "  courses in source order:  {}",
+        m3.is_solution(&ordered_source, &in_order)
+    );
+    println!(
+        "  courses flipped:          {}",
+        m3.is_solution(&ordered_source, &flipped)
+    );
     assert!(m3.is_solution(&ordered_source, &in_order));
     assert!(!m3.is_solution(&ordered_source, &flipped));
     // The order-insensitive mapping 2 accepts both.

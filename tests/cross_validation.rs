@@ -11,8 +11,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xmlmap::core::bounded::{self, BoundedOutcome};
-use xmlmap::prelude::*;
 use xmlmap::gen::{MappingGenConfig, TreeGenConfig};
+use xmlmap::prelude::*;
 
 /// Keeps the brute-force search space manageable: the mapping's DTDs must
 /// generate few small shapes and few attribute slots.

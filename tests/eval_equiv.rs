@@ -62,10 +62,15 @@ fn random_sub(rng: &mut StdRng, depth: usize) -> Pattern {
             1 => p = p.descendant(random_sub(rng, depth - 1)),
             _ => {
                 let k = rng.gen_range(2..=3);
-                let members: Vec<Pattern> =
-                    (0..k).map(|_| random_sub(rng, depth - 1)).collect();
+                let members: Vec<Pattern> = (0..k).map(|_| random_sub(rng, depth - 1)).collect();
                 let ops: Vec<SeqOp> = (1..k)
-                    .map(|_| if rng.gen_bool(0.5) { SeqOp::Next } else { SeqOp::Following })
+                    .map(|_| {
+                        if rng.gen_bool(0.5) {
+                            SeqOp::Next
+                        } else {
+                            SeqOp::Following
+                        }
+                    })
                     .collect();
                 p = p.seq(members, ops);
             }

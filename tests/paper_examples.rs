@@ -57,19 +57,11 @@ fn intro_first_mapping_restructures() {
     // Both courses appear with Ada as the teacher.
     let courses = pat("r/course(c, y)/taughtby(t)");
     let ms = xmlmap::patterns::all_matches(&solution, &courses);
-    let teachers: Vec<_> = ms
-        .iter()
-        .map(|v| v[&Name::new("t")].to_string())
-        .collect();
+    let teachers: Vec<_> = ms.iter().map(|v| v[&Name::new("t")].to_string()).collect();
     assert!(teachers.iter().all(|t| t == "Ada"));
-    let cnos: std::collections::BTreeSet<String> = ms
-        .iter()
-        .map(|v| v[&Name::new("c")].to_string())
-        .collect();
-    assert_eq!(
-        cnos,
-        ["cs1", "cs2"].iter().map(|s| s.to_string()).collect()
-    );
+    let cnos: std::collections::BTreeSet<String> =
+        ms.iter().map(|v| v[&Name::new("c")].to_string()).collect();
+    assert_eq!(cnos, ["cs1", "cs2"].iter().map(|s| s.to_string()).collect());
 }
 
 #[test]
@@ -191,16 +183,13 @@ fn sec5_changed_target_dtd_is_inconsistent() {
     // "Suppose the DTD D2 changes to r → courses, students; …" — the first
     // intro mapping becomes inconsistent: course nodes must be
     // grandchildren. (prof+ forces the std to fire.)
-    let changed_d2 = dtd(
-        "root r
+    let changed_d2 = dtd("root r
          r -> courses, students
          courses -> course*
          students -> student*
          course @ cno, year
-         student @ sid",
-    );
-    let forced_d1 = dtd(
-        "root r
+         student @ sid");
+    let forced_d1 = dtd("root r
          r -> prof+
          prof -> teach, supervise
          teach -> year
@@ -209,8 +198,7 @@ fn sec5_changed_target_dtd_is_inconsistent() {
          prof @ name
          student @ sid
          year @ y
-         course @ cno",
-    );
+         course @ cno");
     let m = Mapping::new(
         forced_d1,
         changed_d2,
@@ -235,7 +223,9 @@ fn sec6_abscons_counterexample() {
         dtd("root r\nr -> a\na @ v"),
         vec![Std::parse("r/a(x) --> r/a(x)").unwrap()],
     );
-    assert!(xmlmap::core::consistent(&m, 1_000_000).unwrap().is_consistent());
+    assert!(xmlmap::core::consistent(&m, 1_000_000)
+        .unwrap()
+        .is_consistent());
     assert!(!xmlmap::core::abscons_nr_ptime(&m).unwrap().holds());
 
     // The paper's concrete counterexample: two distinct attribute values.
@@ -279,9 +269,9 @@ fn sec8_first_example_composition_needs_disjunction() {
         ],
     );
     let r = Tree::new("r");
-    let c1 = tree!("r" [ "c1" ]);
-    let c2 = tree!("r" [ "c2" ]);
-    let c3 = tree!("r" [ "c3" ]);
+    let c1 = tree!("r"["c1"]);
+    let c2 = tree!("r"["c2"]);
+    let c3 = tree!("r"["c3"]);
     let c12 = tree!("r" [ "c1", "c2" ]);
 
     // Exactly the c1-or-c2 disjunction:
@@ -317,7 +307,7 @@ fn sec8_second_example_value_counting() {
     );
     let target = Tree::new("r");
 
-    let one = tree!("r" [ "a"("v" = "1") ]);
+    let one = tree!("r"["a"("v" = "1")]);
     let two = tree!("r" [ "a"("v" = "1"), "a"("v" = "2") ]);
     let three = tree!("r" [ "a"("v" = "1"), "a"("v" = "2"), "a"("v" = "3") ]);
     let two_dup = tree!("r" [ "a"("v" = "1"), "a"("v" = "2"), "a"("v" = "1") ]);
@@ -348,18 +338,15 @@ fn sec8_employee_skolem_example() {
                 source: pat("r/s(x, y)"),
                 source_cond: vec![],
                 source_term_eqs: vec![],
-                target: TermPattern::leaf("r", vec![]).child(TermPattern::leaf(
-                    "t",
-                    vec![f(), Term::Var(Name::new("x"))],
-                )),
+                target: TermPattern::leaf("r", vec![])
+                    .child(TermPattern::leaf("t", vec![f(), Term::Var(Name::new("x"))])),
                 target_term_eqs: vec![],
             },
             SkolemStd {
                 source: pat("r/s(x, y)"),
                 source_cond: vec![],
                 source_term_eqs: vec![],
-                target: TermPattern::leaf("r", vec![])
-                    .child(TermPattern::leaf("dir", vec![f()])),
+                target: TermPattern::leaf("r", vec![]).child(TermPattern::leaf("dir", vec![f()])),
                 target_term_eqs: vec![],
             },
         ],
