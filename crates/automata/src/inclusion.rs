@@ -17,19 +17,27 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use xmlmap_dtd::Dtd;
 use xmlmap_trees::{Name, NodeId, Tree, Value};
 
-/// The inclusion exploration exceeded its budget.
+/// The inclusion exploration exceeded its budget; the answer is unknown.
+///
+/// Mirrors `xmlmap_patterns`' `BudgetExceeded`: the exhausted budget, the
+/// states actually explored at abort, and the operation that gave up.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InclusionBudgetExceeded {
     /// The exhausted budget (machine states explored).
     pub budget: usize,
+    /// States actually explored when the engine gave up (≥ budget).
+    pub states_explored: usize,
+    /// Which operation blew the budget (`"inclusion check"` or
+    /// `"subschema check"`).
+    pub operation: String,
 }
 
 impl std::fmt::Display for InclusionBudgetExceeded {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "inclusion check exceeded its budget of {} states",
-            self.budget
+            "{} exceeded its budget of {} states ({} states explored at abort)",
+            self.operation, self.budget, self.states_explored
         )
     }
 }
@@ -90,7 +98,11 @@ pub fn inclusion_counterexample(
                 while let Some(si) = queue.pop_front() {
                     explored += 1;
                     if explored > budget {
-                        return Err(InclusionBudgetExceeded { budget });
+                        return Err(InclusionBudgetExceeded {
+                            budget,
+                            states_explored: explored,
+                            operation: "inclusion check".into(),
+                        });
                     }
                     let st = states[si].clone();
 
@@ -245,7 +257,13 @@ pub fn subschema(
             alphabet.push(l.clone());
         }
     }
-    match inclusion_counterexample(&a, &b, &alphabet, budget)? {
+    let counterexample = inclusion_counterexample(&a, &b, &alphabet, budget).map_err(|e| {
+        InclusionBudgetExceeded {
+            operation: "subschema check".into(),
+            ..e
+        }
+    })?;
+    match counterexample {
         None => Ok(None),
         Some(mut t) => {
             // Fill the counterexample's attributes per d1 so it genuinely
@@ -356,5 +374,27 @@ mod tests {
         assert!(inclusion_counterexample(&b, &a, &alphabet, BUDGET)
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn budget_error_reports_operation_and_exploration() {
+        let a = HedgeAutomaton::from_dtd(&dtd("root r\nr -> x*"));
+        let b = HedgeAutomaton::from_dtd(&dtd("root r\nr -> x?"));
+        let alphabet = vec![Name::new("r"), Name::new("x")];
+        let err = inclusion_counterexample(&a, &b, &alphabet, 1).unwrap_err();
+        assert_eq!(err.budget, 1);
+        assert!(err.states_explored > err.budget);
+        assert_eq!(
+            err.to_string(),
+            format!(
+                "inclusion check exceeded its budget of 1 states \
+                 ({} states explored at abort)",
+                err.states_explored
+            )
+        );
+        // Through `subschema`, the operation name reflects the caller.
+        let err = subschema(&dtd("root r\nr -> x*"), &dtd("root r\nr -> x?"), 1).unwrap_err();
+        assert_eq!(err.operation, "subschema check");
+        assert!(err.to_string().starts_with("subschema check exceeded"));
     }
 }

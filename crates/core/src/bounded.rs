@@ -266,6 +266,36 @@ pub fn solution_exists_cached(
     None
 }
 
+/// What the chase proves about `solution_exists(m, t, max_target_nodes)`.
+///
+/// The canonical solution is decisive in both directions when it applies:
+/// a successful chase *is* a solution (so one within the node bound proves
+/// existence), and a chase failure other than a fragment violation proves
+/// no solution of **any** size exists. Only "canonical solution too large"
+/// and "outside the chaseable fragment" fall back to the exhaustive search.
+enum ChaseVerdict {
+    /// A solution with ≤ the bound's nodes certainly exists.
+    Exists,
+    /// No solution of any size exists.
+    None,
+    /// The chase cannot decide; run the bounded search.
+    Unknown,
+}
+
+fn chase_verdict(
+    m: &Mapping,
+    source: &Tree,
+    max_target_nodes: usize,
+    chase: &crate::chase::ChaseCache,
+) -> ChaseVerdict {
+    match crate::chase::canonical_solution_cached(m, source, chase) {
+        Ok(sol) if sol.size() <= max_target_nodes => ChaseVerdict::Exists,
+        Ok(_) => ChaseVerdict::Unknown,
+        Err(crate::chase::ChaseError::OutsideFragment(_)) => ChaseVerdict::Unknown,
+        Err(_) => ChaseVerdict::None,
+    }
+}
+
 /// Outcome of a bounded search over source documents.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BoundedOutcome {
@@ -286,11 +316,19 @@ pub fn consistent_bounded(
     max_target_nodes: usize,
 ) -> BoundedOutcome {
     let target_shapes = ShapeCache::new(&m.target_dtd);
+    let chase = crate::chase::ChaseCache::new(m);
     for shape in tree_shapes(&m.source_dtd, max_source_nodes) {
         let pool = generic_pool(attr_slot_count(&shape).max(1));
         let mut witness = None;
         for_each_valued_tree(&shape, &pool, &mut |t| {
-            if solution_exists_cached(m, t, max_target_nodes, &target_shapes).is_some() {
+            let exists = match chase_verdict(m, t, max_target_nodes, &chase) {
+                ChaseVerdict::Exists => true,
+                ChaseVerdict::None => false,
+                ChaseVerdict::Unknown => {
+                    solution_exists_cached(m, t, max_target_nodes, &target_shapes).is_some()
+                }
+            };
+            if exists {
                 witness = Some(t.clone());
                 false
             } else {
@@ -315,11 +353,19 @@ pub fn abscons_violation_bounded(
     max_target_nodes: usize,
 ) -> BoundedOutcome {
     let target_shapes = ShapeCache::new(&m.target_dtd);
+    let chase = crate::chase::ChaseCache::new(m);
     for shape in tree_shapes(&m.source_dtd, max_source_nodes) {
         let pool = generic_pool(attr_slot_count(&shape).max(1));
         let mut violation = None;
         for_each_valued_tree(&shape, &pool, &mut |t| {
-            if solution_exists_cached(m, t, max_target_nodes, &target_shapes).is_none() {
+            let exists = match chase_verdict(m, t, max_target_nodes, &chase) {
+                ChaseVerdict::Exists => true,
+                ChaseVerdict::None => false,
+                ChaseVerdict::Unknown => {
+                    solution_exists_cached(m, t, max_target_nodes, &target_shapes).is_some()
+                }
+            };
+            if !exists {
                 violation = Some(t.clone());
                 false
             } else {

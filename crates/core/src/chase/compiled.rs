@@ -1,0 +1,745 @@
+//! The compiled chase engine.
+//!
+//! Same three steps as [`super::reference`], restructured around four ideas
+//! (DESIGN.md §8.2):
+//!
+//! * **compiled firing enumeration** — each std's source pattern is
+//!   compiled once per mapping; firings come out of the pattern kernel's
+//!   dense match-enumeration hook
+//!   ([`Matcher::all_match_tuples`](xmlmap_patterns::Matcher::all_match_tuples))
+//!   as borrowed value tuples, filtered by source conditions translated to
+//!   interned variable ids. On multi-std mappings over large documents the
+//!   per-std enumerations fan out across threads (same size gate as
+//!   `Std::satisfied`);
+//! * **union-find unification** — labelled nulls are union-find elements
+//!   and constants are interned into a dense table, so each unification is
+//!   a near-O(1) merge, `ValueConflict` is detected the moment two distinct
+//!   constant classes meet, and the deferred `≠` obligations are checked
+//!   once against class representatives;
+//! * **arena construction** — the partial document is a flat arena keyed by
+//!   `(parent, slot)`, with slot cursors taken from the target DTD's
+//!   productions; completion is one ordered sweep that appends missing
+//!   mandatory children instead of re-scanning child lists;
+//! * **plan compilation** — the fully-specified target pattern of each std
+//!   is flattened into a per-mapping instruction sequence (create/reuse a
+//!   slot child, unify attribute classes) so the per-firing walk does no
+//!   pattern traversal, slot lookup, or variable hashing. All of it lives
+//!   in a reusable [`ChaseCache`].
+//!
+//! The engine replays the reference's traversal order exactly (stds in
+//! order, firings in the kernel's sorted order, pattern nodes in preorder),
+//! so both engines fail on the same step with the same [`ChaseError`]
+//! variant; successful outputs are isomorphic up to null renaming. One
+//! deliberate difference: source values are treated as opaque constants
+//! even when they are labelled nulls — chasing null-valued sources is
+//! outside both engines' contract (the reference would conflate them with
+//! its own fresh nulls).
+
+use super::ChaseError;
+use crate::cond::CompOp;
+use crate::stds::Mapping;
+use std::collections::HashMap;
+use xmlmap_dtd::Mult;
+use xmlmap_patterns::{CompiledPattern, LabelTest, ListItem, Matcher, Pattern, Var};
+use xmlmap_trees::{Name, NodeId, Tree, Value};
+
+/// Per-mapping compiled state for the chase: compiled std source patterns,
+/// target-pattern instruction plans, α′₌ variable classes, and the target
+/// DTD's slot tables.
+///
+/// Mirrors how `SatCache` (consistency) and `ShapeCache` (bounded search)
+/// amortize per-schema analysis: build one cache per [`Mapping`] and thread
+/// it through every [`canonical_solution_cached`] call — certain answers,
+/// solution reduction, composition membership and the bounded
+/// absolute-consistency oracle all chase many documents under one mapping.
+///
+/// The cache must be built from the same mapping later passed to
+/// [`canonical_solution_cached`].
+pub struct ChaseCache {
+    /// Static fragment error (not nested-relational / not tree-shaped /
+    /// not fully specified), reported before any firing is examined —
+    /// in the same order the reference engine checks.
+    fragment_err: Option<ChaseError>,
+    /// Slot tables and attribute lists per target label.
+    labels: Vec<LabelInfo>,
+    /// Index of the target DTD's root label in `labels`.
+    root: u32,
+    /// One compiled plan per std, in mapping order.
+    plans: Vec<StdPlan>,
+}
+
+/// Slot table for one target label: the nested-relational production as an
+/// ordered list of `(child label, multiplicity)` cursors, plus the label's
+/// attribute names.
+struct LabelInfo {
+    name: Name,
+    attrs: Vec<Name>,
+    /// `(labels index of the child, multiplicity)`, in production order.
+    slots: Vec<(u32, Mult)>,
+}
+
+/// Compiled form of one std: source matcher inputs, α′₌ classes, and the
+/// flattened target-instantiation program.
+struct StdPlan {
+    source: CompiledPattern,
+    /// Source conditions over interned source-variable ids; `None` marks a
+    /// comparison over a variable the pattern never binds — it never
+    /// holds, so the std has no firings at all.
+    src_conds: Vec<Option<(CompOp, u32, u32)>>,
+    /// For each target-pattern variable in first-occurrence order: its α′₌
+    /// class and, if shared with the source pattern, the source id.
+    tvar_classes: Vec<(u32, Option<u32>)>,
+    /// Number of α′₌ classes (over target-pattern and condition variables).
+    class_count: u32,
+    /// `≠` obligations in class space, with their display form.
+    neqs: Vec<(u32, u32, String)>,
+    /// Root-label error (wildcard root / root mismatch), raised when the
+    /// std first fires — after the firing's α′₌ resolution, like the
+    /// reference.
+    pre_fail: Option<ChaseError>,
+    /// Instantiation program, in the reference's preorder traversal order.
+    ops: Vec<PlanOp>,
+    /// Number of plan nodes (target-pattern nodes); node 0 is the root.
+    plan_nodes: u32,
+}
+
+/// One step of a firing's instantiation walk.
+enum PlanOp {
+    /// Unify the α′₌ class values `classes[k]` into attribute slot `k` of
+    /// the arena node bound to plan node `node`.
+    Unify { node: u32, classes: Box<[u32]> },
+    /// Bind plan node `node`: in slot `slot` under the arena node bound to
+    /// plan node `parent`, create a fresh child (`repeatable`) or reuse
+    /// the existing one (creating it if absent).
+    Child {
+        parent: u32,
+        node: u32,
+        label: u32,
+        slot: u32,
+        repeatable: bool,
+    },
+    /// A statically-known failure at this traversal position (attribute
+    /// arity mismatch, missing slot, wildcard/descendant sub-pattern).
+    Fail(ChaseError),
+}
+
+impl ChaseCache {
+    /// Compiles the chase tables for `m`.
+    pub fn new(m: &Mapping) -> ChaseCache {
+        let poisoned = |e: ChaseError| ChaseCache {
+            fragment_err: Some(e),
+            labels: Vec::new(),
+            root: 0,
+            plans: Vec::new(),
+        };
+        let Some(nr) = m.target_dtd.nested_relational() else {
+            return poisoned(ChaseError::OutsideFragment(
+                "target DTD is not nested-relational".into(),
+            ));
+        };
+        if !nr.is_tree_shaped() {
+            return poisoned(ChaseError::OutsideFragment(
+                "target DTD is not tree-shaped".into(),
+            ));
+        }
+        for s in &m.stds {
+            if !s.target.is_fully_specified() {
+                return poisoned(ChaseError::OutsideFragment(format!(
+                    "target pattern of `{s}` is not fully specified"
+                )));
+            }
+        }
+
+        // Label table with slot cursors from the productions.
+        let mut labels: Vec<LabelInfo> = Vec::new();
+        let mut index: HashMap<Name, u32> = HashMap::new();
+        for l in m.target_dtd.alphabet() {
+            index.entry(l.clone()).or_insert_with(|| {
+                labels.push(LabelInfo {
+                    name: l.clone(),
+                    attrs: m.target_dtd.attrs(l).to_vec(),
+                    slots: Vec::new(),
+                });
+                (labels.len() - 1) as u32
+            });
+        }
+        for info in labels.iter_mut() {
+            info.slots = nr
+                .slots(&info.name.clone())
+                .iter()
+                .map(|(l, mult)| (index[l], *mult))
+                .collect();
+        }
+        let root = index[m.target_dtd.root()];
+
+        let plans = m
+            .stds
+            .iter()
+            .enumerate()
+            .map(|(si, s)| {
+                let source = CompiledPattern::new(&s.source);
+                let src_conds = s
+                    .source_cond
+                    .iter()
+                    .map(
+                        |c| match (source.var_id(&c.left), source.var_id(&c.right)) {
+                            (Some(l), Some(r)) => Some((c.op, l, r)),
+                            _ => None,
+                        },
+                    )
+                    .collect();
+
+                // α′₌ classes over target-pattern and condition variables
+                // (the partition matches the reference's `firing_values`).
+                let tvars = s.target.variables();
+                let mut var_ix: HashMap<&Var, usize> = HashMap::new();
+                let mut all_vars: Vec<&Var> = Vec::new();
+                for v in tvars
+                    .iter()
+                    .chain(s.target_cond.iter().flat_map(|c| [&c.left, &c.right]))
+                {
+                    var_ix.entry(v).or_insert_with(|| {
+                        all_vars.push(v);
+                        all_vars.len() - 1
+                    });
+                }
+                let mut dsu: Vec<usize> = (0..all_vars.len()).collect();
+                fn find(dsu: &mut [usize], mut i: usize) -> usize {
+                    while dsu[i] != i {
+                        dsu[i] = dsu[dsu[i]];
+                        i = dsu[i];
+                    }
+                    i
+                }
+                for c in &s.target_cond {
+                    if c.op == CompOp::Eq {
+                        let (a, b) = (
+                            find(&mut dsu, var_ix[&c.left]),
+                            find(&mut dsu, var_ix[&c.right]),
+                        );
+                        if a != b {
+                            dsu[a] = b;
+                        }
+                    }
+                }
+                let mut class_of_root: HashMap<usize, u32> = HashMap::new();
+                let mut class_count = 0u32;
+                let mut class_for = |dsu: &mut [usize], ix: usize| -> u32 {
+                    let r = find(dsu, ix);
+                    *class_of_root.entry(r).or_insert_with(|| {
+                        class_count += 1;
+                        class_count - 1
+                    })
+                };
+                let tvar_classes: Vec<(u32, Option<u32>)> = tvars
+                    .iter()
+                    .map(|v| (class_for(&mut dsu, var_ix[v]), source.var_id(v)))
+                    .collect();
+                let neqs: Vec<(u32, u32, String)> = s
+                    .target_cond
+                    .iter()
+                    .filter(|c| c.op == CompOp::Neq)
+                    .map(|c| {
+                        (
+                            class_for(&mut dsu, var_ix[&c.left]),
+                            class_for(&mut dsu, var_ix[&c.right]),
+                            format!("std #{si}: {c}"),
+                        )
+                    })
+                    .collect();
+                let class_of_var: HashMap<&Var, u32> = tvars
+                    .iter()
+                    .map(|v| (v, class_for(&mut dsu, var_ix[v])))
+                    .collect();
+
+                let pre_fail = match &s.target.label {
+                    LabelTest::Wildcard => {
+                        Some(ChaseError::OutsideFragment("wildcard root".into()))
+                    }
+                    LabelTest::Label(l) if l != m.target_dtd.root() => {
+                        Some(ChaseError::NotEmbeddable(format!(
+                            "target pattern of std #{si} is rooted at {l}, \
+                             the target DTD root is {}",
+                            m.target_dtd.root()
+                        )))
+                    }
+                    LabelTest::Label(_) => None,
+                };
+
+                let mut ops = Vec::new();
+                let mut plan_nodes = 1u32;
+                emit_ops(
+                    &s.target,
+                    0,
+                    root,
+                    &labels,
+                    &class_of_var,
+                    &mut plan_nodes,
+                    &mut ops,
+                );
+                StdPlan {
+                    source,
+                    src_conds,
+                    tvar_classes,
+                    class_count,
+                    neqs,
+                    pre_fail,
+                    ops,
+                    plan_nodes,
+                }
+            })
+            .collect();
+
+        ChaseCache {
+            fragment_err: None,
+            labels,
+            root,
+            plans,
+        }
+    }
+}
+
+/// Flattens `pat` (rooted at plan node `node`, embedded at target label
+/// `label`) into instantiation ops, in the reference engine's traversal
+/// order. Returns `false` once a static failure op is emitted — everything
+/// after it would be unreachable.
+fn emit_ops(
+    pat: &Pattern,
+    node: u32,
+    label: u32,
+    labels: &[LabelInfo],
+    class_of_var: &HashMap<&Var, u32>,
+    plan_nodes: &mut u32,
+    ops: &mut Vec<PlanOp>,
+) -> bool {
+    let info = &labels[label as usize];
+    if !pat.vars.is_empty() {
+        if pat.vars.len() != info.attrs.len() {
+            ops.push(PlanOp::Fail(ChaseError::NotEmbeddable(format!(
+                "pattern node {pat} has {} variables but element {} has {} attributes",
+                pat.vars.len(),
+                info.name,
+                info.attrs.len()
+            ))));
+            return false;
+        }
+        ops.push(PlanOp::Unify {
+            node,
+            classes: pat.vars.iter().map(|v| class_of_var[v]).collect(),
+        });
+    }
+    for item in &pat.list {
+        let ListItem::Seq { members, .. } = item else {
+            ops.push(PlanOp::Fail(ChaseError::OutsideFragment(
+                "descendant items are not fully specified".into(),
+            )));
+            return false;
+        };
+        // Fully-specified patterns have single-member sequences.
+        let child = &members[0];
+        let LabelTest::Label(l) = &child.label else {
+            ops.push(PlanOp::Fail(ChaseError::OutsideFragment(
+                "wildcard label".into(),
+            )));
+            return false;
+        };
+        let Some((slot, &(clabel, mult))) = info
+            .slots
+            .iter()
+            .enumerate()
+            .find(|(_, (ci, _))| labels[*ci as usize].name == *l)
+        else {
+            ops.push(PlanOp::Fail(ChaseError::NotEmbeddable(format!(
+                "{l} is not a child slot of {}",
+                info.name
+            ))));
+            return false;
+        };
+        let cnode = *plan_nodes;
+        *plan_nodes += 1;
+        ops.push(PlanOp::Child {
+            parent: node,
+            node: cnode,
+            label: clabel,
+            slot: slot as u32,
+            repeatable: mult.repeatable(),
+        });
+        if !emit_ops(child, cnode, clabel, labels, class_of_var, plan_nodes, ops) {
+            return false;
+        }
+    }
+    true
+}
+
+/// A chase-time value: an interned constant or a union-find null element.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Const(u32),
+    Null(u32),
+}
+
+/// Interned constants plus a union-find over labelled nulls. Each null
+/// class optionally carries the constant it has been unified with;
+/// merging two classes bound to distinct constants is the value conflict.
+#[derive(Default)]
+struct Values<'s> {
+    consts: Vec<&'s Value>,
+    intern: HashMap<&'s Value, u32>,
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    bound: Vec<Option<u32>>,
+}
+
+impl<'s> Values<'s> {
+    fn intern(&mut self, v: &'s Value) -> u32 {
+        match self.intern.get(v) {
+            Some(&c) => c,
+            None => {
+                let c = self.consts.len() as u32;
+                self.consts.push(v);
+                self.intern.insert(v, c);
+                c
+            }
+        }
+    }
+
+    fn fresh_null(&mut self) -> Val {
+        let n = self.parent.len() as u32;
+        self.parent.push(n);
+        self.rank.push(0);
+        self.bound.push(None);
+        Val::Null(n)
+    }
+
+    fn find(&mut self, mut n: u32) -> u32 {
+        while self.parent[n as usize] != n {
+            let gp = self.parent[self.parent[n as usize] as usize];
+            self.parent[n as usize] = gp;
+            n = gp;
+        }
+        n
+    }
+
+    /// Unifies two values; `false` on constant/constant conflict.
+    fn unify(&mut self, a: Val, b: Val) -> bool {
+        match (a, b) {
+            (Val::Const(x), Val::Const(y)) => x == y,
+            (Val::Null(n), Val::Const(c)) | (Val::Const(c), Val::Null(n)) => {
+                let r = self.find(n);
+                match self.bound[r as usize] {
+                    Some(c2) => c2 == c,
+                    None => {
+                        self.bound[r as usize] = Some(c);
+                        true
+                    }
+                }
+            }
+            (Val::Null(x), Val::Null(y)) => {
+                let (rx, ry) = (self.find(x), self.find(y));
+                if rx == ry {
+                    return true;
+                }
+                match (self.bound[rx as usize], self.bound[ry as usize]) {
+                    (Some(a), Some(b)) if a != b => false,
+                    (bx, by) => {
+                        let joint = bx.or(by);
+                        let (hi, lo) = if self.rank[rx as usize] >= self.rank[ry as usize] {
+                            (rx, ry)
+                        } else {
+                            (ry, rx)
+                        };
+                        self.parent[lo as usize] = hi;
+                        if self.rank[hi as usize] == self.rank[lo as usize] {
+                            self.rank[hi as usize] += 1;
+                        }
+                        self.bound[hi as usize] = joint;
+                        true
+                    }
+                }
+            }
+        }
+    }
+
+    /// Are the two values forced equal by the final substitution?
+    fn same(&mut self, a: Val, b: Val) -> bool {
+        let canon = |vals: &mut Self, v: Val| match v {
+            Val::Const(c) => Val::Const(c),
+            Val::Null(n) => {
+                let r = vals.find(n);
+                match vals.bound[r as usize] {
+                    Some(c) => Val::Const(c),
+                    None => Val::Null(r),
+                }
+            }
+        };
+        canon(self, a) == canon(self, b)
+    }
+
+    /// The output value: the bound constant, or a null labelled by the
+    /// class representative (distinct classes ⇒ distinct labels).
+    fn resolve(&mut self, v: Val) -> Value {
+        match v {
+            Val::Const(c) => self.consts[c as usize].clone(),
+            Val::Null(n) => {
+                let r = self.find(n);
+                match self.bound[r as usize] {
+                    Some(c) => self.consts[c as usize].clone(),
+                    None => Value::Null(r as u64),
+                }
+            }
+        }
+    }
+}
+
+/// One node of the flat partial-document arena: children are bucketed per
+/// production slot, so completion and ordering are a single slot-order
+/// sweep rather than repeated child scans.
+struct ANode {
+    label: u32,
+    attrs: Vec<Val>,
+    kids: Vec<Vec<u32>>,
+}
+
+fn create_node(
+    arena: &mut Vec<ANode>,
+    labels: &[LabelInfo],
+    vals: &mut Values<'_>,
+    label: u32,
+) -> u32 {
+    let info = &labels[label as usize];
+    arena.push(ANode {
+        label,
+        attrs: (0..info.attrs.len()).map(|_| vals.fresh_null()).collect(),
+        kids: vec![Vec::new(); info.slots.len()],
+    });
+    (arena.len() - 1) as u32
+}
+
+/// Builds the canonical solution of `source` under `m`, or proves none
+/// exists. Fragment: fully-specified stds, nested-relational tree-shaped
+/// target DTD; source conditions only filter firings.
+///
+/// Convenience wrapper over [`canonical_solution_cached`] with a fresh
+/// [`ChaseCache`] — callers chasing many documents under one mapping
+/// should build the cache once.
+pub fn canonical_solution(m: &Mapping, source: &Tree) -> Result<Tree, ChaseError> {
+    canonical_solution_cached(m, source, &ChaseCache::new(m))
+}
+
+/// [`canonical_solution`] against a caller-held [`ChaseCache`] built from
+/// the same mapping `m`.
+pub fn canonical_solution_cached(
+    m: &Mapping,
+    source: &Tree,
+    cache: &ChaseCache,
+) -> Result<Tree, ChaseError> {
+    if !m.source_dtd.conforms(source) {
+        return Err(ChaseError::SourceNotConforming);
+    }
+    if let Some(e) = &cache.fragment_err {
+        return Err(e.clone());
+    }
+    debug_assert_eq!(
+        cache.plans.len(),
+        m.stds.len(),
+        "cache built from another mapping"
+    );
+
+    // Step 1a: firing enumeration through the compiled kernel — read-only
+    // and independent per std, so fan out across threads on non-trivial
+    // inputs (same gate as `Std::satisfied` / the reference engine). The
+    // instantiation loop below stays sequential: it mutates one shared
+    // partial document, and firing order is what makes the construction
+    // deterministic.
+    let enumerate = |p: &StdPlan| -> Vec<Vec<&Value>> {
+        if p.src_conds.iter().any(Option::is_none) {
+            return Vec::new(); // a condition that can never hold
+        }
+        let matcher = Matcher::new(source, &p.source);
+        let mut tuples = matcher.all_match_tuples();
+        tuples.retain(|t| {
+            p.src_conds.iter().all(|c| {
+                let (op, l, r) = c.expect("dead conditions handled above");
+                let (a, b) = (t[l as usize], t[r as usize]);
+                match op {
+                    CompOp::Eq => a == b,
+                    CompOp::Neq => a != b,
+                }
+            })
+        });
+        tuples
+    };
+    let firings: Vec<Vec<Vec<&Value>>> =
+        if m.stds.len() > 1 && source.size() >= crate::stds::PAR_NODE_THRESHOLD {
+            xmlmap_par::par_map(&cache.plans, enumerate)
+        } else {
+            cache.plans.iter().map(enumerate).collect()
+        };
+
+    // Root node with fresh-null attributes.
+    let mut vals = Values::default();
+    let mut arena: Vec<ANode> = Vec::new();
+    create_node(&mut arena, &cache.labels, &mut vals, cache.root);
+
+    // Step 1b: instantiate every firing of every std.
+    let mut obligations: Vec<(Val, Val, &String)> = Vec::new();
+    let mut class_vals: Vec<Option<Val>> = Vec::new();
+    let mut node_map: Vec<u32> = Vec::new();
+    for (si, (plan, std_firings)) in cache.plans.iter().zip(&firings).enumerate() {
+        for tuple in std_firings {
+            // α′₌ class values (the reference's `firing_values`): shared
+            // variables pin their class to the firing's constant —
+            // detecting unsatisfiable equalities — then the remaining
+            // classes get fresh nulls.
+            class_vals.clear();
+            class_vals.resize(plan.class_count as usize, None);
+            for &(class, src) in &plan.tvar_classes {
+                if let Some(sid) = src {
+                    let v = tuple[sid as usize];
+                    match class_vals[class as usize] {
+                        Some(Val::Const(c)) if vals.consts[c as usize] != v => {
+                            return Err(ChaseError::EqualityUnsatisfiable(format!(
+                                "std #{si}: α′₌ equates {} and {}",
+                                vals.consts[c as usize], v
+                            )));
+                        }
+                        Some(_) => {}
+                        None => {
+                            let c = vals.intern(v);
+                            class_vals[class as usize] = Some(Val::Const(c));
+                        }
+                    }
+                }
+            }
+            for &(class, _) in &plan.tvar_classes {
+                if class_vals[class as usize].is_none() {
+                    class_vals[class as usize] = Some(vals.fresh_null());
+                }
+            }
+            for (l, r, what) in &plan.neqs {
+                for c in [*l, *r] {
+                    if class_vals[c as usize].is_none() {
+                        class_vals[c as usize] = Some(vals.fresh_null());
+                    }
+                }
+                obligations.push((
+                    class_vals[*l as usize].expect("filled above"),
+                    class_vals[*r as usize].expect("filled above"),
+                    what,
+                ));
+            }
+            if let Some(e) = &plan.pre_fail {
+                return Err(e.clone());
+            }
+            // Run the instantiation program (the reference's
+            // `instantiate`, minus all per-firing pattern traversal).
+            node_map.clear();
+            node_map.resize(plan.plan_nodes as usize, 0);
+            for op in &plan.ops {
+                match op {
+                    PlanOp::Fail(e) => return Err(e.clone()),
+                    PlanOp::Child {
+                        parent,
+                        node,
+                        label,
+                        slot,
+                        repeatable,
+                    } => {
+                        let p = node_map[*parent as usize] as usize;
+                        let slot = *slot as usize;
+                        let id = match arena[p].kids[slot].first() {
+                            Some(&id) if !repeatable => id,
+                            _ => {
+                                let id = create_node(&mut arena, &cache.labels, &mut vals, *label);
+                                arena[p].kids[slot].push(id);
+                                id
+                            }
+                        };
+                        node_map[*node as usize] = id;
+                    }
+                    PlanOp::Unify { node, classes } => {
+                        let a = node_map[*node as usize] as usize;
+                        for (k, &cls) in classes.iter().enumerate() {
+                            let nv = class_vals[cls as usize].expect("all classes filled");
+                            let old = arena[a].attrs[k];
+                            if !vals.unify(old, nv) {
+                                let info = &cache.labels[arena[a].label as usize];
+                                return Err(ChaseError::ValueConflict(format!(
+                                    "attribute {} of {}: {} vs {}",
+                                    info.attrs[k],
+                                    info.name,
+                                    vals.resolve(old),
+                                    vals.resolve(nv)
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Step 2: completion — one ordered sweep. Newly created mandatory
+    // children are appended to the arena and completed when the cursor
+    // reaches them; children are already bucketed per slot, so ordering is
+    // implicit. (The reference's multiplicity/stray-child failures cannot
+    // arise here: children only ever enter through a production slot, and
+    // non-repeatable slots reuse their unique child.)
+    let mut i = 0;
+    while i < arena.len() {
+        let info = &cache.labels[arena[i].label as usize];
+        for slot in 0..info.slots.len() {
+            let (clabel, mult) = info.slots[slot];
+            if arena[i].kids[slot].is_empty() && matches!(mult, Mult::One | Mult::Plus) {
+                let id = create_node(&mut arena, &cache.labels, &mut vals, clabel);
+                arena[i].kids[slot].push(id);
+            }
+        }
+        i += 1;
+    }
+
+    // Step 3: deferred ≠ obligations against class representatives.
+    for (a, b, what) in &obligations {
+        if vals.same(*a, *b) {
+            return Err(ChaseError::InequalityViolated((*what).clone()));
+        }
+    }
+
+    // Materialize the arena as a document, resolving attribute slots.
+    fn attrs_of(
+        arena: &[ANode],
+        labels: &[LabelInfo],
+        vals: &mut Values<'_>,
+        node: usize,
+    ) -> Vec<(Name, Value)> {
+        let info = &labels[arena[node].label as usize];
+        info.attrs
+            .iter()
+            .cloned()
+            .zip(arena[node].attrs.iter().map(|&v| vals.resolve(v)))
+            .collect()
+    }
+    fn materialize(
+        arena: &[ANode],
+        labels: &[LabelInfo],
+        vals: &mut Values<'_>,
+        node: usize,
+        out: &mut Tree,
+        at: NodeId,
+    ) {
+        for slot_kids in &arena[node].kids {
+            for &kid in slot_kids {
+                let kid = kid as usize;
+                let attrs = attrs_of(arena, labels, vals, kid);
+                let id = out.add_child(at, labels[arena[kid].label as usize].name.clone(), attrs);
+                materialize(arena, labels, vals, kid, out, id);
+            }
+        }
+    }
+    let mut tree = Tree::new(cache.labels[cache.root as usize].name.clone());
+    let root_attrs = attrs_of(&arena, &cache.labels, &mut vals, 0);
+    tree.set_attrs(Tree::ROOT, root_attrs);
+    materialize(&arena, &cache.labels, &mut vals, 0, &mut tree, Tree::ROOT);
+    debug_assert!(m.target_dtd.conforms(&tree), "chase output must conform");
+    Ok(tree)
+}

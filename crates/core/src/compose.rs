@@ -38,6 +38,13 @@ use xmlmap_trees::{Name, Tree, Value};
 /// Semantic composition membership: is there `T₂ ⊨ D₂` (≤ `max_middle_nodes`
 /// nodes) with `(T₁,T₂) ∈ ⟦M₁₂⟧` and `(T₂,T₃) ∈ ⟦M₂₃⟧`? Returns the middle
 /// document. Tries the canonical solution first when the fragment allows.
+///
+/// Builds a fresh [`ShapeCache`] and [`ChaseCache`](crate::chase::ChaseCache)
+/// on every call — fine for a one-off probe, wasteful in a loop. Callers
+/// testing many `(t1, t3)` pairs under the same mappings should build both
+/// caches once and use [`composition_member_cached`] instead.
+///
+/// [`ShapeCache`]: crate::bounded::ShapeCache
 pub fn composition_member(
     m12: &Mapping,
     m23: &Mapping,
@@ -46,14 +53,17 @@ pub fn composition_member(
     max_middle_nodes: usize,
 ) -> Option<Tree> {
     let shapes = crate::bounded::ShapeCache::new(&m12.target_dtd);
-    composition_member_cached(m12, m23, t1, t3, max_middle_nodes, &shapes)
+    let chase = crate::chase::ChaseCache::new(m12);
+    composition_member_cached(m12, m23, t1, t3, max_middle_nodes, &shapes, &chase)
 }
 
 /// [`composition_member`] against a caller-held [`ShapeCache`] over
-/// `m12.target_dtd`, so repeated membership probes (e.g. over a test suite
-/// of tree pairs) enumerate middle-document shapes once per bound.
+/// `m12.target_dtd` and [`ChaseCache`] over `m12`, so repeated membership
+/// probes (e.g. over a test suite of tree pairs) enumerate middle-document
+/// shapes once per bound and compile the chase once per mapping.
 ///
 /// [`ShapeCache`]: crate::bounded::ShapeCache
+/// [`ChaseCache`]: crate::chase::ChaseCache
 pub fn composition_member_cached(
     m12: &Mapping,
     m23: &Mapping,
@@ -61,6 +71,7 @@ pub fn composition_member_cached(
     t3: &Tree,
     max_middle_nodes: usize,
     shapes: &crate::bounded::ShapeCache,
+    chase: &crate::chase::ChaseCache,
 ) -> Option<Tree> {
     if !m12.source_dtd.conforms(t1) || !m23.target_dtd.conforms(t3) {
         return None;
@@ -77,7 +88,7 @@ pub fn composition_member_cached(
             && !s.source.uses_following_sibling()
             && !s.source.uses_wildcard()
     });
-    match crate::chase::canonical_solution(m12, t1) {
+    match crate::chase::canonical_solution_cached(m12, t1, chase) {
         Ok(canonical) => {
             if let Some(t2) = instantiate_nulls_search(m12, m23, t1, t3, &canonical) {
                 return Some(t2);

@@ -13,7 +13,7 @@
 //!   sibling subtrees in repeatable slots — a cheap approximation of the
 //!   core that often shrinks chase output dramatically.
 
-use crate::chase::{canonical_solution, ChaseError};
+use crate::chase::{canonical_solution_cached, ChaseCache, ChaseError};
 use crate::stds::Mapping;
 use xmlmap_dtd::Mult;
 use xmlmap_patterns::{eval, Pattern, Valuation};
@@ -36,10 +36,22 @@ pub fn certain_answers(
     source: &Tree,
     query: &Pattern,
 ) -> Result<Vec<Valuation>, CertainAnswersError> {
+    certain_answers_cached(m, source, query, &ChaseCache::new(m))
+}
+
+/// [`certain_answers`] against a caller-held [`ChaseCache`] built from the
+/// same mapping, amortizing chase compilation across many sources.
+pub fn certain_answers_cached(
+    m: &Mapping,
+    source: &Tree,
+    query: &Pattern,
+    chase: &ChaseCache,
+) -> Result<Vec<Valuation>, CertainAnswersError> {
     if query.uses_next_sibling() || query.uses_following_sibling() {
         return Err(CertainAnswersError::OrderedQuery);
     }
-    let canonical = canonical_solution(m, source).map_err(CertainAnswersError::NoSolution)?;
+    let canonical =
+        canonical_solution_cached(m, source, chase).map_err(CertainAnswersError::NoSolution)?;
     let candidates = eval::all_matches(&canonical, query);
     // Null-freeness of each candidate is independent; fan the scan out
     // only for large answer sets — per-candidate work is a handful of
@@ -125,7 +137,20 @@ pub fn reduce_solution(m: &Mapping, solution: &Tree) -> Tree {
 
 /// Chases and reduces in one step.
 pub fn reduced_solution(m: &Mapping, source: &Tree) -> Result<Tree, ChaseError> {
-    Ok(reduce_solution(m, &canonical_solution(m, source)?))
+    reduced_solution_cached(m, source, &ChaseCache::new(m))
+}
+
+/// [`reduced_solution`] against a caller-held [`ChaseCache`] built from the
+/// same mapping.
+pub fn reduced_solution_cached(
+    m: &Mapping,
+    source: &Tree,
+    chase: &ChaseCache,
+) -> Result<Tree, ChaseError> {
+    Ok(reduce_solution(
+        m,
+        &canonical_solution_cached(m, source, chase)?,
+    ))
 }
 
 /// Clio-style nesting (partitioned normal form): merges *sibling* nodes in
@@ -216,6 +241,7 @@ pub fn nest_solution(m: &Mapping, solution: &Tree) -> Tree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chase::canonical_solution;
     use crate::stds::Std;
     use xmlmap_dtd::Dtd;
     use xmlmap_trees::{tree, Value};

@@ -24,7 +24,7 @@ pub use bounded::{
     abscons_violation_bounded, consistent_bounded, solution_exists, solution_exists_cached,
     tree_shapes, BoundedOutcome, ShapeCache,
 };
-pub use chase::{canonical_solution, ChaseError};
+pub use chase::{canonical_solution, canonical_solution_cached, ChaseCache, ChaseError};
 pub use compose::{compose, composition_member, composition_member_cached, ComposeError};
 pub use cond::{all_hold, parse_conditions, CompOp, Comparison};
 pub use consistency::{
@@ -32,7 +32,8 @@ pub use consistency::{
     consistent, consistent_cached, consistent_nr_ptime, minimal_nr_tree, ConsAnswer, ConsError,
 };
 pub use exchange::{
-    certain_answers, nest_solution, reduce_solution, reduced_solution, CertainAnswersError,
+    certain_answers, certain_answers_cached, nest_solution, reduce_solution, reduced_solution,
+    reduced_solution_cached, CertainAnswersError,
 };
 pub use signature::Signature;
 pub use skolem::{SkolemMapping, SkolemStd, Term, TermPattern};

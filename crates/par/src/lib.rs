@@ -37,26 +37,35 @@ where
         return items.iter().map(f).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<U>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    // Workers buffer (index, output) pairs locally and merge once at the
+    // end, so the hot loop touches only the shared cursor — no per-item
+    // lock traffic.
+    let buffers: Vec<Mutex<Vec<(usize, U)>>> =
+        (0..workers).map(|_| Mutex::new(Vec::new())).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+        for buffer in &buffers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
                 }
-                let out = f(&items[i]);
-                *results[i].lock().unwrap() = Some(out);
+                *buffer.lock().unwrap() = local;
             });
         }
     });
+    let mut results: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    for buffer in buffers {
+        for (i, out) in buffer.into_inner().unwrap() {
+            results[i] = Some(out);
+        }
+    }
     results
         .into_iter()
-        .map(|cell| {
-            cell.into_inner()
-                .unwrap()
-                .expect("worker filled every slot")
-        })
+        .map(|slot| slot.expect("workers covered every index"))
         .collect()
 }
 

@@ -417,15 +417,17 @@ impl<'t, 'p> Matcher<'t, 'p> {
         self.for_each_match_dense(node, seed_env, &mut |_| false)
     }
 
-    /// All valuations witnessing the pattern at the root, deduplicated
-    /// and sorted.
+    /// All complete matches at the root as **dense tuples** of values
+    /// borrowed from the tree: `tuple[id]` is the value of the variable
+    /// with interned id `id` (see [`CompiledPattern::var_id`]).
     ///
-    /// Deduplication happens on dense value tuples; `Valuation`s are built
-    /// only for the surviving rows. The sort key replays `BTreeMap`
-    /// ordering (all rows share the same key set, so map order is value
-    /// order in alphabetical variable order), keeping the result identical
-    /// to the naive evaluator's sorted set.
-    pub fn all_matches(&self) -> Vec<Valuation> {
+    /// The rows are deduplicated and sorted in alphabetical variable order,
+    /// exactly like [`Matcher::all_matches`] — the two differ only in that
+    /// no [`Valuation`] is built and no value is cloned. This is the
+    /// match-enumeration hook for bulk consumers such as the chase's firing
+    /// enumeration: tuples borrow from the tree (not from the matcher), so
+    /// they outlive the per-tree tables.
+    pub fn all_match_tuples(&self) -> Vec<Vec<&'t Value>> {
         let nvars = self.pat.var_count();
         let mut perm: Vec<usize> = (0..nvars).collect();
         perm.sort_by(|&a, &b| self.pat.vars[a].cmp(&self.pat.vars[b]));
@@ -434,9 +436,8 @@ impl<'t, 'p> Matcher<'t, 'p> {
             trail: Vec::new(),
         };
         // Collect matches as tuples of borrowed values (the refs point into
-        // the tree, so they survive backtracking); clone only the rows that
-        // survive deduplication.
-        let mut tuples: Vec<Vec<&Value>> = Vec::new();
+        // the tree, so they survive backtracking).
+        let mut tuples: Vec<Vec<&'t Value>> = Vec::new();
         self.visit_pattern(&mut state, Tree::ROOT, self.pat.root(), &mut |_, st| {
             tuples.push(
                 st.env
@@ -454,6 +455,18 @@ impl<'t, 'p> Matcher<'t, 'p> {
         });
         tuples.dedup();
         tuples
+    }
+
+    /// All valuations witnessing the pattern at the root, deduplicated
+    /// and sorted.
+    ///
+    /// Deduplication happens on dense value tuples; `Valuation`s are built
+    /// only for the surviving rows. The sort key replays `BTreeMap`
+    /// ordering (all rows share the same key set, so map order is value
+    /// order in alphabetical variable order), keeping the result identical
+    /// to the naive evaluator's sorted set.
+    pub fn all_matches(&self) -> Vec<Valuation> {
+        self.all_match_tuples()
             .into_iter()
             .map(|tuple| {
                 self.pat

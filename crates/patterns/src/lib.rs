@@ -15,7 +15,7 @@
 //! * [`compiled`] — the evaluation kernel behind [`eval`]: interned
 //!   variables, trail-based backtracking, bitset feasibility tables
 //!   reusable across probes;
-//! * [`reference`] — the naive spec evaluator kept for differential tests;
+//! * [`mod@reference`] — the naive spec evaluator kept for differential tests;
 //! * [`sat`] — satisfiability of patterns w.r.t. a DTD and achievable
 //!   match-set enumeration (Lemma 4.1, and the engine behind Thm 5.2 /
 //!   Prop 6.1 in `xmlmap-core`);

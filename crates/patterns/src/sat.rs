@@ -40,7 +40,7 @@
 //! (see DESIGN.md §8). Repeated probes against one schema should go
 //! through [`SatCache`], which compiles the DTD and each pattern set once
 //! and memoizes match-set results. The original engine survives unchanged
-//! as [`reference`] ([`TypeEngine`] re-exported for compatibility) and is
+//! as [`mod@reference`] ([`TypeEngine`] re-exported for compatibility) and is
 //! differentially tested against the compiled one in `tests/sat_equiv.rs`.
 
 use crate::ast::{ListItem, Pattern};

@@ -12,12 +12,12 @@
 //! * **Flat machine states.** A per-label exploration state is one
 //!   contiguous word slice `[NFA subset | sequence positions | seen
 //!   components]`. Stepping is bitwise: the DTD production NFA is grouped
-//!   by symbol ([`DenseNfa`]), each sequence acceptor advances with one
+//!   by symbol (`DenseNfa`), each sequence acceptor advances with one
 //!   shift-and-mask per word (`(cur & gap) | ((cur & match) << 1)`), and
 //!   `seen` is a word-wise OR with the symbol's type.
 //! * **Worklist fixpoint.** Instead of re-sweeping the whole alphabet
 //!   until nothing grows, each label keeps its exploration state
-//!   persistently ([`LabelExp`]): when new pairs arrive, already-settled
+//!   persistently (`LabelExp`): when new pairs arrive, already-settled
 //!   states catch up on just the new symbols and only freshly created
 //!   states pay the full expansion. A label re-enters the worklist only
 //!   when a new pair's label occurs in its production (`dependents`).

@@ -2,8 +2,9 @@
 //!
 //! The build environment has no access to crates.io, so the workspace ships
 //! this small deterministic replacement implementing the parts of the
-//! proptest API the repo uses: the [`Strategy`] trait with `prop_map` /
-//! `prop_recursive` / `boxed`, [`Just`], tuple and string-regex strategies,
+//! proptest API the repo uses: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, [`strategy::Just`], tuple and
+//! string-regex strategies,
 //! `any::<T>()`, `collection::{vec, btree_map}`, and the `proptest!`,
 //! `prop_oneof!`, `prop_compose!`, `prop_assert!`, `prop_assert_eq!`,
 //! `prop_assume!` macros.

@@ -25,7 +25,7 @@ pub mod value;
 pub mod xml;
 
 pub use name::{name, Name};
-pub use tree::{NodeId, Tree};
+pub use tree::{isomorphic_mod_nulls, NodeId, Tree};
 pub use value::{NullFactory, Value};
 
 /// Builds a [`Tree`] literal.

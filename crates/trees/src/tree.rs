@@ -319,6 +319,53 @@ impl Tree {
     }
 }
 
+/// Are `a` and `b` identical up to a renaming of null labels?
+///
+/// Walks both trees in lockstep (same labels, same child order, same
+/// attribute names in order) while building a **bijection** between null
+/// labels: a null on one side must always meet the same null on the other,
+/// constants must be equal, and a null never matches a constant. This is
+/// the right equivalence for chase outputs — two runs of the chase differ
+/// only in how they number the fresh nulls — and is what the differential
+/// tests in `tests/chase_equiv.rs` assert about the two chase engines.
+pub fn isomorphic_mod_nulls(a: &Tree, b: &Tree) -> bool {
+    use std::collections::HashMap;
+    fn go(
+        a: &Tree,
+        an: NodeId,
+        b: &Tree,
+        bn: NodeId,
+        fwd: &mut HashMap<u64, u64>,
+        bwd: &mut HashMap<u64, u64>,
+    ) -> bool {
+        if a.label(an) != b.label(bn) || a.attrs(an).len() != b.attrs(bn).len() {
+            return false;
+        }
+        for ((aname, av), (bname, bv)) in a.attrs(an).iter().zip(b.attrs(bn)) {
+            if aname != bname {
+                return false;
+            }
+            match (av, bv) {
+                (Value::Null(x), Value::Null(y)) => {
+                    if *fwd.entry(*x).or_insert(*y) != *y || *bwd.entry(*y).or_insert(*x) != *x {
+                        return false;
+                    }
+                }
+                (x, y) if x.is_null() || y.is_null() => return false,
+                (x, y) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+            }
+        }
+        let (ac, bc) = (a.children(an), b.children(bn));
+        ac.len() == bc.len() && ac.iter().zip(bc).all(|(&x, &y)| go(a, x, b, y, fwd, bwd))
+    }
+    let (mut fwd, mut bwd) = (HashMap::new(), HashMap::new());
+    go(a, Tree::ROOT, b, Tree::ROOT, &mut fwd, &mut bwd)
+}
+
 struct DescendantsIter<'a> {
     tree: &'a Tree,
     stack: Vec<NodeId>,
@@ -493,5 +540,39 @@ mod tests {
         let (t, _) = intro_tree();
         let vals: Vec<String> = t.data_values().map(|v| v.to_string()).collect();
         assert_eq!(vals, ["Ada", "2008", "cs1", "cs2", "Sue"]);
+    }
+
+    #[test]
+    fn isomorphism_mod_nulls_renames_consistently() {
+        let mk = |n1: u64, n2: u64| {
+            let mut t = Tree::new("r");
+            t.add_child(
+                Tree::ROOT,
+                "a",
+                [("x", Value::null(n1)), ("y", Value::null(n2))],
+            );
+            t.add_child(
+                Tree::ROOT,
+                "a",
+                [("x", Value::null(n1)), ("y", Value::str("c"))],
+            );
+            t
+        };
+        // Same null pattern under different numberings: isomorphic.
+        assert!(isomorphic_mod_nulls(&mk(0, 1), &mk(7, 3)));
+        // Distinct nulls on one side collapsed on the other: not a bijection.
+        assert!(!isomorphic_mod_nulls(&mk(0, 1), &mk(5, 5)));
+        assert!(!isomorphic_mod_nulls(&mk(5, 5), &mk(0, 1)));
+        // A null never matches a constant, and constants must be equal.
+        let mut c1 = Tree::new("r");
+        c1.add_child(Tree::ROOT, "a", [("x", Value::str("v"))]);
+        let mut c2 = Tree::new("r");
+        c2.add_child(Tree::ROOT, "a", [("x", Value::null(0))]);
+        assert!(!isomorphic_mod_nulls(&c1, &c2));
+        assert!(isomorphic_mod_nulls(&c1, &c1.clone()));
+        // Structure differences are caught.
+        let mut c3 = c1.clone();
+        c3.add_elem(Tree::ROOT, "a");
+        assert!(!isomorphic_mod_nulls(&c1, &c3));
     }
 }

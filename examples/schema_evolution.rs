@@ -91,8 +91,12 @@ fn main() {
         "hr" [ "person"("pid" = "i1", "pname" = "ada") ]
     };
 
+    let shapes = xmlmap::core::ShapeCache::new(&m12.target_dtd);
+    let chase = xmlmap::core::ChaseCache::new(&m12);
     for (name, t3) in [("good", &good), ("bad", &bad)] {
-        let semantic = composition_member(&m12, &m23, &source, t3, 8).is_some();
+        let semantic =
+            xmlmap::core::composition_member_cached(&m12, &m23, &source, t3, 8, &shapes, &chase)
+                .is_some();
         let syntactic = s13.is_solution(&source, t3);
         println!("\n{name}: semantic composition = {semantic}, composed mapping = {syntactic}");
         assert_eq!(semantic, syntactic, "Thm 8.2: ⟦M13⟧ = ⟦M12⟧ ∘ ⟦M23⟧");

@@ -175,7 +175,11 @@ proptest! {
                 &mut rng,
             )
         };
-        let semantic = composition_member(&m12, &m23, &t1, &t3, 7).is_some();
+        let shapes = xmlmap::core::ShapeCache::new(&m12.target_dtd);
+        let chase = xmlmap::core::ChaseCache::new(&m12);
+        let semantic =
+            xmlmap::core::composition_member_cached(&m12, &m23, &t1, &t3, 7, &shapes, &chase)
+                .is_some();
         let syntactic = s13.is_solution(&t1, &t3);
         prop_assert_eq!(
             semantic, syntactic,

@@ -274,12 +274,16 @@ fn sec8_first_example_composition_needs_disjunction() {
     let c3 = tree!("r"["c3"]);
     let c12 = tree!("r" [ "c1", "c2" ]);
 
-    // Exactly the c1-or-c2 disjunction:
-    assert!(composition_member(&m12, &m23, &r, &c1, 4).is_some());
-    assert!(composition_member(&m12, &m23, &r, &c2, 4).is_some());
-    assert!(composition_member(&m12, &m23, &r, &c12, 4).is_some());
-    assert!(composition_member(&m12, &m23, &r, &c3, 4).is_none());
-    assert!(composition_member(&m12, &m23, &r, &r, 4).is_none());
+    // Exactly the c1-or-c2 disjunction (one cache pair for all probes):
+    let shapes = xmlmap::core::ShapeCache::new(&m12.target_dtd);
+    let chase = xmlmap::core::ChaseCache::new(&m12);
+    let member =
+        |t3: &Tree| xmlmap::core::composition_member_cached(&m12, &m23, &r, t3, 4, &shapes, &chase);
+    assert!(member(&c1).is_some());
+    assert!(member(&c2).is_some());
+    assert!(member(&c12).is_some());
+    assert!(member(&c3).is_none());
+    assert!(member(&r).is_none());
 
     // And the class of Thm 8.2 rightly rejects these mappings: the middle
     // DTD has a disjunction (not nested-relational).
@@ -312,10 +316,15 @@ fn sec8_second_example_value_counting() {
     let three = tree!("r" [ "a"("v" = "1"), "a"("v" = "2"), "a"("v" = "3") ]);
     let two_dup = tree!("r" [ "a"("v" = "1"), "a"("v" = "2"), "a"("v" = "1") ]);
 
-    assert!(composition_member(&m12, &m23, &one, &target, 3).is_some());
-    assert!(composition_member(&m12, &m23, &two, &target, 3).is_some());
-    assert!(composition_member(&m12, &m23, &two_dup, &target, 3).is_some());
-    assert!(composition_member(&m12, &m23, &three, &target, 3).is_none());
+    let shapes = xmlmap::core::ShapeCache::new(&m12.target_dtd);
+    let chase = xmlmap::core::ChaseCache::new(&m12);
+    let member = |t1: &Tree| {
+        xmlmap::core::composition_member_cached(&m12, &m23, t1, &target, 3, &shapes, &chase)
+    };
+    assert!(member(&one).is_some());
+    assert!(member(&two).is_some());
+    assert!(member(&two_dup).is_some());
+    assert!(member(&three).is_none());
 }
 
 // ───────────────────────── §8: the employee Skolem example ──────────────
