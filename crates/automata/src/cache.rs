@@ -1,0 +1,110 @@
+//! Per-schema-pair cache for the automata decision procedures.
+//!
+//! Mirrors `xmlmap_patterns::SatCache` and `xmlmap_core`'s `ChaseCache`:
+//! one [`AutomataCache`] per ordered DTD pair `(D1, D2)` so repeated
+//! inclusion/subschema checks against the same schemas reuse the compiled
+//! automata — dense label ids, per-rule horizontals already determinized
+//! into flat DFA tables — instead of rebuilding them per call, and return
+//! memoized verdicts on repeat queries.
+
+use crate::compiled::{self, CompiledAutomaton};
+use crate::hedge::HedgeAutomaton;
+use crate::inclusion::{subschema_of_automata, InclusionBudgetExceeded, SubschemaViolation};
+use std::sync::Mutex;
+use xmlmap_dtd::Dtd;
+use xmlmap_trees::{Name, Tree};
+
+/// Compiled automata for one ordered schema pair, plus memoized verdicts.
+///
+/// Budget overruns are *not* cached — a retry with a larger budget
+/// recomputes, exactly as in `SatCache`. Successful verdicts are budget-
+/// independent (the fixpoint either completed or it didn't), so they are
+/// returned from the memo regardless of the budget passed later.
+pub struct AutomataCache {
+    d1: Dtd,
+    d2: Dtd,
+    ha: HedgeAutomaton,
+    hb: HedgeAutomaton,
+    a: CompiledAutomaton,
+    b: CompiledAutomaton,
+    inclusion_memo: Mutex<Option<Option<Tree>>>,
+    subschema_memo: Mutex<Option<Option<SubschemaViolation>>>,
+    product_memo: Mutex<Option<HedgeAutomaton>>,
+}
+
+impl AutomataCache {
+    /// Compiles both DTDs into hedge automata over their joint alphabet
+    /// and determinizes every horizontal language, once.
+    pub fn new(d1: &Dtd, d2: &Dtd) -> AutomataCache {
+        let mut alphabet: Vec<Name> = d1.alphabet().cloned().collect();
+        for l in d2.alphabet() {
+            if !alphabet.contains(l) {
+                alphabet.push(l.clone());
+            }
+        }
+        let ha = HedgeAutomaton::from_dtd(d1);
+        let hb = HedgeAutomaton::from_dtd(d2);
+        let a = CompiledAutomaton::new(&ha, &alphabet);
+        let b = CompiledAutomaton::new(&hb, &alphabet);
+        AutomataCache {
+            d1: d1.clone(),
+            d2: d2.clone(),
+            ha,
+            hb,
+            a,
+            b,
+            inclusion_memo: Mutex::new(None),
+            subschema_memo: Mutex::new(None),
+            product_memo: Mutex::new(None),
+        }
+    }
+
+    /// The first schema of the pair.
+    pub fn d1(&self) -> &Dtd {
+        &self.d1
+    }
+
+    /// The second schema of the pair.
+    pub fn d2(&self) -> &Dtd {
+        &self.d2
+    }
+
+    /// `L(D1) ⊆ L(D2)` over label structures: `None` when included, or a
+    /// counterexample tree.
+    pub fn inclusion(&self, budget: usize) -> Result<Option<Tree>, InclusionBudgetExceeded> {
+        if let Some(verdict) = &*self.inclusion_memo.lock().unwrap() {
+            return Ok(verdict.clone());
+        }
+        let verdict = compiled::inclusion(&self.a, &self.b, budget)?;
+        *self.inclusion_memo.lock().unwrap() = Some(verdict.clone());
+        Ok(verdict)
+    }
+
+    /// The product automaton `A(D1) × A(D2)` — accepts exactly the trees
+    /// conforming to both schemas' label structure. Built over inhabited
+    /// pairs only, and memoized: cross-validation loops that intersect the
+    /// same schema pair repeatedly get the construction once.
+    pub fn product(&self) -> HedgeAutomaton {
+        let mut memo = self.product_memo.lock().unwrap();
+        if let Some(p) = &*memo {
+            return p.clone();
+        }
+        let p = self.ha.product(&self.hb);
+        *memo = Some(p.clone());
+        p
+    }
+
+    /// Is every `D1` document also a `D2` document? (See
+    /// [`crate::inclusion::subschema`].)
+    pub fn subschema(
+        &self,
+        budget: usize,
+    ) -> Result<Option<SubschemaViolation>, InclusionBudgetExceeded> {
+        if let Some(verdict) = &*self.subschema_memo.lock().unwrap() {
+            return Ok(verdict.clone());
+        }
+        let verdict = subschema_of_automata(&self.d1, &self.d2, &self.a, &self.b, budget)?;
+        *self.subschema_memo.lock().unwrap() = Some(verdict.clone());
+        Ok(verdict)
+    }
+}

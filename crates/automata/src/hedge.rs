@@ -10,10 +10,11 @@
 //! with witness-tree extraction, which is also how consistency checkers
 //! produce concrete counterexample documents.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use crate::compiled::{self, CompiledAutomaton};
+use std::collections::HashMap;
 use xmlmap_dtd::Dtd;
 use xmlmap_regex::Nfa;
-use xmlmap_trees::{Name, NodeId, Tree};
+use xmlmap_trees::{Name, Tree};
 
 /// A transition rule: an ℓ-labelled node may take state `state` if the word
 /// of its children's states belongs to `horizontal`.
@@ -51,7 +52,13 @@ impl HedgeAutomaton {
             .map(|(q, l)| Rule {
                 label: l.clone(),
                 state: q,
-                horizontal: Nfa::from_regex(dtd.production(l)).map(|name| index[name]),
+                // Reuse the DTD's pre-compiled Glushkov automaton instead
+                // of re-running regex compilation per label; labels used
+                // without a declaration have the ε production.
+                horizontal: match dtd.horizontal(l) {
+                    Some(nfa) => nfa.map(|name| index[name]),
+                    None => Nfa::epsilon(),
+                },
             })
             .collect();
         let mut accepting = vec![false; labels.len()];
@@ -63,75 +70,25 @@ impl HedgeAutomaton {
         }
     }
 
-    /// The set of states reachable at each node of `tree`, bottom-up.
-    fn state_sets(&self, tree: &Tree) -> HashMap<NodeId, HashSet<usize>> {
-        // Group rules by label for quick lookup.
-        let mut by_label: HashMap<&Name, Vec<&Rule>> = HashMap::new();
-        for r in &self.rules {
-            by_label.entry(&r.label).or_default().push(r);
-        }
-        let mut sets: HashMap<NodeId, HashSet<usize>> = HashMap::new();
-        // Process in reverse document order so children precede parents.
-        let order: Vec<NodeId> = tree.nodes().collect();
-        for &node in order.iter().rev() {
-            let mut states = HashSet::new();
-            if let Some(rules) = by_label.get(tree.label(node)) {
-                let child_sets: Vec<&HashSet<usize>> =
-                    tree.children(node).iter().map(|c| &sets[c]).collect();
-                for rule in rules {
-                    if accepts_sets(&rule.horizontal, &child_sets) {
-                        states.insert(rule.state);
-                    }
-                }
-            }
-            sets.insert(node, states);
-        }
-        sets
-    }
-
     /// Does the automaton accept `tree`?
+    ///
+    /// Routed through the compiled engine (`crate::compiled`): rules are
+    /// interned and their horizontals determinized, then each node runs a
+    /// bitset DFA-subset simulation over its children's state sets.
     pub fn accepts(&self, tree: &Tree) -> bool {
-        self.state_sets(tree)[&Tree::ROOT]
-            .iter()
-            .any(|&q| self.accepting[q])
+        CompiledAutomaton::from_hedge(self).accepts(tree)
     }
 
     /// Product automaton: accepts the intersection of the two languages.
+    ///
+    /// Built by the compiled engine: a fixpoint discovers the *inhabited*
+    /// state pairs and only those become states of the result, so rules
+    /// for unreachable pairs are never materialized (the restriction is
+    /// language-preserving — every state in any run is realized by its
+    /// subtree). The reference construction over the full pair space
+    /// survives as [`crate::reference::product`].
     pub fn product(&self, other: &HedgeAutomaton) -> HedgeAutomaton {
-        let pair = |q1: usize, q2: usize| q1 * other.num_states + q2;
-        let mut rules = Vec::new();
-        for r1 in &self.rules {
-            for r2 in &other.rules {
-                if r1.label != r2.label {
-                    continue;
-                }
-                // Horizontal product over the paired state alphabet: lift
-                // each automaton to pair symbols, then intersect.
-                let h1 = r1
-                    .horizontal
-                    .expand(|&q1| (0..other.num_states).map(|q2| pair(q1, q2)).collect());
-                let h2 = r2
-                    .horizontal
-                    .expand(|&q2| (0..self.num_states).map(|q1| pair(q1, q2)).collect());
-                rules.push(Rule {
-                    label: r1.label.clone(),
-                    state: pair(r1.state, r2.state),
-                    horizontal: h1.intersect(&h2),
-                });
-            }
-        }
-        let num_states = self.num_states * other.num_states;
-        let mut accepting = vec![false; num_states];
-        for (q1, &a1) in self.accepting.iter().enumerate() {
-            for (q2, &a2) in other.accepting.iter().enumerate() {
-                accepting[pair(q1, q2)] = a1 && a2;
-            }
-        }
-        HedgeAutomaton {
-            num_states,
-            rules,
-            accepting,
-        }
+        compiled::product(self, other)
     }
 
     /// Union automaton: accepts the union of the two languages (disjoint
@@ -155,111 +112,18 @@ impl HedgeAutomaton {
 
     /// Emptiness check with witness extraction: returns a smallest-effort
     /// accepted tree, or `None` when the language is empty.
+    ///
+    /// Routed through the compiled engine: a dependency-driven worklist
+    /// over the determinized rule tables (a rule is re-examined only when
+    /// a vertical state its DFA reads becomes inhabited).
     pub fn witness(&self) -> Option<Tree> {
-        // Fixpoint of inhabited states; for each newly inhabited state,
-        // remember (rule index, child-state word) to rebuild a witness.
-        let mut inhabited: HashSet<usize> = HashSet::new();
-        let mut builder: HashMap<usize, (usize, Vec<usize>)> = HashMap::new();
-        loop {
-            let mut grew = false;
-            for (ri, rule) in self.rules.iter().enumerate() {
-                if inhabited.contains(&rule.state) {
-                    continue;
-                }
-                if let Some(word) = shortest_word_over(&rule.horizontal, &inhabited) {
-                    inhabited.insert(rule.state);
-                    builder.insert(rule.state, (ri, word));
-                    grew = true;
-                }
-            }
-            if !grew {
-                break;
-            }
-        }
-        let root_state =
-            (0..self.num_states).find(|&q| self.accepting[q] && inhabited.contains(&q))?;
-
-        fn build(
-            a: &HedgeAutomaton,
-            builder: &HashMap<usize, (usize, Vec<usize>)>,
-            state: usize,
-            tree: &mut Tree,
-            at: Option<NodeId>,
-        ) -> NodeId {
-            let (ri, word) = &builder[&state];
-            let rule = &a.rules[*ri];
-            let node = match at {
-                None => Tree::ROOT, // the root label is set by the caller
-                Some(p) => tree.add_elem(p, rule.label.clone()),
-            };
-            for &child_state in word {
-                build(a, builder, child_state, tree, Some(node));
-            }
-            node
-        }
-
-        let (ri, _) = &builder[&root_state];
-        let mut tree = Tree::new(self.rules[*ri].label.clone());
-        build(self, &builder, root_state, &mut tree, None);
-        Some(tree)
+        CompiledAutomaton::from_hedge(self).witness()
     }
 
     /// Is the language empty?
     pub fn is_empty(&self) -> bool {
         self.witness().is_none()
     }
-}
-
-/// NFA simulation where position `i` of the word may be any state drawn from
-/// `sets[i]` (used for membership over child state-sets).
-fn accepts_sets(nfa: &Nfa<usize>, sets: &[&HashSet<usize>]) -> bool {
-    let mut current: HashSet<usize> = HashSet::from([0]);
-    for set in sets {
-        let mut next = HashSet::new();
-        for &q in &current {
-            for (sym, q2) in &nfa.transitions[q] {
-                if set.contains(sym) {
-                    next.insert(*q2);
-                }
-            }
-        }
-        if next.is_empty() {
-            return false;
-        }
-        current = next;
-    }
-    current.iter().any(|&q| nfa.accepting[q])
-}
-
-/// A shortest word of `nfa` using only symbols from `allowed` (BFS).
-fn shortest_word_over(nfa: &Nfa<usize>, allowed: &HashSet<usize>) -> Option<Vec<usize>> {
-    if nfa.accepting[0] {
-        return Some(Vec::new());
-    }
-    let mut pred: Vec<Option<(usize, usize)>> = vec![None; nfa.num_states];
-    let mut seen = vec![false; nfa.num_states];
-    let mut queue = VecDeque::from([0usize]);
-    seen[0] = true;
-    while let Some(q) = queue.pop_front() {
-        for (sym, q2) in &nfa.transitions[q] {
-            if allowed.contains(sym) && !seen[*q2] {
-                seen[*q2] = true;
-                pred[*q2] = Some((q, *sym));
-                if nfa.accepting[*q2] {
-                    let mut word = Vec::new();
-                    let mut cur = *q2;
-                    while let Some((p, s)) = pred[cur] {
-                        word.push(s);
-                        cur = p;
-                    }
-                    word.reverse();
-                    return Some(word);
-                }
-                queue.push_back(*q2);
-            }
-        }
-    }
-    None
 }
 
 #[cfg(test)]

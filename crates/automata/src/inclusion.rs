@@ -11,9 +11,15 @@
 //!
 //! The state space is exponential in `B` (inclusion for tree automata is
 //! EXPTIME-complete), so the exploration carries an explicit budget.
+//!
+//! The fixpoint itself runs in the compiled engine (`crate::compiled`):
+//! horizontals pre-determinized into flat DFA tables, `S_B` as hash-consed
+//! bitsets, realizable pairs pruned to per-`q_A` antichains. The original
+//! set-based exploration is preserved as
+//! [`crate::reference::inclusion_counterexample`] for differential testing.
 
+use crate::compiled::{self, CompiledAutomaton};
 use crate::hedge::HedgeAutomaton;
-use std::collections::{BTreeSet, HashMap, VecDeque};
 use xmlmap_dtd::Dtd;
 use xmlmap_trees::{Name, NodeId, Tree, Value};
 
@@ -44,171 +50,24 @@ impl std::fmt::Display for InclusionBudgetExceeded {
 
 impl std::error::Error for InclusionBudgetExceeded {}
 
-/// A realizable pair: an `A`-state together with the deterministic `B`
-/// subset, plus the witness word that produced it.
-struct PairInfo {
-    label: Name,
-    qa: usize,
-    sb: BTreeSet<usize>,
-    /// Children realisation (ids of earlier realizable pairs).
-    word: Vec<usize>,
-}
-
 /// Decides `L(a) ⊆ L(b)` over trees labelled from `alphabet`.
 ///
 /// Returns `Ok(None)` when included, `Ok(Some(t))` with `t ∈ L(a) ∖ L(b)`
 /// otherwise. Both automata's rules on labels outside `alphabet` are
 /// ignored (such trees are outside the compared universe).
+///
+/// Compiles both automata and runs the engine's antichain fixpoint; for
+/// repeated checks against the same pair of schemas, prefer
+/// [`crate::AutomataCache`], which compiles once and memoizes verdicts.
 pub fn inclusion_counterexample(
     a: &HedgeAutomaton,
     b: &HedgeAutomaton,
     alphabet: &[Name],
     budget: usize,
 ) -> Result<Option<Tree>, InclusionBudgetExceeded> {
-    let mut pairs: Vec<PairInfo> = Vec::new();
-    let mut pair_index: HashMap<(Name, usize, BTreeSet<usize>), usize> = HashMap::new();
-    let mut explored = 0usize;
-
-    loop {
-        let frozen = pairs.len();
-        let mut discovered: Vec<PairInfo> = Vec::new();
-
-        for label in alphabet {
-            let a_rules: Vec<_> = a.rules.iter().filter(|r| &r.label == label).collect();
-            let b_rules: Vec<_> = b.rules.iter().filter(|r| &r.label == label).collect();
-            for rule in &a_rules {
-                // Machine state: (subset of the A-rule NFA, per-B-rule NFA
-                // subsets). Words range over realizable pairs < frozen.
-                #[derive(Clone, PartialEq, Eq, Hash)]
-                struct MState {
-                    a: BTreeSet<usize>,
-                    b: Vec<BTreeSet<usize>>,
-                }
-                let initial = MState {
-                    a: BTreeSet::from([0usize]),
-                    b: vec![BTreeSet::from([0usize]); b_rules.len()],
-                };
-                let mut index: HashMap<MState, usize> = HashMap::new();
-                let mut states = vec![initial.clone()];
-                let mut parent: Vec<Option<(usize, usize)>> = vec![None];
-                let mut queue = VecDeque::from([0usize]);
-                index.insert(initial, 0);
-                let mut emitted: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
-
-                while let Some(si) = queue.pop_front() {
-                    explored += 1;
-                    if explored > budget {
-                        return Err(InclusionBudgetExceeded {
-                            budget,
-                            states_explored: explored,
-                            operation: "inclusion check".into(),
-                        });
-                    }
-                    let st = states[si].clone();
-
-                    // Complete word: the A-rule accepts here.
-                    if st.a.iter().any(|&q| rule.horizontal.accepting[q]) {
-                        // The deterministic B-subset: all B-states whose
-                        // rule accepts along this word.
-                        let sb: BTreeSet<usize> = b_rules
-                            .iter()
-                            .zip(&st.b)
-                            .filter(|(br, bs)| bs.iter().any(|&q| br.horizontal.accepting[q]))
-                            .map(|(br, _)| br.state)
-                            .collect();
-                        let key = (label.clone(), rule.state, sb.clone());
-                        if emitted.insert(sb.clone()) && !pair_index.contains_key(&key) {
-                            let mut word = Vec::new();
-                            let mut cur = si;
-                            while let Some((prev, pid)) = parent[cur] {
-                                word.push(pid);
-                                cur = prev;
-                            }
-                            word.reverse();
-                            discovered.push(PairInfo {
-                                label: label.clone(),
-                                qa: rule.state,
-                                sb,
-                                word,
-                            });
-                        }
-                    }
-
-                    // Transitions on realizable pairs.
-                    for (pid, p) in pairs.iter().enumerate().take(frozen) {
-                        // A part: advance on the child's A-state.
-                        let mut na = BTreeSet::new();
-                        for &q in &st.a {
-                            for (sym, q2) in &rule.horizontal.transitions[q] {
-                                if *sym == p.qa {
-                                    na.insert(*q2);
-                                }
-                            }
-                        }
-                        if na.is_empty() {
-                            continue;
-                        }
-                        // B part: advance each B-rule's subset on any state
-                        // in the child's deterministic B-subset.
-                        let nb: Vec<BTreeSet<usize>> = b_rules
-                            .iter()
-                            .zip(&st.b)
-                            .map(|(br, bs)| {
-                                let mut next = BTreeSet::new();
-                                for &q in bs {
-                                    for (sym, q2) in &br.horizontal.transitions[q] {
-                                        if p.sb.contains(sym) {
-                                            next.insert(*q2);
-                                        }
-                                    }
-                                }
-                                next
-                            })
-                            .collect();
-                        let next = MState { a: na, b: nb };
-                        if !index.contains_key(&next) {
-                            let ni = states.len();
-                            index.insert(next.clone(), ni);
-                            states.push(next);
-                            parent.push(Some((si, pid)));
-                            queue.push_back(ni);
-                        }
-                    }
-                }
-            }
-        }
-
-        let mut grew = false;
-        for info in discovered {
-            let key = (info.label.clone(), info.qa, info.sb.clone());
-            if let std::collections::hash_map::Entry::Vacant(e) = pair_index.entry(key) {
-                e.insert(pairs.len());
-                pairs.push(info);
-                grew = true;
-            }
-        }
-        if !grew {
-            break;
-        }
-    }
-
-    // A counterexample: accepting for A, rejecting for B.
-    let bad = pairs
-        .iter()
-        .position(|p| a.accepting[p.qa] && p.sb.iter().all(|&q| !b.accepting[q]));
-    Ok(bad.map(|root| build_tree(&pairs, root)))
-}
-
-fn build_tree(pairs: &[PairInfo], root: usize) -> Tree {
-    fn attach(pairs: &[PairInfo], tree: &mut Tree, at: NodeId, id: usize) {
-        for &child in &pairs[id].word {
-            let node = tree.add_elem(at, pairs[child].label.clone());
-            attach(pairs, tree, node, child);
-        }
-    }
-    let mut tree = Tree::new(pairs[root].label.clone());
-    attach(pairs, &mut tree, Tree::ROOT, root);
-    tree
+    let ca = CompiledAutomaton::new(a, alphabet);
+    let cb = CompiledAutomaton::new(b, alphabet);
+    compiled::inclusion(&ca, &cb, budget)
 }
 
 /// Why one DTD is not a subschema of another.
@@ -234,9 +93,37 @@ pub enum SubschemaViolation {
 /// attribute-list equality on `d1`-reachable labels. Returns the violation
 /// if any — a concrete counterexample document, or the first mismatched
 /// attribute list.
+///
+/// The attribute check exists because the underlying automata see only the
+/// label structure: as [`HedgeAutomaton::from_dtd`] documents, attribute
+/// lists are not modelled by the automata, so subschema checking layers
+/// the per-label attribute comparison on top of language inclusion (and
+/// fills the counterexample's attributes per `d1` afterwards).
 pub fn subschema(
     d1: &Dtd,
     d2: &Dtd,
+    budget: usize,
+) -> Result<Option<SubschemaViolation>, InclusionBudgetExceeded> {
+    let mut alphabet: Vec<Name> = d1.alphabet().cloned().collect();
+    for l in d2.alphabet() {
+        if !alphabet.contains(l) {
+            alphabet.push(l.clone());
+        }
+    }
+    let a = CompiledAutomaton::new(&HedgeAutomaton::from_dtd(d1), &alphabet);
+    let b = CompiledAutomaton::new(&HedgeAutomaton::from_dtd(d2), &alphabet);
+    subschema_of_automata(d1, d2, &a, &b, budget)
+}
+
+/// [`subschema`] over pre-compiled automata — the
+/// [`AutomataCache`](crate::cache::AutomataCache) path, where DTD→automaton
+/// compilation and horizontal determinization are paid once per schema pair
+/// instead of per check.
+pub(crate) fn subschema_of_automata(
+    d1: &Dtd,
+    d2: &Dtd,
+    a: &CompiledAutomaton,
+    b: &CompiledAutomaton,
     budget: usize,
 ) -> Result<Option<SubschemaViolation>, InclusionBudgetExceeded> {
     // Attribute compatibility on reachable labels.
@@ -249,20 +136,11 @@ pub fn subschema(
             }));
         }
     }
-    let a = HedgeAutomaton::from_dtd(d1);
-    let b = HedgeAutomaton::from_dtd(d2);
-    let mut alphabet: Vec<Name> = d1.alphabet().cloned().collect();
-    for l in d2.alphabet() {
-        if !alphabet.contains(l) {
-            alphabet.push(l.clone());
-        }
-    }
-    let counterexample = inclusion_counterexample(&a, &b, &alphabet, budget).map_err(|e| {
-        InclusionBudgetExceeded {
+    let counterexample =
+        compiled::inclusion(a, b, budget).map_err(|e| InclusionBudgetExceeded {
             operation: "subschema check".into(),
             ..e
-        }
-    })?;
+        })?;
     match counterexample {
         None => Ok(None),
         Some(mut t) => {

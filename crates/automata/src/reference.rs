@@ -1,0 +1,360 @@
+//! The pre-optimization automata algorithms, kept verbatim as a
+//! differential-testing oracle.
+//!
+//! The public entry points ([`HedgeAutomaton::accepts`],
+//! [`HedgeAutomaton::product`], [`HedgeAutomaton::witness`],
+//! [`crate::inclusion_counterexample`]) now route through the compiled
+//! engine in `crate::compiled`; this module preserves the original
+//! set-based implementations as free functions so `tests/automata_equiv.rs`
+//! can check the two engines agree on generated automata. These are *not*
+//! meant for production use — they materialize full product state spaces
+//! and re-simulate NFAs with `HashSet` subsets on every call.
+
+use crate::hedge::{HedgeAutomaton, Rule};
+use crate::inclusion::InclusionBudgetExceeded;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use xmlmap_regex::Nfa;
+use xmlmap_trees::{Name, NodeId, Tree};
+
+/// The set of states reachable at each node of `tree`, bottom-up.
+fn state_sets(a: &HedgeAutomaton, tree: &Tree) -> HashMap<NodeId, HashSet<usize>> {
+    // Group rules by label for quick lookup.
+    let mut by_label: HashMap<&Name, Vec<&Rule>> = HashMap::new();
+    for r in &a.rules {
+        by_label.entry(&r.label).or_default().push(r);
+    }
+    let mut sets: HashMap<NodeId, HashSet<usize>> = HashMap::new();
+    // Process in reverse document order so children precede parents.
+    let order: Vec<NodeId> = tree.nodes().collect();
+    for &node in order.iter().rev() {
+        let mut states = HashSet::new();
+        if let Some(rules) = by_label.get(tree.label(node)) {
+            let child_sets: Vec<&HashSet<usize>> =
+                tree.children(node).iter().map(|c| &sets[c]).collect();
+            for rule in rules {
+                if accepts_sets(&rule.horizontal, &child_sets) {
+                    states.insert(rule.state);
+                }
+            }
+        }
+        sets.insert(node, states);
+    }
+    sets
+}
+
+/// Does the automaton accept `tree`? (Reference implementation.)
+pub fn accepts(a: &HedgeAutomaton, tree: &Tree) -> bool {
+    state_sets(a, tree)[&Tree::ROOT]
+        .iter()
+        .any(|&q| a.accepting[q])
+}
+
+/// Product automaton over the full pair state space. (Reference
+/// implementation: materializes a rule for every label-matched rule pair.)
+pub fn product(a: &HedgeAutomaton, other: &HedgeAutomaton) -> HedgeAutomaton {
+    let pair = |q1: usize, q2: usize| q1 * other.num_states + q2;
+    let mut rules = Vec::new();
+    for r1 in &a.rules {
+        for r2 in &other.rules {
+            if r1.label != r2.label {
+                continue;
+            }
+            // Horizontal product over the paired state alphabet: lift
+            // each automaton to pair symbols, then intersect.
+            let h1 = r1
+                .horizontal
+                .expand(|&q1| (0..other.num_states).map(|q2| pair(q1, q2)).collect());
+            let h2 = r2
+                .horizontal
+                .expand(|&q2| (0..a.num_states).map(|q1| pair(q1, q2)).collect());
+            rules.push(Rule {
+                label: r1.label.clone(),
+                state: pair(r1.state, r2.state),
+                horizontal: h1.intersect(&h2),
+            });
+        }
+    }
+    let num_states = a.num_states * other.num_states;
+    let mut accepting = vec![false; num_states];
+    for (q1, &a1) in a.accepting.iter().enumerate() {
+        for (q2, &a2) in other.accepting.iter().enumerate() {
+            accepting[pair(q1, q2)] = a1 && a2;
+        }
+    }
+    HedgeAutomaton {
+        num_states,
+        rules,
+        accepting,
+    }
+}
+
+/// Emptiness check with witness extraction. (Reference implementation.)
+pub fn witness(a: &HedgeAutomaton) -> Option<Tree> {
+    // Fixpoint of inhabited states; for each newly inhabited state,
+    // remember (rule index, child-state word) to rebuild a witness.
+    let mut inhabited: HashSet<usize> = HashSet::new();
+    let mut builder: HashMap<usize, (usize, Vec<usize>)> = HashMap::new();
+    loop {
+        let mut grew = false;
+        for (ri, rule) in a.rules.iter().enumerate() {
+            if inhabited.contains(&rule.state) {
+                continue;
+            }
+            if let Some(word) = shortest_word_over(&rule.horizontal, &inhabited) {
+                inhabited.insert(rule.state);
+                builder.insert(rule.state, (ri, word));
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let root_state = (0..a.num_states).find(|&q| a.accepting[q] && inhabited.contains(&q))?;
+
+    fn build(
+        a: &HedgeAutomaton,
+        builder: &HashMap<usize, (usize, Vec<usize>)>,
+        state: usize,
+        tree: &mut Tree,
+        at: Option<NodeId>,
+    ) -> NodeId {
+        let (ri, word) = &builder[&state];
+        let rule = &a.rules[*ri];
+        let node = match at {
+            None => Tree::ROOT, // the root label is set by the caller
+            Some(p) => tree.add_elem(p, rule.label.clone()),
+        };
+        for &child_state in word {
+            build(a, builder, child_state, tree, Some(node));
+        }
+        node
+    }
+
+    let (ri, _) = &builder[&root_state];
+    let mut tree = Tree::new(a.rules[*ri].label.clone());
+    build(a, &builder, root_state, &mut tree, None);
+    Some(tree)
+}
+
+/// Is the language empty? (Reference implementation.)
+pub fn is_empty(a: &HedgeAutomaton) -> bool {
+    witness(a).is_none()
+}
+
+/// NFA simulation where position `i` of the word may be any state drawn from
+/// `sets[i]` (used for membership over child state-sets).
+fn accepts_sets(nfa: &Nfa<usize>, sets: &[&HashSet<usize>]) -> bool {
+    let mut current: HashSet<usize> = HashSet::from([0]);
+    for set in sets {
+        let mut next = HashSet::new();
+        for &q in &current {
+            for (sym, q2) in &nfa.transitions[q] {
+                if set.contains(sym) {
+                    next.insert(*q2);
+                }
+            }
+        }
+        if next.is_empty() {
+            return false;
+        }
+        current = next;
+    }
+    current.iter().any(|&q| nfa.accepting[q])
+}
+
+/// A shortest word of `nfa` using only symbols from `allowed` (BFS).
+fn shortest_word_over(nfa: &Nfa<usize>, allowed: &HashSet<usize>) -> Option<Vec<usize>> {
+    if nfa.accepting[0] {
+        return Some(Vec::new());
+    }
+    let mut pred: Vec<Option<(usize, usize)>> = vec![None; nfa.num_states];
+    let mut seen = vec![false; nfa.num_states];
+    let mut queue = VecDeque::from([0usize]);
+    seen[0] = true;
+    while let Some(q) = queue.pop_front() {
+        for (sym, q2) in &nfa.transitions[q] {
+            if allowed.contains(sym) && !seen[*q2] {
+                seen[*q2] = true;
+                pred[*q2] = Some((q, *sym));
+                if nfa.accepting[*q2] {
+                    let mut word = Vec::new();
+                    let mut cur = *q2;
+                    while let Some((p, s)) = pred[cur] {
+                        word.push(s);
+                        cur = p;
+                    }
+                    word.reverse();
+                    return Some(word);
+                }
+                queue.push_back(*q2);
+            }
+        }
+    }
+    None
+}
+
+/// A realizable pair: an `A`-state together with the deterministic `B`
+/// subset, plus the witness word that produced it.
+struct PairInfo {
+    label: Name,
+    qa: usize,
+    sb: BTreeSet<usize>,
+    /// Children realisation (ids of earlier realizable pairs).
+    word: Vec<usize>,
+}
+
+/// Decides `L(a) ⊆ L(b)` over trees labelled from `alphabet`. (Reference
+/// implementation: frozen-rounds BFS over `BTreeSet` machine states, no
+/// antichain pruning, no pre-determinization.)
+pub fn inclusion_counterexample(
+    a: &HedgeAutomaton,
+    b: &HedgeAutomaton,
+    alphabet: &[Name],
+    budget: usize,
+) -> Result<Option<Tree>, InclusionBudgetExceeded> {
+    let mut pairs: Vec<PairInfo> = Vec::new();
+    let mut pair_index: HashMap<(Name, usize, BTreeSet<usize>), usize> = HashMap::new();
+    let mut explored = 0usize;
+
+    loop {
+        let frozen = pairs.len();
+        let mut discovered: Vec<PairInfo> = Vec::new();
+
+        for label in alphabet {
+            let a_rules: Vec<_> = a.rules.iter().filter(|r| &r.label == label).collect();
+            let b_rules: Vec<_> = b.rules.iter().filter(|r| &r.label == label).collect();
+            for rule in &a_rules {
+                // Machine state: (subset of the A-rule NFA, per-B-rule NFA
+                // subsets). Words range over realizable pairs < frozen.
+                #[derive(Clone, PartialEq, Eq, Hash)]
+                struct MState {
+                    a: BTreeSet<usize>,
+                    b: Vec<BTreeSet<usize>>,
+                }
+                let initial = MState {
+                    a: BTreeSet::from([0usize]),
+                    b: vec![BTreeSet::from([0usize]); b_rules.len()],
+                };
+                let mut index: HashMap<MState, usize> = HashMap::new();
+                let mut states = vec![initial.clone()];
+                let mut parent: Vec<Option<(usize, usize)>> = vec![None];
+                let mut queue = VecDeque::from([0usize]);
+                index.insert(initial, 0);
+                let mut emitted: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
+
+                while let Some(si) = queue.pop_front() {
+                    explored += 1;
+                    if explored > budget {
+                        return Err(InclusionBudgetExceeded {
+                            budget,
+                            states_explored: explored,
+                            operation: "inclusion check".into(),
+                        });
+                    }
+                    let st = states[si].clone();
+
+                    // Complete word: the A-rule accepts here.
+                    if st.a.iter().any(|&q| rule.horizontal.accepting[q]) {
+                        // The deterministic B-subset: all B-states whose
+                        // rule accepts along this word.
+                        let sb: BTreeSet<usize> = b_rules
+                            .iter()
+                            .zip(&st.b)
+                            .filter(|(br, bs)| bs.iter().any(|&q| br.horizontal.accepting[q]))
+                            .map(|(br, _)| br.state)
+                            .collect();
+                        let key = (label.clone(), rule.state, sb.clone());
+                        if emitted.insert(sb.clone()) && !pair_index.contains_key(&key) {
+                            let mut word = Vec::new();
+                            let mut cur = si;
+                            while let Some((prev, pid)) = parent[cur] {
+                                word.push(pid);
+                                cur = prev;
+                            }
+                            word.reverse();
+                            discovered.push(PairInfo {
+                                label: label.clone(),
+                                qa: rule.state,
+                                sb,
+                                word,
+                            });
+                        }
+                    }
+
+                    // Transitions on realizable pairs.
+                    for (pid, p) in pairs.iter().enumerate().take(frozen) {
+                        // A part: advance on the child's A-state.
+                        let mut na = BTreeSet::new();
+                        for &q in &st.a {
+                            for (sym, q2) in &rule.horizontal.transitions[q] {
+                                if *sym == p.qa {
+                                    na.insert(*q2);
+                                }
+                            }
+                        }
+                        if na.is_empty() {
+                            continue;
+                        }
+                        // B part: advance each B-rule's subset on any state
+                        // in the child's deterministic B-subset.
+                        let nb: Vec<BTreeSet<usize>> = b_rules
+                            .iter()
+                            .zip(&st.b)
+                            .map(|(br, bs)| {
+                                let mut next = BTreeSet::new();
+                                for &q in bs {
+                                    for (sym, q2) in &br.horizontal.transitions[q] {
+                                        if p.sb.contains(sym) {
+                                            next.insert(*q2);
+                                        }
+                                    }
+                                }
+                                next
+                            })
+                            .collect();
+                        let next = MState { a: na, b: nb };
+                        if !index.contains_key(&next) {
+                            let ni = states.len();
+                            index.insert(next.clone(), ni);
+                            states.push(next);
+                            parent.push(Some((si, pid)));
+                            queue.push_back(ni);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut grew = false;
+        for info in discovered {
+            let key = (info.label.clone(), info.qa, info.sb.clone());
+            if let std::collections::hash_map::Entry::Vacant(e) = pair_index.entry(key) {
+                e.insert(pairs.len());
+                pairs.push(info);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // A counterexample: accepting for A, rejecting for B.
+    let bad = pairs
+        .iter()
+        .position(|p| a.accepting[p.qa] && p.sb.iter().all(|&q| !b.accepting[q]));
+    Ok(bad.map(|root| build_tree(&pairs, root)))
+}
+
+fn build_tree(pairs: &[PairInfo], root: usize) -> Tree {
+    fn attach(pairs: &[PairInfo], tree: &mut Tree, at: NodeId, id: usize) {
+        for &child in &pairs[id].word {
+            let node = tree.add_elem(at, pairs[child].label.clone());
+            attach(pairs, tree, node, child);
+        }
+    }
+    let mut tree = Tree::new(pairs[root].label.clone());
+    attach(pairs, &mut tree, Tree::ROOT, root);
+    tree
+}

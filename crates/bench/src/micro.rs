@@ -12,10 +12,12 @@
 
 use criterion::measure_median_ns;
 use std::time::Duration;
+use xmlmap_automata::HedgeAutomaton;
 use xmlmap_core::consistency;
+use xmlmap_dtd::Dtd;
 use xmlmap_gen::hard;
 use xmlmap_patterns::{Pattern, Valuation, Var};
-use xmlmap_trees::{Tree, Value};
+use xmlmap_trees::{Name, Tree, Value};
 
 /// Samples per micro-benchmark (median of these is reported).
 const SAMPLES: usize = 9;
@@ -23,6 +25,8 @@ const SAMPLES: usize = 9;
 const BUDGET: Duration = Duration::from_millis(250);
 /// States budget for the type-fixpoint rows (never hit by these families).
 const SAT_BUDGET: usize = 50_000_000;
+/// States budget for the automata rows (never hit by these families).
+const AUTO_BUDGET: usize = 50_000_000;
 
 /// Satisfiability probes against the university DTD: the repeated-probe
 /// workload of the consistency procedures (N sat calls against one schema).
@@ -71,6 +75,45 @@ fn adversarial(n: usize, width: usize) -> (Tree, Pattern) {
     }
     p = p.descendant(Pattern::leaf("zz", Vec::<Var>::new()));
     (t, p)
+}
+
+/// DTD whose root production is the classic "n-th symbol from the end"
+/// language `(x|y)*, x, (x|y)ⁿ` — its horizontal DFA has ~2ⁿ subset
+/// states, so inclusion pays the full subset construction.
+fn nthlast_dtd(n: usize, flipped: bool) -> Dtd {
+    let (alt, tail) = if flipped {
+        ("y|x", ", (y|x)".repeat(n))
+    } else {
+        ("x|y", ", (x|y)".repeat(n))
+    };
+    xmlmap_dtd::parse(&format!("root r\nr -> ({alt})*, x{tail}")).unwrap()
+}
+
+/// A `k`-label DTD `r -> (a0|…|ak-1)*, last` for the product-emptiness
+/// rows: two instances with different `last` have an empty intersection,
+/// and a naive product pays O(k²) pair symbols per horizontal rule.
+fn alt_tail_dtd(k: usize, last: usize) -> Dtd {
+    let alts: Vec<String> = (0..k).map(|i| format!("a{i}")).collect();
+    xmlmap_dtd::parse(&format!("root r\nr -> ({})*, a{last}", alts.join("|"))).unwrap()
+}
+
+/// A widened university DTD: every `xmlmap_gen::university_dtd` document
+/// conforms to it (same attributes on reachable labels), so `subschema`
+/// runs the full inclusion fixpoint and answers "yes".
+fn university_evolved_dtd() -> Dtd {
+    xmlmap_dtd::parse(
+        "root r
+         r -> prof*, visitor*
+         prof -> teach, supervise, award?
+         teach -> year+
+         year -> course, course, course?
+         supervise -> student*
+         prof @ name
+         student @ sid
+         year @ y
+         course @ cno",
+    )
+    .unwrap()
 }
 
 /// The university exchange mapping used by the chase/certain-answers rows.
@@ -232,6 +275,57 @@ pub fn run_suite() -> Vec<(&'static str, f64)> {
     let (m12, m23) = hard::compose_chain(3);
     bench("cons/compose_chain3", &mut || {
         assert!(consistency::composition_consistent(&m12, &m23, SAT_BUDGET).unwrap());
+    });
+
+    // ---- automata micro-suite (hedge-automata engine workloads) ----
+
+    // Inclusion, miss path: a fresh check compiles both automata and runs
+    // the (q_A, S_B) fixpoint from scratch every time.
+    let inc_d1 = nthlast_dtd(8, false);
+    let inc_d2 = nthlast_dtd(8, true);
+    let inc_alphabet: Vec<Name> = inc_d1.alphabet().cloned().collect();
+    bench("automata/inclusion_miss_nthlast8", &mut || {
+        let a = HedgeAutomaton::from_dtd(&inc_d1);
+        let b = HedgeAutomaton::from_dtd(&inc_d2);
+        let verdict =
+            xmlmap_automata::inclusion_counterexample(&a, &b, &inc_alphabet, AUTO_BUDGET).unwrap();
+        assert!(verdict.is_none());
+    });
+
+    // Inclusion, hit path: repeated checks against one schema pair (the
+    // AutomataCache workload — every check after the first reuses the
+    // compiled tables and the memoized verdict).
+    let inc_cache = xmlmap_automata::AutomataCache::new(&inc_d1, &inc_d2);
+    bench("automata/inclusion_hit_nthlast8", &mut || {
+        assert!(inc_cache.inclusion(AUTO_BUDGET).unwrap().is_none());
+    });
+
+    // Subschema at two sizes: the subset-blowup family and the schema-
+    // evolution workload (university DTD vs a widened revision).
+    let sub_d1 = nthlast_dtd(5, false);
+    let sub_d2 = nthlast_dtd(5, true);
+    bench("automata/subschema_nthlast5", &mut || {
+        let v = xmlmap_automata::subschema(&sub_d1, &sub_d2, AUTO_BUDGET).unwrap();
+        assert!(v.is_none());
+    });
+    let uni = xmlmap_gen::university_dtd();
+    let uni_evolved = university_evolved_dtd();
+    bench("automata/subschema_uni_evolved", &mut || {
+        let v = xmlmap_automata::subschema(&uni, &uni_evolved, AUTO_BUDGET).unwrap();
+        assert!(v.is_none());
+    });
+
+    // Product emptiness at two sizes: disjoint `(a0|…|ak)*, last`
+    // languages; the verdict needs the inhabited-pair fixpoint only.
+    let prod_a8 = HedgeAutomaton::from_dtd(&alt_tail_dtd(8, 0));
+    let prod_b8 = HedgeAutomaton::from_dtd(&alt_tail_dtd(8, 1));
+    bench("automata/product_empty_k8", &mut || {
+        assert!(prod_a8.product(&prod_b8).is_empty());
+    });
+    let prod_a24 = HedgeAutomaton::from_dtd(&alt_tail_dtd(24, 0));
+    let prod_b24 = HedgeAutomaton::from_dtd(&alt_tail_dtd(24, 1));
+    bench("automata/product_empty_k24", &mut || {
+        assert!(prod_a24.product(&prod_b24).is_empty());
     });
 
     out

@@ -78,6 +78,26 @@ where
     par_map(items, |item| f(item));
 }
 
+/// [`par_map`] behind a caller-supplied size gate: runs in parallel when
+/// `parallel` is true, inline otherwise (same output either way).
+///
+/// Fixpoint engines that expand a dirty frontier per round (the compiled
+/// automata product/inclusion loops) use this so tiny rounds — a handful of
+/// machines woken by one new pair — skip thread fan-out entirely instead of
+/// re-deriving the gate condition at every call site.
+pub fn par_map_gated<T, U, F>(items: &[T], parallel: bool, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if parallel {
+        par_map(items, f)
+    } else {
+        items.iter().map(f).collect()
+    }
+}
+
 /// Parallel map over indices `0..n` — handy when the items themselves are
 /// produced by indexing into several slices.
 pub fn par_map_indices<U, F>(n: usize, f: F) -> Vec<U>
@@ -129,5 +149,13 @@ mod tests {
     #[test]
     fn indices_map() {
         assert_eq!(par_map_indices(5, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn gated_map_matches_either_way() {
+        let items: Vec<u32> = (0..100).collect();
+        let expected: Vec<u32> = items.iter().map(|&x| x + 1).collect();
+        assert_eq!(par_map_gated(&items, true, |&x| x + 1), expected);
+        assert_eq!(par_map_gated(&items, false, |&x| x + 1), expected);
     }
 }

@@ -9,10 +9,12 @@
 
 pub mod ast;
 pub mod dfa;
+pub mod hash;
 pub mod nfa;
 
 pub use ast::{parse, Regex, RegexParseError};
-pub use dfa::Dfa;
+pub use dfa::{DenseDfa, Determinizer, Dfa};
+pub use hash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use nfa::Nfa;
 
 #[cfg(test)]

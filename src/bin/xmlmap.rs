@@ -174,7 +174,8 @@ fn run() -> Result<bool, String> {
         ["subschema", d1_path, d2_path] => {
             let d1 = xmlmap::dtd::parse(&read(d1_path)?).map_err(|e| e.to_string())?;
             let d2 = xmlmap::dtd::parse(&read(d2_path)?).map_err(|e| e.to_string())?;
-            match xmlmap::automata::subschema(&d1, &d2, BUDGET).map_err(|e| e.to_string())? {
+            let cache = xmlmap::automata::AutomataCache::new(&d1, &d2);
+            match cache.subschema(BUDGET).map_err(|e| e.to_string())? {
                 None => {
                     println!("subschema: every {d1_path} document conforms to {d2_path}");
                     Ok(true)

@@ -255,9 +255,11 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let d1 = xmlmap::gen::random_nr_dtd(1, 2, 0.0, &mut rng);
         let d2 = xmlmap::gen::random_nr_dtd(1, 2, 0.0, &mut rng);
-        let a1 = xmlmap::automata::HedgeAutomaton::from_dtd(&d1);
-        let a2 = xmlmap::automata::HedgeAutomaton::from_dtd(&d2);
-        let product = a1.product(&a2);
+        // The product rides the per-schema-pair cache, as in production
+        // callers; a repeated call must hand back the memoized construction.
+        let cache = xmlmap::automata::AutomataCache::new(&d1, &d2);
+        let product = cache.product();
+        prop_assert_eq!(cache.product().num_states, product.num_states);
         match product.witness() {
             Some(w) => {
                 prop_assert!(d1.conforms(&w) && d2.conforms(&w));
@@ -376,7 +378,8 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let d1 = xmlmap::gen::random_nr_dtd(2, 2, 0.0, &mut rng);
         let d2 = xmlmap::gen::random_nr_dtd(2, 2, 0.0, &mut rng);
-        match xmlmap::automata::subschema(&d1, &d2, 2_000_000) {
+        let cache = xmlmap::automata::AutomataCache::new(&d1, &d2);
+        match cache.subschema(2_000_000) {
             Err(_) => {} // budget: skip
             Ok(None) => {
                 for _ in 0..8 {
