@@ -112,8 +112,9 @@ fn membership_combined_vars(c: &mut Criterion) {
 fn composition_data(c: &mut Criterion) {
     // Fixed mappings, growing documents (data complexity of composition).
     let (m12, m23) = hard::compose_chain(0);
-    let shapes = xmlmap_core::ShapeCache::new(&m12.target_dtd);
-    let chase = xmlmap_core::ChaseCache::new(&m12);
+    // The shared context plays the per-session role the hand-hoisted
+    // ShapeCache/ChaseCache pair used to: compile once, probe many times.
+    let ctx = xmlmap_core::EngineContext::new();
     let mut group = c.benchmark_group("fig2/composition_data");
     group.sample_size(10);
     for k in [2usize, 4, 8, 16] {
@@ -134,14 +135,12 @@ fn composition_data(c: &mut Criterion) {
         }
         group.bench_with_input(BenchmarkId::from_parameter(k), &(t1, t3), |b, (t1, t3)| {
             b.iter(|| {
-                let middle = xmlmap_core::composition_member_cached(
+                let middle = ctx.composition_member(
                     black_box(&m12),
                     black_box(&m23),
                     black_box(t1),
                     black_box(t3),
                     k + 2,
-                    &shapes,
-                    &chase,
                 );
                 assert!(middle.is_some());
             })

@@ -135,6 +135,53 @@ fn university_mapping() -> xmlmap_core::Mapping {
     )
 }
 
+/// A 200-job cache-heavy batch over a handful of compiled artifacts: the
+/// workload the shared [`EngineContext`](xmlmap_core::EngineContext) is
+/// designed for — six schemas and one automata pair compile once, and the
+/// remaining ~195 jobs are answered from the caches.
+fn engine_batch_jobs() -> Vec<xmlmap_core::BatchJob> {
+    use std::sync::Arc;
+    use xmlmap_core::{BatchJob, JobKind};
+    let ce = Arc::new(hard::cons_exptime(5));
+    let cn = Arc::new(hard::cons_nextsib(4));
+    let vf = Arc::new(valuefree_mapping(6));
+    let d1 = Arc::new(nthlast_dtd(6, false));
+    let d2 = Arc::new(nthlast_dtd(6, true));
+    let mut jobs = Vec::new();
+    for i in 0..50 {
+        jobs.push(BatchJob {
+            label: format!("cons exptime5 {i}"),
+            kind: JobKind::Consistent {
+                mapping: ce.clone(),
+                budget: SAT_BUDGET,
+            },
+        });
+        jobs.push(BatchJob {
+            label: format!("cons nextsib4 {i}"),
+            kind: JobKind::Consistent {
+                mapping: cn.clone(),
+                budget: SAT_BUDGET,
+            },
+        });
+        jobs.push(BatchJob {
+            label: format!("abscons valuefree6 {i}"),
+            kind: JobKind::AbsCons {
+                mapping: vf.clone(),
+                budget: SAT_BUDGET,
+            },
+        });
+        jobs.push(BatchJob {
+            label: format!("subschema nthlast6 {i}"),
+            kind: JobKind::Subschema {
+                d1: d1.clone(),
+                d2: d2.clone(),
+                budget: SAT_BUDGET,
+            },
+        });
+    }
+    jobs
+}
+
 /// Runs every micro-benchmark, returning `(name, median ns/op)` rows.
 pub fn run_suite() -> Vec<(&'static str, f64)> {
     let mut out = Vec::new();
@@ -326,6 +373,51 @@ pub fn run_suite() -> Vec<(&'static str, f64)> {
     let prod_b24 = HedgeAutomaton::from_dtd(&alt_tail_dtd(24, 1));
     bench("automata/product_empty_k24", &mut || {
         assert!(prod_a24.product(&prod_b24).is_empty());
+    });
+
+    // ---- engine micro-suite (shared EngineContext / batch driver) ----
+
+    // The same 200-job mixed batch two ways, single worker both times so
+    // the comparison isolates cache sharing from thread fan-out: `shared`
+    // routes every job through one context (compile once, ~195 cache
+    // hits); `fresh_ctx_per_job` rebuilds the caches for every job — the
+    // per-call-cache workload the context replaces. The committed baseline
+    // for the shared row is the fresh-per-job median, so the `speedup`
+    // section of BENCH_eval.json records shared-vs-per-call directly.
+    let batch_jobs = engine_batch_jobs();
+    let no_failures = |results: &[xmlmap_core::JobResult]| {
+        assert!(
+            results
+                .iter()
+                .all(|r| !matches!(r, xmlmap_core::JobResult::Failed { .. })),
+            "engine batch rows must complete every job"
+        );
+    };
+    bench("engine/batch200_shared_ctx", &mut || {
+        let ctx = xmlmap_core::EngineContext::new();
+        no_failures(&xmlmap_core::run_batch(&ctx, &batch_jobs, 1));
+    });
+    bench("engine/batch200_fresh_ctx_per_job", &mut || {
+        let results: Vec<xmlmap_core::JobResult> = batch_jobs
+            .iter()
+            .map(|job| xmlmap_core::run_job(&xmlmap_core::EngineContext::new(), job))
+            .collect();
+        no_failures(&results);
+    });
+
+    // Steady state: one probe against a fully warm context (every lookup a
+    // cache hit — the marginal cost of a job inside a long session).
+    let warm = xmlmap_core::EngineContext::new();
+    let warm_cn = hard::cons_nextsib(4);
+    assert!(warm
+        .consistent(&warm_cn, SAT_BUDGET)
+        .unwrap()
+        .is_consistent());
+    bench("engine/ctx_hit_consistent", &mut || {
+        assert!(warm
+            .consistent(&warm_cn, SAT_BUDGET)
+            .unwrap()
+            .is_consistent());
     });
 
     out

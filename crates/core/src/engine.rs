@@ -1,0 +1,477 @@
+//! A shared, thread-safe session context for the compiled engines.
+//!
+//! The three compiled engines each amortize per-schema analysis into a
+//! cache object — [`SatCache`] (type-fixpoint satisfiability, per DTD),
+//! [`ChaseCache`] (chase plans, per mapping) and
+//! [`AutomataCache`] (determinized hedge
+//! automata, per ordered DTD pair) — but each of those is built by one
+//! caller for one workload. An [`EngineContext`] owns all of them behind
+//! sharded `RwLock` maps keyed by *content-hashed identity* (the schema's
+//! or mapping's canonical display form), so any number of threads can
+//! share one context across a whole session:
+//!
+//! * **compile once** — each map slot holds an `Arc<OnceLock<…>>`; N
+//!   threads racing for the same DTD/mapping insert one slot under a brief
+//!   write lock and then exactly one of them runs the compilation inside
+//!   `OnceLock::get_or_init` while the others block on the slot (not the
+//!   shard), then share the compiled `Arc`;
+//! * **sharded maps** — keys are spread over [`SHARD_COUNT`] shards by a
+//!   hash of the canonical text, so unrelated compilations never contend
+//!   on one lock, and the read path (the common case after warm-up) takes
+//!   only a shard read lock;
+//! * **counters** — every cache tracks hits, misses (= compilations) and
+//!   cumulative compile time; [`EngineContext::stats`] snapshots them for
+//!   the CLI (`xmlmap batch --stats`) and the benches.
+//!
+//! What is deliberately **not** cached at this layer: verdicts keyed by
+//! *documents* (chase outputs, membership answers — the key would be the
+//! document itself), and budget-exceeded errors (the inner caches already
+//! never memoize those; a retry with a larger budget must recompute).
+//! Result-level memoization stays inside the per-schema caches
+//! ([`SatCache`] match sets, `AutomataCache` verdicts), which are all
+//! internally synchronized, so sharing them across threads is safe.
+//!
+//! See DESIGN.md §8.4 for the full architecture.
+
+use crate::abscons::{abscons_structural_cached, AbsConsAnswer};
+use crate::bounded::ShapeCache;
+use crate::chase::{canonical_solution_cached, ChaseCache, ChaseError};
+use crate::consistency::{composition_consistent_cached, consistent_cached, ConsAnswer, ConsError};
+use crate::exchange::{certain_answers_cached, reduced_solution_cached, CertainAnswersError};
+use crate::stds::Mapping;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+use xmlmap_automata::{AutomataCache, InclusionBudgetExceeded, SubschemaViolation};
+use xmlmap_dtd::Dtd;
+use xmlmap_patterns::sat::BudgetExceeded;
+use xmlmap_patterns::{Pattern, SatCache, Valuation};
+use xmlmap_trees::Tree;
+
+/// Number of lock shards per cache family. A small power of two: enough
+/// that concurrent compilations of distinct schemas rarely share a lock,
+/// small enough that a stats snapshot is a cheap sweep.
+pub const SHARD_COUNT: usize = 16;
+
+/// Budget-error context used for every [`SatCache`] the context builds.
+///
+/// One fixed string — not the per-operation labels the convenience
+/// wrappers use — so a cache first compiled by a consistency probe and
+/// later hit by an absolute-consistency probe reports identical errors
+/// regardless of which operation happened to compile it first. Batch
+/// determinism across worker counts depends on this.
+const SAT_CONTEXT: &str = "shared EngineContext probe";
+
+/// Hit/miss/compile-time counters for one cache family.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from an already-compiled entry.
+    pub hits: u64,
+    /// Lookups that compiled a fresh entry (one per distinct key).
+    pub misses: u64,
+    /// Total wall-clock time spent compiling entries.
+    pub compile_time: Duration,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl std::fmt::Display for CacheCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} entries, {:.2}ms compiling",
+            self.hits,
+            self.misses,
+            self.entries,
+            self.compile_time.as_secs_f64() * 1_000.0
+        )
+    }
+}
+
+/// A snapshot of every cache family's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Type-fixpoint satisfiability caches (one per DTD).
+    pub sat: CacheCounters,
+    /// Chase-plan caches (one per mapping).
+    pub chase: CacheCounters,
+    /// Hedge-automata caches (one per ordered DTD pair).
+    pub automata: CacheCounters,
+    /// Tree-shape enumeration caches (one per DTD).
+    pub shapes: CacheCounters,
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "sat:      {}", self.sat)?;
+        writeln!(f, "chase:    {}", self.chase)?;
+        writeln!(f, "automata: {}", self.automata)?;
+        write!(f, "shapes:   {}", self.shapes)
+    }
+}
+
+/// Per-family counter cells (atomics; relaxed ordering — these are
+/// diagnostics, not synchronization).
+#[derive(Default)]
+struct StatCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compile_ns: AtomicU64,
+}
+
+/// A cache slot: filled exactly once, by whichever thread wins the race.
+type Slot<V> = Arc<OnceLock<Arc<V>>>;
+
+/// One sharded compile-once map: canonical text → compiled artifact.
+struct ShardedCache<V> {
+    shards: Vec<RwLock<HashMap<String, Slot<V>>>>,
+    stats: StatCells,
+}
+
+impl<V> ShardedCache<V> {
+    fn new() -> ShardedCache<V> {
+        ShardedCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            stats: StatCells::default(),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % SHARD_COUNT
+    }
+
+    /// The compile-once protocol: read-lock lookup, double-checked slot
+    /// insertion under the write lock, compilation outside any shard lock
+    /// (inside the slot's `OnceLock`, which admits exactly one winner).
+    fn get_or_compile(&self, key: &str, compile: impl FnOnce() -> V) -> Arc<V> {
+        let shard = &self.shards[self.shard_of(key)];
+        let slot = shard.read().unwrap().get(key).cloned();
+        let slot = match slot {
+            Some(slot) => slot,
+            None => {
+                let mut map = shard.write().unwrap();
+                map.entry(key.to_string())
+                    .or_insert_with(|| Arc::new(OnceLock::new()))
+                    .clone()
+            }
+        };
+        let mut compiled_here = false;
+        let value = slot
+            .get_or_init(|| {
+                compiled_here = true;
+                let start = Instant::now();
+                let v = Arc::new(compile());
+                self.stats
+                    .compile_ns
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                v
+            })
+            .clone();
+        if compiled_here {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            compile_time: Duration::from_nanos(self.stats.compile_ns.load(Ordering::Relaxed)),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().unwrap().len() as u64)
+                .sum(),
+        }
+    }
+}
+
+/// A thread-safe session object owning every compiled-engine cache.
+///
+/// Build one per process (or per logical session) and share it by
+/// reference — it is `Sync`, and every method takes `&self`. All the
+/// decision procedures of the crate are available as methods that fetch
+/// the right caches by content identity and delegate to the `*_cached`
+/// functions; the raw cache accessors ([`EngineContext::sat_cache`] etc.)
+/// serve call sites that want to drive the caches directly.
+///
+/// ```
+/// use xmlmap_core::EngineContext;
+/// let ctx = EngineContext::new();
+/// let dtd = xmlmap_dtd::parse("root r\nr -> a*\na @ v").unwrap();
+/// let c1 = ctx.sat_cache(&dtd);
+/// let c2 = ctx.sat_cache(&dtd.clone()); // same content → same cache
+/// assert!(std::sync::Arc::ptr_eq(&c1, &c2));
+/// assert_eq!(ctx.stats().sat.misses, 1);
+/// ```
+pub struct EngineContext {
+    sat: ShardedCache<SatCache>,
+    chase: ShardedCache<ChaseCache>,
+    automata: ShardedCache<AutomataCache>,
+    shapes: ShardedCache<ShapeCache>,
+}
+
+impl Default for EngineContext {
+    fn default() -> EngineContext {
+        EngineContext::new()
+    }
+}
+
+impl EngineContext {
+    /// A fresh, empty context.
+    pub fn new() -> EngineContext {
+        EngineContext {
+            sat: ShardedCache::new(),
+            chase: ShardedCache::new(),
+            automata: ShardedCache::new(),
+            shapes: ShardedCache::new(),
+        }
+    }
+
+    // ---- raw cache accessors -------------------------------------------
+
+    /// The shared [`SatCache`] for `dtd`, compiling it on first request.
+    pub fn sat_cache(&self, dtd: &Dtd) -> Arc<SatCache> {
+        self.sat.get_or_compile(&dtd.to_string(), || {
+            SatCache::new(dtd).with_context(SAT_CONTEXT)
+        })
+    }
+
+    /// The shared [`ChaseCache`] for `m`, compiling it on first request.
+    pub fn chase_cache(&self, m: &Mapping) -> Arc<ChaseCache> {
+        self.chase
+            .get_or_compile(&m.to_string(), || ChaseCache::new(m))
+    }
+
+    /// The shared [`AutomataCache`] for the ordered pair `(d1, d2)`,
+    /// compiling both automata on first request.
+    pub fn automata_cache(&self, d1: &Dtd, d2: &Dtd) -> Arc<AutomataCache> {
+        let key = format!("{d1}\u{0}{d2}");
+        self.automata
+            .get_or_compile(&key, || AutomataCache::new(d1, d2))
+    }
+
+    /// The shared [`ShapeCache`] for `dtd`.
+    pub fn shape_cache(&self, dtd: &Dtd) -> Arc<ShapeCache> {
+        self.shapes
+            .get_or_compile(&dtd.to_string(), || ShapeCache::new(dtd))
+    }
+
+    // ---- decision procedures over the shared caches --------------------
+
+    /// [`consistent`](crate::consistency::consistent) over the shared
+    /// source/target [`SatCache`]s.
+    pub fn consistent(&self, m: &Mapping, budget: usize) -> Result<ConsAnswer, ConsError> {
+        let src = self.sat_cache(&m.source_dtd);
+        let tgt = self.sat_cache(&m.target_dtd);
+        consistent_cached(m, &src, &tgt, budget)
+    }
+
+    /// [`composition_consistent`](crate::consistency::composition_consistent)
+    /// over the shared [`SatCache`]s of all three schemas.
+    pub fn composition_consistent(
+        &self,
+        m12: &Mapping,
+        m23: &Mapping,
+        budget: usize,
+    ) -> Result<bool, ConsError> {
+        let src = self.sat_cache(&m12.source_dtd);
+        let mid = self.sat_cache(&m12.target_dtd);
+        let tgt = self.sat_cache(&m23.target_dtd);
+        composition_consistent_cached(m12, m23, &src, &mid, &tgt, budget)
+    }
+
+    /// [`abscons_structural`](crate::abscons::abscons_structural) over the
+    /// shared source/target [`SatCache`]s.
+    pub fn abscons_structural(
+        &self,
+        m: &Mapping,
+        budget: usize,
+    ) -> Result<Result<AbsConsAnswer, BudgetExceeded>, String> {
+        let src = self.sat_cache(&m.source_dtd);
+        let tgt = self.sat_cache(&m.target_dtd);
+        abscons_structural_cached(m, &src, &tgt, budget)
+    }
+
+    /// [`canonical_solution`](crate::chase::canonical_solution) over the
+    /// shared [`ChaseCache`] for `m`.
+    pub fn canonical_solution(&self, m: &Mapping, source: &Tree) -> Result<Tree, ChaseError> {
+        canonical_solution_cached(m, source, &self.chase_cache(m))
+    }
+
+    /// [`reduced_solution`](crate::exchange::reduced_solution) over the
+    /// shared [`ChaseCache`] for `m`.
+    pub fn reduced_solution(&self, m: &Mapping, source: &Tree) -> Result<Tree, ChaseError> {
+        reduced_solution_cached(m, source, &self.chase_cache(m))
+    }
+
+    /// [`certain_answers`](crate::exchange::certain_answers) over the
+    /// shared [`ChaseCache`] for `m`.
+    pub fn certain_answers(
+        &self,
+        m: &Mapping,
+        source: &Tree,
+        query: &Pattern,
+    ) -> Result<Vec<Valuation>, CertainAnswersError> {
+        certain_answers_cached(m, source, query, &self.chase_cache(m))
+    }
+
+    /// [`composition_member`](crate::compose::composition_member) over the
+    /// shared [`ShapeCache`] (middle schema) and [`ChaseCache`] (`m12`).
+    pub fn composition_member(
+        &self,
+        m12: &Mapping,
+        m23: &Mapping,
+        t1: &Tree,
+        t3: &Tree,
+        max_middle_nodes: usize,
+    ) -> Option<Tree> {
+        let shapes = self.shape_cache(&m12.target_dtd);
+        let chase = self.chase_cache(m12);
+        crate::compose::composition_member_cached(
+            m12,
+            m23,
+            t1,
+            t3,
+            max_middle_nodes,
+            &shapes,
+            &chase,
+        )
+    }
+
+    /// [`solution_exists`](crate::bounded::solution_exists) over the
+    /// shared target [`ShapeCache`].
+    pub fn solution_exists(
+        &self,
+        m: &Mapping,
+        source: &Tree,
+        max_target_nodes: usize,
+    ) -> Option<Tree> {
+        crate::bounded::solution_exists_cached(
+            m,
+            source,
+            max_target_nodes,
+            &self.shape_cache(&m.target_dtd),
+        )
+    }
+
+    /// Subschema check `L(d1) ⊆ L(d2)` over the shared [`AutomataCache`].
+    pub fn subschema(
+        &self,
+        d1: &Dtd,
+        d2: &Dtd,
+        budget: usize,
+    ) -> Result<Option<SubschemaViolation>, InclusionBudgetExceeded> {
+        self.automata_cache(d1, d2).subschema(budget)
+    }
+
+    /// Label-structure inclusion `L(d1) ⊆ L(d2)` over the shared
+    /// [`AutomataCache`]: `None` when included, or a counterexample tree.
+    pub fn inclusion(
+        &self,
+        d1: &Dtd,
+        d2: &Dtd,
+        budget: usize,
+    ) -> Result<Option<Tree>, InclusionBudgetExceeded> {
+        self.automata_cache(d1, d2).inclusion(budget)
+    }
+
+    /// A snapshot of every cache family's hit/miss/compile-time counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            sat: self.sat.counters(),
+            chase: self.chase.counters(),
+            automata: self.automata.counters(),
+            shapes: self.shapes.counters(),
+        }
+    }
+}
+
+// The whole point of the context is cross-thread sharing; fail the build,
+// not the user, if an inner cache ever loses `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EngineContext>();
+    assert_send_sync::<SatCache>();
+    assert_send_sync::<ChaseCache>();
+    assert_send_sync::<AutomataCache>();
+    assert_send_sync::<ShapeCache>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dtd(text: &str) -> Dtd {
+        xmlmap_dtd::parse(text).unwrap()
+    }
+
+    fn copy_mapping() -> Mapping {
+        Mapping::parse(
+            "[source]\nroot r\nr -> a*\na @ v\n\
+             [target]\nroot r\nr -> b*\nb @ w\n\
+             [stds]\nr/a(x) --> r/b(x)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn same_content_shares_one_compilation() {
+        let ctx = EngineContext::new();
+        let d = dtd("root r\nr -> a*\na @ v");
+        let c1 = ctx.sat_cache(&d);
+        let c2 = ctx.sat_cache(&d.clone());
+        assert!(Arc::ptr_eq(&c1, &c2));
+        let s = ctx.stats().sat;
+        assert_eq!((s.misses, s.hits, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_content_gets_distinct_entries() {
+        let ctx = EngineContext::new();
+        let c1 = ctx.sat_cache(&dtd("root r\nr -> a*"));
+        let c2 = ctx.sat_cache(&dtd("root r\nr -> b*"));
+        assert!(!Arc::ptr_eq(&c1, &c2));
+        assert_eq!(ctx.stats().sat.entries, 2);
+    }
+
+    #[test]
+    fn ops_agree_with_uncached_procedures() {
+        let ctx = EngineContext::new();
+        let m = copy_mapping();
+        let budget = 1_000_000;
+        let via_ctx = ctx.consistent(&m, budget).unwrap();
+        let fresh = crate::consistency::consistent(&m, budget).unwrap();
+        assert_eq!(via_ctx.is_consistent(), fresh.is_consistent());
+        // Second call is answered entirely from shared caches.
+        let again = ctx.consistent(&m, budget).unwrap();
+        assert_eq!(again.is_consistent(), fresh.is_consistent());
+        assert!(ctx.stats().sat.hits >= 2);
+    }
+
+    #[test]
+    fn chase_and_automata_families_are_tracked_separately() {
+        let ctx = EngineContext::new();
+        let m = copy_mapping();
+        let src = xmlmap_trees::xml::parse(r#"<r><a v="1"/></r>"#).unwrap();
+        let sol = ctx.canonical_solution(&m, &src).unwrap();
+        assert!(sol.size() > 1);
+        let _ = ctx
+            .subschema(&m.source_dtd, &m.source_dtd, 1_000_000)
+            .unwrap();
+        let stats = ctx.stats();
+        assert_eq!(stats.chase.misses, 1);
+        assert_eq!(stats.automata.misses, 1);
+        assert_eq!(stats.sat.misses, 0);
+    }
+}

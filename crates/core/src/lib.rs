@@ -9,17 +9,20 @@
 //! functions).
 
 pub mod abscons;
+pub mod batch;
 pub mod bounded;
 pub mod chase;
 pub mod compose;
 pub mod cond;
 pub mod consistency;
+pub mod engine;
 pub mod exchange;
 pub mod signature;
 pub mod skolem;
 pub mod stds;
 
 pub use abscons::{abscons_nr_ptime, abscons_structural, abscons_structural_cached, AbsConsAnswer};
+pub use batch::{parse_jobfile, render_batch, run_batch, run_job, BatchJob, JobKind, JobResult};
 pub use bounded::{
     abscons_violation_bounded, consistent_bounded, solution_exists, solution_exists_cached,
     tree_shapes, BoundedOutcome, ShapeCache,
@@ -31,6 +34,7 @@ pub use consistency::{
     composition_chain_consistent, composition_consistent, composition_consistent_cached,
     consistent, consistent_cached, consistent_nr_ptime, minimal_nr_tree, ConsAnswer, ConsError,
 };
+pub use engine::{CacheCounters, EngineContext, EngineStats};
 pub use exchange::{
     certain_answers, certain_answers_cached, nest_solution, reduce_solution, reduced_solution,
     reduced_solution_cached, CertainAnswersError,

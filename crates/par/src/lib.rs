@@ -32,7 +32,24 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let workers = worker_count().min(items.len());
+    par_map_workers(items, worker_count(), f)
+}
+
+/// [`par_map`] with an explicit worker count.
+///
+/// Unlike [`par_map`], this spawns exactly `workers` threads (capped at the
+/// item count) even on a single-CPU host — callers like the batch driver
+/// use the thread count as an interleaving/correctness knob, not only a
+/// throughput knob, so it must not silently collapse to the available
+/// parallelism. `workers <= 1` runs inline on the calling thread. Output
+/// order is the input order regardless of the worker count.
+pub fn par_map_workers<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers.min(items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -124,6 +141,15 @@ mod tests {
     fn empty_and_single() {
         assert_eq!(par_map(&[] as &[u8], |&x| x), Vec::<u8>::new());
         assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree() {
+        let items: Vec<u64> = (0..500).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for workers in [0, 1, 2, 8, 1000] {
+            assert_eq!(par_map_workers(&items, workers, |&x| x * 3), expected);
+        }
     }
 
     #[test]

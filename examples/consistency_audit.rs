@@ -9,7 +9,7 @@
 //! Run with: `cargo run --example consistency_audit`
 
 use xmlmap::core::bounded::{self, BoundedOutcome};
-use xmlmap::core::{abscons_nr_ptime, abscons_structural, consistent, consistent_nr_ptime};
+use xmlmap::core::{abscons_nr_ptime, consistent_nr_ptime};
 use xmlmap::prelude::*;
 
 const BUDGET: usize = 1_000_000;
@@ -88,6 +88,9 @@ fn suite() -> Vec<Case> {
 }
 
 fn main() {
+    // Several cases share schemas; one context compiles each SatCache once
+    // and serves both the CONS and ABSCONS columns (and the witness pass).
+    let ctx = EngineContext::new();
     println!(
         "{:<24} {:<14} {:>13} {:>13}  note",
         "mapping", "class", "CONS", "ABSCONS"
@@ -98,7 +101,7 @@ fn main() {
         let sig = m.signature().to_string();
 
         // Consistency: exact procedure where applicable, bounded otherwise.
-        let cons = match consistent(m, BUDGET) {
+        let cons = match ctx.consistent(m, BUDGET) {
             Ok(ans) => {
                 // Cross-check the PTIME fragment where it applies.
                 if let Some(fast) = consistent_nr_ptime(m) {
@@ -115,7 +118,7 @@ fn main() {
         // Absolute consistency: PTIME fragment → SM° structural → bounded.
         let abscons = if let Some(ans) = abscons_nr_ptime(m) {
             if ans.holds() { "yes" } else { "NO" }.to_string()
-        } else if let Ok(Ok(ans)) = abscons_structural(m, BUDGET) {
+        } else if let Ok(Ok(ans)) = ctx.abscons_structural(m, BUDGET) {
             if ans.holds() { "yes" } else { "NO" }.to_string()
         } else {
             match bounded::abscons_violation_bounded(m, 3, 4) {
@@ -132,7 +135,8 @@ fn main() {
 
     println!("\nWitness documents for the consistent cases:");
     for case in suite() {
-        if let Ok(ConsAnswer::Consistent { source, target }) = consistent(&case.mapping, BUDGET) {
+        if let Ok(ConsAnswer::Consistent { source, target }) = ctx.consistent(&case.mapping, BUDGET)
+        {
             assert!(case.mapping.is_solution(&source, &target));
             println!(
                 "  {:<24} source {} nodes, solution {} nodes (verified)",

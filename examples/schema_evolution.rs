@@ -91,19 +91,18 @@ fn main() {
         "hr" [ "person"("pid" = "i1", "pname" = "ada") ]
     };
 
-    let shapes = xmlmap::core::ShapeCache::new(&m12.target_dtd);
-    let chase = xmlmap::core::ChaseCache::new(&m12);
+    // One engine context carries every compiled cache (middle-schema
+    // shapes, the m12 chase plan) across the probes.
+    let ctx = EngineContext::new();
     for (name, t3) in [("good", &good), ("bad", &bad)] {
-        let semantic =
-            xmlmap::core::composition_member_cached(&m12, &m23, &source, t3, 8, &shapes, &chase)
-                .is_some();
+        let semantic = ctx.composition_member(&m12, &m23, &source, t3, 8).is_some();
         let syntactic = s13.is_solution(&source, t3);
         println!("\n{name}: semantic composition = {semantic}, composed mapping = {syntactic}");
         assert_eq!(semantic, syntactic, "Thm 8.2: ⟦M13⟧ = ⟦M12⟧ ∘ ⟦M23⟧");
     }
 
     // ── Composition consistency (Thm 7.1) ──────────────────────────────
-    let ok = composition_consistent(&m12, &m23, 1_000_000).unwrap();
+    let ok = ctx.composition_consistent(&m12, &m23, 1_000_000).unwrap();
     println!("\nComposition consistent? {ok}");
     assert!(ok);
     println!("Theorem 8.2 verified on this instance: composed mapping ≡ composition.");

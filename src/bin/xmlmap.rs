@@ -10,13 +10,23 @@
 //! xmlmap abscons   <mapping-file>                ABSCONS(σ)
 //! xmlmap compose   <mapping-file> <mapping-file> syntactic composition
 //! xmlmap subschema <dtd-file> <dtd-file>         every D1 doc conforms to D2?
+//! xmlmap batch     <jobfile> [--workers N] [--stats]
+//!                                                run a job list in parallel
 //! ```
 //!
 //! Mapping files use the `[source]`/`[target]`/`[stds]` format of
 //! `Mapping::parse`; exit status is 0 for "yes" answers, 1 for "no",
-//! 2 for usage or input errors.
+//! 2 for usage or input errors. For `batch` (jobfile syntax:
+//! `xmlmap::core::batch::parse_jobfile`), exit status is 0 when every job
+//! completed, 1 when some job failed, 2 for usage/jobfile errors; jobs run
+//! on `--workers` threads (default: the available parallelism) over one
+//! shared [`EngineContext`], and `--stats` prints the per-cache
+//! hit/miss/compile-time counters to stderr.
+//!
+//! [`EngineContext`]: xmlmap::core::EngineContext
 
 use std::process::ExitCode;
+use xmlmap::core::EngineContext;
 use xmlmap::prelude::*;
 
 const BUDGET: usize = 50_000_000;
@@ -33,10 +43,60 @@ fn load_mapping(path: &str) -> Result<Mapping, String> {
     Mapping::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Runs a jobfile over a shared [`EngineContext`] on `--workers` threads.
+fn run_batch_command(ctx: &EngineContext, args: &[&str]) -> Result<bool, String> {
+    let mut jobfile: Option<&str> = None;
+    let mut workers = xmlmap::core::batch::default_workers();
+    let mut stats = false;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--workers" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| "--workers needs a number".to_string())?;
+                workers = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--workers: `{n}` is not a number"))?;
+            }
+            "--stats" => stats = true,
+            _ if jobfile.is_none() => jobfile = Some(arg),
+            _ => return Err(format!("batch: unexpected argument `{arg}`")),
+        }
+    }
+    let jobfile = jobfile
+        .ok_or_else(|| "usage: xmlmap batch <jobfile> [--workers N] [--stats]".to_string())?;
+    let text = read(jobfile)?;
+    let dir = std::path::Path::new(jobfile)
+        .parent()
+        .map(|p| p.to_path_buf())
+        .unwrap_or_default();
+    let jobs = xmlmap::core::parse_jobfile(&text, &dir).map_err(|errors| {
+        let mut msg = format!("{jobfile}: {} malformed job(s)", errors.len());
+        for e in &errors {
+            msg.push_str(&format!("\n  {e}"));
+        }
+        msg
+    })?;
+    let results = xmlmap::core::run_batch(ctx, &jobs, workers);
+    print!("{}", xmlmap::core::render_batch(&jobs, &results));
+    if stats {
+        eprintln!("-- engine cache stats ({workers} workers)");
+        eprintln!("{}", ctx.stats());
+    }
+    Ok(results
+        .iter()
+        .all(|r| !matches!(r, xmlmap::core::JobResult::Failed { .. })))
+}
+
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    // One shared context for the whole invocation: single queries get the
+    // compile-once caches too, and `batch` fans out over it.
+    let ctx = EngineContext::new();
     match strs.as_slice() {
+        ["batch", rest @ ..] => run_batch_command(&ctx, rest),
         ["validate", dtd_path, xml_path] => {
             let dtd = xmlmap::dtd::parse(&read(dtd_path)?).map_err(|e| e.to_string())?;
             let mut tree = load_tree(xml_path)?;
@@ -77,7 +137,7 @@ fn run() -> Result<bool, String> {
             let m = load_mapping(mapping_path)?;
             let mut src = load_tree(src_path)?;
             let _ = m.source_dtd.normalize_attrs(&mut src);
-            match canonical_solution(&m, &src) {
+            match ctx.canonical_solution(&m, &src) {
                 Ok(solution) => {
                     let reduced = xmlmap::core::reduce_solution(&m, &solution);
                     print!("{}", xmlmap::trees::xml::to_string(&reduced));
@@ -94,8 +154,9 @@ fn run() -> Result<bool, String> {
             let mut src = load_tree(src_path)?;
             let _ = m.source_dtd.normalize_attrs(&mut src);
             let query = xmlmap::patterns::parse(query_text).map_err(|e| e.to_string())?;
-            let answers =
-                xmlmap::core::certain_answers(&m, &src, &query).map_err(|e| e.to_string())?;
+            let answers = ctx
+                .certain_answers(&m, &src, &query)
+                .map_err(|e| e.to_string())?;
             for a in &answers {
                 let row: Vec<String> = a.iter().map(|(k, v)| format!("{k}={v}")).collect();
                 println!("{}", row.join(", "));
@@ -106,7 +167,7 @@ fn run() -> Result<bool, String> {
         ["consistent", mapping_path] => {
             let m = load_mapping(mapping_path)?;
             println!("class: {}", m.signature());
-            match consistent(&m, BUDGET) {
+            match ctx.consistent(&m, BUDGET) {
                 Ok(ConsAnswer::Consistent { source, .. }) => {
                     println!("consistent (witness source has {} nodes)", source.size());
                     Ok(true)
@@ -144,7 +205,7 @@ fn run() -> Result<bool, String> {
                         Ok(false)
                     }
                 }
-            } else if let Ok(Ok(ans)) = abscons_structural(&m, BUDGET) {
+            } else if let Ok(Ok(ans)) = ctx.abscons_structural(&m, BUDGET) {
                 match ans {
                     AbsConsAnswer::AbsolutelyConsistent => {
                         println!("absolutely consistent (SM° structural, Prop 6.1)");
@@ -174,8 +235,7 @@ fn run() -> Result<bool, String> {
         ["subschema", d1_path, d2_path] => {
             let d1 = xmlmap::dtd::parse(&read(d1_path)?).map_err(|e| e.to_string())?;
             let d2 = xmlmap::dtd::parse(&read(d2_path)?).map_err(|e| e.to_string())?;
-            let cache = xmlmap::automata::AutomataCache::new(&d1, &d2);
-            match cache.subschema(BUDGET).map_err(|e| e.to_string())? {
+            match ctx.subschema(&d1, &d2, BUDGET).map_err(|e| e.to_string())? {
                 None => {
                     println!("subschema: every {d1_path} document conforms to {d2_path}");
                     Ok(true)
@@ -209,7 +269,7 @@ fn run() -> Result<bool, String> {
             }
             Ok(true)
         }
-        _ => Err("usage: xmlmap <validate|match|check|chase|certain|consistent|abscons|compose|subschema> …\n\
+        _ => Err("usage: xmlmap <validate|match|check|chase|certain|consistent|abscons|compose|subschema|batch> …\n\
                   see `xmlmap` module docs for argument lists"
             .to_string()),
     }

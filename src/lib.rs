@@ -54,8 +54,9 @@ pub use xmlmap_trees as trees;
 pub mod prelude {
     pub use xmlmap_core::{
         abscons_nr_ptime, abscons_structural, canonical_solution, compose, composition_consistent,
-        composition_member, consistent, consistent_nr_ptime, AbsConsAnswer, CompOp, Comparison,
-        ConsAnswer, Mapping, SkolemMapping, Std,
+        composition_member, consistent, consistent_nr_ptime, run_batch, AbsConsAnswer, BatchJob,
+        CompOp, Comparison, ConsAnswer, EngineContext, JobKind, JobResult, Mapping, SkolemMapping,
+        Std,
     };
     pub use xmlmap_dtd::Dtd;
     pub use xmlmap_patterns::{Pattern, Valuation};

@@ -1,0 +1,228 @@
+//! Cache-coherence differential tests.
+//!
+//! For each compiled-engine cache ([`SatCache`], [`ChaseCache`],
+//! [`AutomataCache`]) two invariants keep the shared [`EngineContext`]
+//! honest:
+//!
+//! 1. **hit = fresh** — a memoized answer equals a fresh uncached compute
+//!    (isomorphic modulo null renaming for chase outputs, which invent
+//!    nulls);
+//! 2. **budget errors are never cached** — a budget-exceeded verdict is
+//!    recomputed on retry, so a bigger budget can succeed, while
+//!    *successful* verdicts are budget-independent and may be answered
+//!    from the memo whatever budget the later caller passes.
+
+use std::sync::Arc;
+use xmlmap::automata::AutomataCache;
+use xmlmap::core::{canonical_solution, canonical_solution_cached, ChaseCache, EngineContext};
+use xmlmap::gen::hard;
+use xmlmap::patterns::SatCache;
+use xmlmap::prelude::*;
+use xmlmap::trees::tree::isomorphic_mod_nulls;
+
+const BUDGET: usize = 10_000_000;
+
+// ---- SatCache -----------------------------------------------------------
+
+#[test]
+fn sat_cache_hit_equals_fresh_compute() {
+    let (d, p) = hard::sat_hard(6);
+    let cache = SatCache::new(&d);
+    let first = cache.satisfiable(&p, BUDGET).unwrap();
+    let memoized = cache.satisfiable(&p, BUDGET).unwrap();
+    let fresh = SatCache::new(&d).satisfiable(&p, BUDGET).unwrap();
+    assert!(first.is_some(), "sat_hard patterns are satisfiable");
+    assert_eq!(first, memoized, "memo hit must equal the first compute");
+    assert_eq!(first, fresh, "memo hit must equal a fresh uncached compute");
+
+    // The second lookup really was a memo hit: the match-set table hands
+    // back the same Arc, not a recomputed copy.
+    let a1 = cache.achievable_match_sets(&[&p], BUDGET).unwrap();
+    let a2 = cache.achievable_match_sets(&[&p], BUDGET).unwrap();
+    assert!(Arc::ptr_eq(&a1, &a2));
+}
+
+#[test]
+fn sat_budget_errors_are_never_cached() {
+    let (d, p) = hard::sat_hard(6);
+    let cache = SatCache::new(&d);
+
+    let err = cache.satisfiable(&p, 1).unwrap_err();
+    assert_eq!(err.budget, 1);
+    assert!(err.states_explored >= 1);
+
+    // The failure was not memoized: an adequate budget recomputes and
+    // succeeds on the very same cache.
+    let ok = cache.satisfiable(&p, BUDGET).unwrap();
+    assert!(ok.is_some());
+
+    // Once a *successful* verdict is resident it is budget-independent:
+    // even a 1-state budget is answered from the memo.
+    let from_memo = cache.satisfiable(&p, 1).unwrap();
+    assert_eq!(from_memo, ok);
+}
+
+// ---- ChaseCache ---------------------------------------------------------
+
+/// A mapping whose chase invents a null per firing (`y` is unbound on the
+/// source side), so output comparison must be modulo null renaming.
+fn null_inventing_mapping() -> Mapping {
+    Mapping::parse(
+        "[source]\nroot r\nr -> a*\na @ v\n\
+         [target]\nroot r\nr -> b*\nb @ w\n\
+         [stds]\nr/a(x) --> r[b(x), b(y)]\n",
+    )
+    .unwrap()
+}
+
+#[test]
+fn chase_cache_repeat_is_isomorphic_to_fresh_compute() {
+    let m = null_inventing_mapping();
+    let src = xmlmap::trees::xml::parse(r#"<r><a v="1"/><a v="2"/></r>"#).unwrap();
+    let cache = ChaseCache::new(&m);
+
+    let first = canonical_solution_cached(&m, &src, &cache).unwrap();
+    let repeat = canonical_solution_cached(&m, &src, &cache).unwrap();
+    let fresh = canonical_solution(&m, &src).unwrap();
+    assert!(isomorphic_mod_nulls(&first, &repeat));
+    assert!(isomorphic_mod_nulls(&first, &fresh));
+    assert!(m.is_solution(&src, &first));
+}
+
+#[test]
+fn chase_cache_has_no_verdict_memo_to_poison() {
+    // Audit: `ChaseCache` holds *compiled plans only* — it takes no budget
+    // parameter and memoizes no verdicts, so there is no budget-exceeded
+    // verdict it could ever cache. What must still hold: chase *errors*
+    // recompute identically through the shared plan.
+    let narrow = Mapping::parse(
+        "[source]\nroot r\nr -> a*\na @ v\n\
+         [target]\nroot r\nr -> a\na @ v\n\
+         [stds]\nr/a(x) --> r/a(x)\n",
+    )
+    .unwrap();
+    // Two distinct source values cannot fit a target that allows one `a`.
+    let src = xmlmap::trees::xml::parse(r#"<r><a v="1"/><a v="2"/></r>"#).unwrap();
+    let cache = ChaseCache::new(&narrow);
+
+    let e1 = canonical_solution_cached(&narrow, &src, &cache).unwrap_err();
+    let e2 = canonical_solution_cached(&narrow, &src, &cache).unwrap_err();
+    let fresh = canonical_solution(&narrow, &src).unwrap_err();
+    assert_eq!(e1.to_string(), e2.to_string());
+    assert_eq!(e1.to_string(), fresh.to_string());
+
+    // The failed chases leave the plan fully usable for sources that do
+    // have solutions.
+    let good = xmlmap::trees::xml::parse(r#"<r><a v="1"/></r>"#).unwrap();
+    let sol = canonical_solution_cached(&narrow, &good, &cache).unwrap();
+    assert!(narrow.is_solution(&good, &sol));
+}
+
+// ---- AutomataCache ------------------------------------------------------
+
+#[test]
+fn automata_cache_verdicts_equal_fresh_compute() {
+    // A pair that is *not* a subschema: r -> (a|b)* admits documents the
+    // (a0|…|a3)+ schema rejects.
+    let d1 = hard::cons_nextsib(3).source_dtd;
+    let d2 = hard::cons_exptime(4).source_dtd;
+    let cache = AutomataCache::new(&d1, &d2);
+
+    let first = cache.subschema(BUDGET).unwrap();
+    let memoized = cache.subschema(BUDGET).unwrap();
+    let fresh = AutomataCache::new(&d1, &d2).subschema(BUDGET).unwrap();
+    assert!(first.is_some(), "(a|b)* is not a subschema of (a0|…|a3)+");
+    assert_eq!(format!("{first:?}"), format!("{memoized:?}"));
+    assert_eq!(format!("{first:?}"), format!("{fresh:?}"));
+
+    let i_first = cache.inclusion(BUDGET).unwrap();
+    let i_memo = cache.inclusion(BUDGET).unwrap();
+    let i_fresh = AutomataCache::new(&d1, &d2).inclusion(BUDGET).unwrap();
+    assert_eq!(i_first, i_memo);
+    assert_eq!(i_first, i_fresh);
+
+    // And a pair where the verdict is positive, for the other branch.
+    let refl = AutomataCache::new(&d2, &d2);
+    assert!(refl.subschema(BUDGET).unwrap().is_none());
+    assert!(refl.subschema(BUDGET).unwrap().is_none());
+    assert!(AutomataCache::new(&d2, &d2)
+        .subschema(BUDGET)
+        .unwrap()
+        .is_none());
+}
+
+#[test]
+fn automata_budget_errors_are_never_cached() {
+    let d1 = hard::cons_nextsib(3).source_dtd;
+    let d2 = hard::cons_exptime(4).source_dtd;
+
+    let cache = AutomataCache::new(&d1, &d2);
+    let err = cache.subschema(1).unwrap_err();
+    assert_eq!(err.budget, 1);
+    assert_eq!(err.operation, "subschema check");
+
+    // Retry with an adequate budget recomputes and completes…
+    let verdict = cache.subschema(BUDGET).unwrap();
+    assert!(verdict.is_some());
+    // …and the resident verdict is budget-independent from then on.
+    let from_memo = cache.subschema(1).unwrap();
+    assert_eq!(format!("{verdict:?}"), format!("{from_memo:?}"));
+
+    // Same discipline on the inclusion memo.
+    let cache = AutomataCache::new(&d1, &d2);
+    let err = cache.inclusion(1).unwrap_err();
+    assert_eq!(err.budget, 1);
+    assert_eq!(err.operation, "inclusion check");
+    let verdict = cache.inclusion(BUDGET).unwrap();
+    assert_eq!(cache.inclusion(1).unwrap(), verdict);
+}
+
+// ---- EngineContext ------------------------------------------------------
+
+#[test]
+fn engine_context_budget_retry_recomputes() {
+    let ctx = EngineContext::new();
+    let ce = hard::cons_exptime(6);
+
+    // Consistency: a starved probe fails with a budget error…
+    let err = ctx.consistent(&ce, 2).unwrap_err();
+    assert!(err.to_string().contains("budget"), "{err}");
+    // …and the retry on the same context succeeds, proving the error was
+    // not memoized anywhere behind the shared SatCaches.
+    assert!(!ctx.consistent(&ce, BUDGET).unwrap().is_consistent());
+
+    // Subschema: same discipline through the shared AutomataCache, and the
+    // failed probe must not have cost a second compilation.
+    let cn = hard::cons_nextsib(3);
+    let err = ctx
+        .subschema(&cn.source_dtd, &ce.source_dtd, 1)
+        .unwrap_err();
+    assert_eq!(err.budget, 1);
+    assert!(ctx
+        .subschema(&cn.source_dtd, &ce.source_dtd, BUDGET)
+        .unwrap()
+        .is_some());
+    assert_eq!(ctx.stats().automata.misses, 1);
+    assert_eq!(ctx.stats().automata.entries, 1);
+}
+
+#[test]
+fn engine_context_abscons_agrees_with_uncached_procedure() {
+    let ctx = EngineContext::new();
+    // Value-free (SM°), so the structural procedure applies; every source
+    // document fires an std with an unsatisfiable target side, so the
+    // verdict is Violated.
+    let narrow = hard::cons_exptime(3);
+    let via_ctx = ctx.abscons_structural(&narrow, BUDGET);
+    let fresh = xmlmap::core::abscons_structural(&narrow, BUDGET);
+    match (via_ctx, fresh) {
+        (Ok(Ok(a)), Ok(Ok(b))) => assert_eq!(a.holds(), b.holds()),
+        (a, b) => panic!("context and fresh disagree: {a:?} vs {b:?}"),
+    }
+    // Repeat from the warm caches: same verdict, strictly more hits.
+    let hits_before = ctx.stats().sat.hits;
+    let again = ctx.abscons_structural(&narrow, BUDGET).unwrap().unwrap();
+    assert!(!again.holds());
+    assert!(ctx.stats().sat.hits > hits_before);
+    assert_eq!(ctx.stats().sat.misses, ctx.stats().sat.entries);
+}

@@ -182,6 +182,155 @@ m/b(x) --> w/c(x)
     assert!(stdout.contains("-->"), "{stdout}");
 }
 
+/// Writes the standard batch fixture set and returns the jobfile path.
+fn batch_fixture(fx: &Fixture) -> String {
+    fx.file("copy.map", COPY_MAP);
+    fx.file("src.xml", r#"<r><a v="1"/><a v="2"/></r>"#);
+    fx.file("tgt.xml", r#"<r><b w="1"/><b w="2"/></r>"#);
+    fx.file("d.dtd", "root r\nr -> a*\na @ v");
+    fx.file(
+        "jobs.txt",
+        "# batch fixture\n\
+         member copy.map src.xml tgt.xml\n\
+         consistent copy.map\n\
+         abscons copy.map\n\
+         subschema d.dtd d.dtd\n",
+    )
+}
+
+#[test]
+fn batch_runs_a_jobfile() {
+    let fx = Fixture::new("batch");
+    let jobs = batch_fixture(&fx);
+
+    let (code, stdout, stderr) = xmlmap(&["batch", &jobs, "--stats"]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stdout.contains("[1] member copy.map src.xml tgt.xml: solution"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("[4] subschema d.dtd d.dtd: subschema holds"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.ends_with("-- 4 job(s): 4 yes, 0 no, 0 failed\n"),
+        "{stdout}"
+    );
+    // --stats goes to stderr, never into the deterministic stdout.
+    assert!(stderr.contains("engine cache stats"), "{stderr}");
+    assert!(stderr.contains("misses"), "{stderr}");
+    assert!(!stdout.contains("engine cache stats"));
+}
+
+#[test]
+fn batch_worker_counts_produce_identical_stdout() {
+    let fx = Fixture::new("batch-workers");
+    let jobs = batch_fixture(&fx);
+
+    let (code_default, out_default, _) = xmlmap(&["batch", &jobs]);
+    let (code_1, out_1, _) = xmlmap(&["batch", &jobs, "--workers", "1"]);
+    let (code_4, out_4, _) = xmlmap(&["batch", &jobs, "--workers", "4"]);
+    assert_eq!((code_default, code_1, code_4), (0, 0, 0));
+    assert_eq!(
+        out_1, out_default,
+        "--workers 1 must match the default worker count"
+    );
+    assert_eq!(
+        out_4, out_default,
+        "--workers 4 must match the default worker count"
+    );
+}
+
+#[test]
+fn batch_malformed_jobfile_exits_2_with_per_line_errors() {
+    let fx = Fixture::new("batch-malformed");
+    fx.file("copy.map", COPY_MAP);
+    let jobs = fx.file(
+        "jobs.txt",
+        "consistent copy.map\n\
+         frobnicate copy.map\n\
+         consistent missing.map\n\
+         subschema lonely.dtd\n",
+    );
+
+    let (code, stdout, stderr) = xmlmap(&["batch", &jobs]);
+    assert_eq!(
+        code, 2,
+        "malformed jobfiles are usage errors\nstderr: {stderr}"
+    );
+    assert_eq!(stdout, "", "no job may run when the jobfile is malformed");
+    assert!(stderr.contains("3 malformed job(s)"), "{stderr}");
+    assert!(
+        stderr.contains("line 2") && stderr.contains("unknown operation"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("line 3") && stderr.contains("cannot read"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("line 4") && stderr.contains("wrong number of arguments"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn batch_failed_job_exits_1_and_spares_the_rest() {
+    let fx = Fixture::new("batch-failed");
+    fx.file("copy.map", COPY_MAP);
+    // Data comparisons make CONS undecidable (Thm 5.4): a clean,
+    // deterministic per-job failure independent of any budget.
+    fx.file(
+        "cmp.map",
+        "
+[source]
+root r
+r -> a*
+a @ v
+[target]
+root r
+r -> b*
+b @ w
+[stds]
+r[a(x), a(y)] ; x != y --> r/b(x)
+",
+    );
+    let jobs = fx.file(
+        "jobs.txt",
+        "consistent copy.map\n\
+         consistent cmp.map\n\
+         abscons copy.map\n",
+    );
+
+    let (code, stdout, _) = xmlmap(&["batch", &jobs]);
+    assert_eq!(
+        code, 1,
+        "a failed job must surface in the exit status\n{stdout}"
+    );
+    assert!(
+        stdout.contains("[2] consistent cmp.map: error:"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.ends_with("-- 3 job(s): 2 yes, 0 no, 1 failed\n"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn batch_usage_errors() {
+    let (code, _, stderr) = xmlmap(&["batch"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let fx = Fixture::new("batch-usage");
+    let jobs = batch_fixture(&fx);
+    let (code, _, stderr) = xmlmap(&["batch", &jobs, "--workers", "lots"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("not a number"), "{stderr}");
+}
+
 #[test]
 fn usage_errors() {
     let (code, _, stderr) = xmlmap(&["bogus"]);

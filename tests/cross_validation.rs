@@ -14,6 +14,14 @@ use xmlmap::core::bounded::{self, BoundedOutcome};
 use xmlmap::gen::{MappingGenConfig, TreeGenConfig};
 use xmlmap::prelude::*;
 
+/// One shared engine context for the whole differential binary — the
+/// production session pattern: every proptest case (and every test thread)
+/// fetches compiled caches from here instead of hoisting its own per case.
+fn ctx() -> &'static EngineContext {
+    static CTX: std::sync::OnceLock<EngineContext> = std::sync::OnceLock::new();
+    CTX.get_or_init(EngineContext::new)
+}
+
 /// Keeps the brute-force search space manageable: the mapping's DTDs must
 /// generate few small shapes and few attribute slots.
 fn small_enough(m: &Mapping, max_nodes: usize) -> bool {
@@ -175,11 +183,7 @@ proptest! {
                 &mut rng,
             )
         };
-        let shapes = xmlmap::core::ShapeCache::new(&m12.target_dtd);
-        let chase = xmlmap::core::ChaseCache::new(&m12);
-        let semantic =
-            xmlmap::core::composition_member_cached(&m12, &m23, &t1, &t3, 7, &shapes, &chase)
-                .is_some();
+        let semantic = ctx().composition_member(&m12, &m23, &t1, &t3, 7).is_some();
         let syntactic = s13.is_solution(&t1, &t3);
         prop_assert_eq!(
             semantic, syntactic,
@@ -257,7 +261,7 @@ proptest! {
         let d2 = xmlmap::gen::random_nr_dtd(1, 2, 0.0, &mut rng);
         // The product rides the per-schema-pair cache, as in production
         // callers; a repeated call must hand back the memoized construction.
-        let cache = xmlmap::automata::AutomataCache::new(&d1, &d2);
+        let cache = ctx().automata_cache(&d1, &d2);
         let product = cache.product();
         prop_assert_eq!(cache.product().num_states, product.num_states);
         match product.witness() {
@@ -378,8 +382,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let d1 = xmlmap::gen::random_nr_dtd(2, 2, 0.0, &mut rng);
         let d2 = xmlmap::gen::random_nr_dtd(2, 2, 0.0, &mut rng);
-        let cache = xmlmap::automata::AutomataCache::new(&d1, &d2);
-        match cache.subschema(2_000_000) {
+        match ctx().subschema(&d1, &d2, 2_000_000) {
             Err(_) => {} // budget: skip
             Ok(None) => {
                 for _ in 0..8 {

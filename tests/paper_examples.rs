@@ -274,11 +274,9 @@ fn sec8_first_example_composition_needs_disjunction() {
     let c3 = tree!("r"["c3"]);
     let c12 = tree!("r" [ "c1", "c2" ]);
 
-    // Exactly the c1-or-c2 disjunction (one cache pair for all probes):
-    let shapes = xmlmap::core::ShapeCache::new(&m12.target_dtd);
-    let chase = xmlmap::core::ChaseCache::new(&m12);
-    let member =
-        |t3: &Tree| xmlmap::core::composition_member_cached(&m12, &m23, &r, t3, 4, &shapes, &chase);
+    // Exactly the c1-or-c2 disjunction (one shared context for all probes):
+    let ctx = EngineContext::new();
+    let member = |t3: &Tree| ctx.composition_member(&m12, &m23, &r, t3, 4);
     assert!(member(&c1).is_some());
     assert!(member(&c2).is_some());
     assert!(member(&c12).is_some());
@@ -316,11 +314,8 @@ fn sec8_second_example_value_counting() {
     let three = tree!("r" [ "a"("v" = "1"), "a"("v" = "2"), "a"("v" = "3") ]);
     let two_dup = tree!("r" [ "a"("v" = "1"), "a"("v" = "2"), "a"("v" = "1") ]);
 
-    let shapes = xmlmap::core::ShapeCache::new(&m12.target_dtd);
-    let chase = xmlmap::core::ChaseCache::new(&m12);
-    let member = |t1: &Tree| {
-        xmlmap::core::composition_member_cached(&m12, &m23, t1, &target, 3, &shapes, &chase)
-    };
+    let ctx = EngineContext::new();
+    let member = |t1: &Tree| ctx.composition_member(&m12, &m23, t1, &target, 3);
     assert!(member(&one).is_some());
     assert!(member(&two).is_some());
     assert!(member(&two_dup).is_some());
