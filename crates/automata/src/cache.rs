@@ -11,8 +11,17 @@ use crate::compiled::{self, CompiledAutomaton};
 use crate::hedge::HedgeAutomaton;
 use crate::inclusion::{subschema_of_automata, InclusionBudgetExceeded, SubschemaViolation};
 use std::sync::Mutex;
+use xmlmap_codec::{CodecError, Decoder, Encoder};
 use xmlmap_dtd::Dtd;
 use xmlmap_trees::{Name, Tree};
+
+fn hedge_bytes(h: &HedgeAutomaton) -> u64 {
+    h.accepting.capacity() as u64
+        + h.rules
+            .iter()
+            .map(|r| r.label.as_str().len() as u64 + r.horizontal.approx_bytes() + 64)
+            .sum::<u64>()
+}
 
 /// Compiled automata for one ordered schema pair, plus memoized verdicts.
 ///
@@ -92,6 +101,80 @@ impl AutomataCache {
         let p = self.ha.product(&self.hb);
         *memo = Some(p.clone());
         p
+    }
+
+    /// Serializes the compiled pair for an on-disk artifact store.
+    ///
+    /// The schema texts and all four automata (sparse and determinized) are
+    /// written; memoized verdicts are deliberately *not* — they are cheap to
+    /// re-derive from the compiled tables and would bloat every artifact
+    /// with witness trees.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.str(&self.d1.to_string());
+        e.str(&self.d2.to_string());
+        compiled::encode_hedge(&self.ha, &mut e);
+        compiled::encode_hedge(&self.hb, &mut e);
+        self.a.encode(&mut e);
+        self.b.encode(&mut e);
+        e.finish()
+    }
+
+    /// Inverse of [`AutomataCache::to_bytes`]: reparses the (small) schema
+    /// texts, decodes the compiled tables verbatim, and starts with empty
+    /// verdict memos. Subset construction is never re-run.
+    pub fn from_bytes(bytes: &[u8]) -> Result<AutomataCache, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let t1 = d.str()?.to_owned();
+        let t2 = d.str()?.to_owned();
+        let d1 = xmlmap_dtd::parse(&t1).map_err(|_| CodecError::Malformed("stored DTD text"))?;
+        let d2 = xmlmap_dtd::parse(&t2).map_err(|_| CodecError::Malformed("stored DTD text"))?;
+        let ha = compiled::decode_hedge(&mut d)?;
+        let hb = compiled::decode_hedge(&mut d)?;
+        let a = CompiledAutomaton::decode(&mut d)?;
+        let b = CompiledAutomaton::decode(&mut d)?;
+        d.expect_end()?;
+        Ok(AutomataCache {
+            d1,
+            d2,
+            ha,
+            hb,
+            a,
+            b,
+            inclusion_memo: Mutex::new(None),
+            subschema_memo: Mutex::new(None),
+            product_memo: Mutex::new(None),
+        })
+    }
+
+    /// Approximate heap footprint in bytes: schemas, all four automata, and
+    /// whatever the verdict memos currently hold.
+    pub fn approx_bytes(&self) -> u64 {
+        let memo_bytes = {
+            let inc = match &*self.inclusion_memo.lock().unwrap() {
+                Some(Some(t)) => t.approx_bytes(),
+                _ => 0,
+            };
+            let sub = match &*self.subschema_memo.lock().unwrap() {
+                Some(Some(SubschemaViolation::Document(t))) => t.approx_bytes(),
+                Some(Some(SubschemaViolation::AttributeMismatch { label, .. })) => {
+                    label.as_str().len() as u64 + 64
+                }
+                _ => 0,
+            };
+            let prod = match &*self.product_memo.lock().unwrap() {
+                Some(p) => hedge_bytes(p),
+                None => 0,
+            };
+            inc + sub + prod
+        };
+        self.d1.to_string().len() as u64
+            + self.d2.to_string().len() as u64
+            + hedge_bytes(&self.ha)
+            + hedge_bytes(&self.hb)
+            + self.a.approx_bytes()
+            + self.b.approx_bytes()
+            + memo_bytes
     }
 
     /// Is every `D1` document also a `D2` document? (See

@@ -39,8 +39,133 @@ use crate::inclusion::InclusionBudgetExceeded;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use xmlmap_codec::{CodecError, Decoder, Encoder};
 use xmlmap_regex::{DenseDfa, Determinizer, FastHashMap, FastHashSet, Nfa};
 use xmlmap_trees::{Name, NodeId, Tree};
+
+/// Flat-table serialization of a [`DenseDfa`]; all fields are public in
+/// `xmlmap_regex`, so the codec lives here next to its only consumer.
+pub(crate) fn encode_dense_dfa(dfa: &DenseDfa, e: &mut Encoder) {
+    e.usize(dfa.num_symbols);
+    e.usize(dfa.num_states);
+    e.u32s(&dfa.delta);
+    e.bools(&dfa.accepting);
+    e.bools(&dfa.live);
+    e.u32s(&dfa.used_symbols);
+}
+
+pub(crate) fn decode_dense_dfa(d: &mut Decoder<'_>) -> Result<DenseDfa, CodecError> {
+    let num_symbols = d.usize()?;
+    let num_states = d.usize()?;
+    let delta = d.u32s()?;
+    let accepting = d.bools()?;
+    let live = d.bools()?;
+    let used_symbols = d.u32s()?;
+    if delta.len() != num_symbols * num_states
+        || accepting.len() != num_states
+        || live.len() != num_states
+        || delta.iter().any(|&t| t as usize >= num_states)
+        || used_symbols.iter().any(|&s| s as usize >= num_symbols)
+    {
+        return Err(CodecError::Malformed("DenseDfa tables"));
+    }
+    Ok(DenseDfa {
+        num_symbols,
+        num_states,
+        delta,
+        accepting,
+        live,
+        used_symbols,
+    })
+}
+
+/// Serialization of the sparse horizontal NFA kept on uncompiled
+/// [`HedgeAutomaton`] rules (symbols are vertical state ids).
+fn encode_nfa_usize(nfa: &Nfa<usize>, e: &mut Encoder) {
+    e.usize(nfa.num_states);
+    e.bools(&nfa.accepting);
+    for row in &nfa.transitions {
+        e.usize(row.len());
+        for &(sym, to) in row {
+            e.usize(sym);
+            e.usize(to);
+        }
+    }
+}
+
+fn decode_nfa_usize(d: &mut Decoder<'_>) -> Result<Nfa<usize>, CodecError> {
+    let num_states = d.usize()?;
+    let accepting = d.bools()?;
+    if accepting.len() != num_states || num_states > d.remaining() {
+        return Err(CodecError::Malformed("Nfa header"));
+    }
+    let transitions: Vec<Vec<(usize, usize)>> = (0..num_states)
+        .map(|_| {
+            let n = d.usize()?;
+            if n > d.remaining() {
+                return Err(CodecError::Truncated);
+            }
+            (0..n)
+                .map(|_| {
+                    let sym = d.usize()?;
+                    let to = d.usize()?;
+                    if to >= num_states {
+                        return Err(CodecError::Malformed("Nfa transition target"));
+                    }
+                    Ok((sym, to))
+                })
+                .collect()
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Nfa {
+        num_states,
+        accepting,
+        transitions,
+    })
+}
+
+pub(crate) fn encode_hedge(h: &HedgeAutomaton, e: &mut Encoder) {
+    e.usize(h.num_states);
+    e.usize(h.rules.len());
+    for r in &h.rules {
+        e.str(r.label.as_str());
+        e.usize(r.state);
+        encode_nfa_usize(&r.horizontal, e);
+    }
+    e.bools(&h.accepting);
+}
+
+pub(crate) fn decode_hedge(d: &mut Decoder<'_>) -> Result<HedgeAutomaton, CodecError> {
+    let num_states = d.usize()?;
+    let n_rules = d.usize()?;
+    if n_rules > d.remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let rules: Vec<Rule> = (0..n_rules)
+        .map(|_| {
+            let label = Name::new(d.str()?);
+            let state = d.usize()?;
+            if state >= num_states {
+                return Err(CodecError::Malformed("rule state out of range"));
+            }
+            let horizontal = decode_nfa_usize(d)?;
+            Ok(Rule {
+                label,
+                state,
+                horizontal,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let accepting = d.bools()?;
+    if accepting.len() != num_states {
+        return Err(CodecError::Malformed("accepting length"));
+    }
+    Ok(HedgeAutomaton {
+        num_states,
+        rules,
+        accepting,
+    })
+}
 
 /// Minimum machines in a round before the frontier fans out over threads.
 const PAR_MACHINE_GATE: usize = 4;
@@ -168,6 +293,100 @@ impl CompiledAutomaton {
             }
         }
         CompiledAutomaton::new(h, &alphabet)
+    }
+
+    /// Serializes every compiled table verbatim — the determinized
+    /// per-rule DFAs are the expensive part of [`CompiledAutomaton::new`]
+    /// and come back without re-running subset construction.
+    pub(crate) fn encode(&self, e: &mut Encoder) {
+        e.usize(self.num_states);
+        e.usize(self.state_words);
+        e.usize(self.labels.len());
+        for l in &self.labels {
+            e.str(l.as_str());
+        }
+        for rules in &self.rules {
+            e.usize(rules.len());
+            for r in rules {
+                e.u32(r.state);
+                encode_dense_dfa(&r.dfa, e);
+            }
+        }
+        e.bools(&self.accepting);
+        e.u64s(&self.accepting_mask);
+    }
+
+    /// Inverse of [`CompiledAutomaton::encode`]; the label-id map is
+    /// rebuilt from the label table.
+    pub(crate) fn decode(d: &mut Decoder<'_>) -> Result<CompiledAutomaton, CodecError> {
+        let num_states = d.usize()?;
+        let state_words = d.usize()?;
+        if state_words != num_states.div_ceil(64).max(1) {
+            return Err(CodecError::Malformed("CompiledAutomaton state words"));
+        }
+        let n_labels = d.usize()?;
+        if n_labels > d.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let labels: Vec<Name> = (0..n_labels)
+            .map(|_| Ok(Name::new(d.str()?)))
+            .collect::<Result<_, CodecError>>()?;
+        let label_id: HashMap<Name, u32> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), i as u32))
+            .collect();
+        let rules: Vec<Vec<CompiledRule>> = (0..n_labels)
+            .map(|_| {
+                let n = d.usize()?;
+                if n > d.remaining() {
+                    return Err(CodecError::Truncated);
+                }
+                (0..n)
+                    .map(|_| {
+                        let state = d.u32()?;
+                        if state as usize >= num_states {
+                            return Err(CodecError::Malformed("rule state out of range"));
+                        }
+                        Ok(CompiledRule {
+                            state,
+                            dfa: decode_dense_dfa(d)?,
+                        })
+                    })
+                    .collect()
+            })
+            .collect::<Result<_, _>>()?;
+        let accepting = d.bools()?;
+        let accepting_mask = d.u64s()?.into_boxed_slice();
+        if accepting.len() != num_states || accepting_mask.len() != state_words {
+            return Err(CodecError::Malformed("CompiledAutomaton acceptance"));
+        }
+        Ok(CompiledAutomaton {
+            num_states,
+            state_words,
+            labels,
+            label_id,
+            rules,
+            accepting,
+            accepting_mask,
+        })
+    }
+
+    /// Approximate heap footprint in bytes (label tables plus every
+    /// rule's determinized DFA).
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        self.labels
+            .iter()
+            .map(|l| 2 * l.as_str().len() as u64 + 40)
+            .sum::<u64>()
+            + self
+                .rules
+                .iter()
+                .flat_map(|rs| rs.iter())
+                .map(|r| r.dfa.approx_bytes() + 8)
+                .sum::<u64>()
+            + self.accepting.capacity() as u64
+            + self.accepting_mask.len() as u64 * 8
     }
 
     /// Does the automaton accept `tree`?

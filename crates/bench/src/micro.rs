@@ -420,6 +420,50 @@ pub fn run_suite() -> Vec<(&'static str, f64)> {
             .is_consistent());
     });
 
+    // Cold start with a warm artifact store: the restart workload the
+    // persistent store targets. One throwaway run populates the store;
+    // every measured iteration then builds a *fresh* context (cold memo
+    // caches) over the same directory, so all compiles become disk loads.
+    // Compare against `engine/batch200_shared_ctx`, whose fresh context
+    // must actually compile.
+    let disk_dir = std::env::temp_dir().join(format!("xmlmap-bench-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    {
+        let ctx = xmlmap_core::EngineContext::new()
+            .with_disk_cache(&disk_dir)
+            .expect("bench disk-cache dir");
+        no_failures(&xmlmap_core::run_batch(&ctx, &batch_jobs, 1));
+        ctx.flush_disk_cache();
+    }
+    bench("engine/batch200_disk_warm", &mut || {
+        let ctx = xmlmap_core::EngineContext::new()
+            .with_disk_cache(&disk_dir)
+            .expect("bench disk-cache dir");
+        no_failures(&xmlmap_core::run_batch(&ctx, &batch_jobs, 1));
+        assert_eq!(
+            ctx.stats().total_compiled(),
+            0,
+            "warm store compiles nothing"
+        );
+    });
+    let _ = std::fs::remove_dir_all(&disk_dir);
+
+    // Cache churn under a memory budget far below the working set: every
+    // artifact is repeatedly evicted and recompiled, yet accounted bytes
+    // stay bounded. This is the worst case for the bounded context — the
+    // row exists to keep the eviction machinery's overhead visible, not to
+    // be fast.
+    bench("engine/batch200_bounded_churn", &mut || {
+        let ctx = xmlmap_core::EngineContext::new().with_memory_budget(10_000);
+        no_failures(&xmlmap_core::run_batch(&ctx, &batch_jobs, 1));
+        let stats = ctx.stats();
+        assert!(stats.total_bytes() <= 10_000, "budget respected: {stats}");
+        assert!(
+            stats.sat.evictions + stats.automata.evictions > 0,
+            "churn row must actually evict: {stats}"
+        );
+    });
+
     out
 }
 

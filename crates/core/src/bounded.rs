@@ -21,9 +21,81 @@
 use crate::stds::Mapping;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
+use xmlmap_codec::{CodecError, Decoder, Encoder};
 use xmlmap_dtd::Dtd;
 use xmlmap_regex::Nfa;
 use xmlmap_trees::{Name, NodeId, Tree, Value};
+
+/// Preorder tree serialization over the public [`Tree`] API (node label,
+/// attribute list, child count, children).
+pub(crate) fn encode_tree(t: &Tree, e: &mut Encoder) {
+    fn node(t: &Tree, n: NodeId, e: &mut Encoder) {
+        e.str(t.label(n).as_str());
+        let attrs = t.attrs(n);
+        e.usize(attrs.len());
+        for (a, v) in attrs {
+            e.str(a.as_str());
+            match v {
+                Value::Str(s) => {
+                    e.u8(0);
+                    e.str(s);
+                }
+                Value::Int(i) => {
+                    e.u8(1);
+                    e.u64(*i as u64);
+                }
+                Value::Null(k) => {
+                    e.u8(2);
+                    e.u64(*k);
+                }
+            }
+        }
+        let kids = t.children(n);
+        e.usize(kids.len());
+        for &k in kids {
+            node(t, k, e);
+        }
+    }
+    node(t, Tree::ROOT, e);
+}
+
+pub(crate) fn decode_tree(d: &mut Decoder<'_>) -> Result<Tree, CodecError> {
+    fn attrs(d: &mut Decoder<'_>) -> Result<Vec<(Name, Value)>, CodecError> {
+        let n = d.usize()?;
+        if n > d.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        (0..n)
+            .map(|_| {
+                let name = Name::new(d.str()?);
+                let v = match d.u8()? {
+                    0 => Value::Str(d.str()?.into()),
+                    1 => Value::Int(d.u64()? as i64),
+                    2 => Value::Null(d.u64()?),
+                    _ => return Err(CodecError::Malformed("Value tag")),
+                };
+                Ok((name, v))
+            })
+            .collect()
+    }
+    fn children(t: &mut Tree, at: NodeId, d: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let n = d.usize()?;
+        if n > d.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        for _ in 0..n {
+            let label = Name::new(d.str()?);
+            let id = t.add_child(at, label, attrs(d)?);
+            children(t, id, d)?;
+        }
+        Ok(())
+    }
+    let root_label = Name::new(d.str()?);
+    let root_attrs = attrs(d)?;
+    let mut t = Tree::with_root_attrs(root_label, root_attrs);
+    children(&mut t, Tree::ROOT, d)?;
+    Ok(t)
+}
 
 /// All words accepted by `nfa` with length ≤ `max_len`.
 fn accepted_words(nfa: &Nfa<Name>, max_len: usize) -> Vec<Vec<Name>> {
@@ -220,6 +292,76 @@ impl ShapeCache {
         map.entry(max_nodes)
             .or_insert_with(|| Arc::new(tree_shapes(&self.dtd, max_nodes)))
             .clone()
+    }
+
+    /// Serializes the cache *including* its memoized shape lists — unlike
+    /// the other artifact families, the expensive content of a `ShapeCache`
+    /// accumulates at query time (shape enumeration is exponential in the
+    /// bound), so persisting it is only worthwhile after use. The engine
+    /// context therefore writes shape artifacts at flush time, not at
+    /// compile time.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.str(&self.dtd.to_string());
+        let map = self.by_bound.lock().unwrap();
+        let mut bounds: Vec<usize> = map.keys().copied().collect();
+        bounds.sort_unstable();
+        e.usize(bounds.len());
+        for b in bounds {
+            e.usize(b);
+            let shapes = &map[&b];
+            e.usize(shapes.len());
+            for t in shapes.iter() {
+                encode_tree(t, &mut e);
+            }
+        }
+        e.finish()
+    }
+
+    /// Inverse of [`ShapeCache::to_bytes`]: reparses the schema text and
+    /// restores every memoized bound.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ShapeCache, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let text = d.str()?;
+        let dtd = xmlmap_dtd::parse(&text).map_err(|_| CodecError::Malformed("stored DTD text"))?;
+        let n_bounds = d.usize()?;
+        if n_bounds > d.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let mut map = HashMap::new();
+        for _ in 0..n_bounds {
+            let bound = d.usize()?;
+            let n_shapes = d.usize()?;
+            if n_shapes > d.remaining() {
+                return Err(CodecError::Truncated);
+            }
+            let shapes = (0..n_shapes)
+                .map(|_| decode_tree(&mut d))
+                .collect::<Result<Vec<_>, CodecError>>()?;
+            map.insert(bound, Arc::new(shapes));
+        }
+        d.expect_end()?;
+        Ok(ShapeCache {
+            dtd,
+            by_bound: Mutex::new(map),
+        })
+    }
+
+    /// Approximate heap footprint in bytes: the schema plus every memoized
+    /// shape list.
+    pub fn approx_bytes(&self) -> u64 {
+        let map = self.by_bound.lock().unwrap();
+        self.dtd.to_string().len() as u64
+            + map
+                .values()
+                .map(|shapes| shapes.iter().map(Tree::approx_bytes).sum::<u64>() + 64)
+                .sum::<u64>()
+    }
+
+    /// Are any shape lists memoized yet? Empty caches are not worth
+    /// persisting.
+    pub fn has_content(&self) -> bool {
+        !self.by_bound.lock().unwrap().is_empty()
     }
 }
 

@@ -19,9 +19,20 @@
 //!   hash of the canonical text, so unrelated compilations never contend
 //!   on one lock, and the read path (the common case after warm-up) takes
 //!   only a shard read lock;
-//! * **counters** — every cache tracks hits, misses (= compilations) and
-//!   cumulative compile time; [`EngineContext::stats`] snapshots them for
-//!   the CLI (`xmlmap batch --stats`) and the benches.
+//! * **counters** — every cache tracks hits, misses, compilations, disk
+//!   loads, resident bytes, evictions and cumulative compile time;
+//!   [`EngineContext::stats`] snapshots them for the CLI
+//!   (`xmlmap batch --stats`) and the benches;
+//! * **memory budget** — [`EngineContext::with_memory_budget`] bounds the
+//!   accounted bytes of resident artifacts with a second-chance (clock)
+//!   eviction sweep; entries still compiling are never evicted, and an
+//!   unbounded context pays nothing for the machinery;
+//! * **persistent store** — [`EngineContext::with_disk_cache`] attaches a
+//!   directory of checksummed binary artifacts ([`crate::store`]): cache
+//!   misses try a disk load before compiling, fresh compilations are
+//!   written back, and a restart against a warm store compiles nothing.
+//!   Corrupt or version-stale files are counted (`disk_errors`) and
+//!   silently recompiled.
 //!
 //! What is deliberately **not** cached at this layer: verdicts keyed by
 //! *documents* (chase outputs, membership answers — the key would be the
@@ -31,7 +42,8 @@
 //! ([`SatCache`] match sets, `AutomataCache` verdicts), which are all
 //! internally synchronized, so sharing them across threads is safe.
 //!
-//! See DESIGN.md §8.4 for the full architecture.
+//! See DESIGN.md §8.4 for the context architecture and §8.5 for byte
+//! accounting, eviction, and the artifact store.
 
 use crate::abscons::{abscons_structural_cached, AbsConsAnswer};
 use crate::bounded::ShapeCache;
@@ -39,10 +51,12 @@ use crate::chase::{canonical_solution_cached, ChaseCache, ChaseError};
 use crate::consistency::{composition_consistent_cached, consistent_cached, ConsAnswer, ConsError};
 use crate::exchange::{certain_answers_cached, reduced_solution_cached, CertainAnswersError};
 use crate::stds::Mapping;
+use crate::store::{ArtifactStore, Family, LoadError};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 use xmlmap_automata::{AutomataCache, InclusionBudgetExceeded, SubschemaViolation};
@@ -68,26 +82,55 @@ const SAT_CONTEXT: &str = "shared EngineContext probe";
 /// Hit/miss/compile-time counters for one cache family.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheCounters {
-    /// Lookups answered from an already-compiled entry.
+    /// Lookups answered from an already-resident entry.
     pub hits: u64,
-    /// Lookups that compiled a fresh entry (one per distinct key).
+    /// Lookups that filled a fresh slot — by compiling *or* by loading the
+    /// artifact off disk (see [`CacheCounters::disk_hits`]); one per
+    /// distinct key per residency.
     pub misses: u64,
-    /// Total wall-clock time spent compiling entries.
+    /// Slot fills answered from the persistent artifact store instead of a
+    /// compilation.
+    pub disk_hits: u64,
+    /// Stored artifacts that were unusable (corrupt, truncated, or written
+    /// by another format version) and fell back to a fresh compile.
+    pub disk_errors: u64,
+    /// Entries evicted to stay under the context's memory budget.
+    pub evictions: u64,
+    /// Approximate bytes currently accounted to resident entries.
+    pub bytes: u64,
+    /// Total wall-clock time spent compiling entries (disk loads excluded).
     pub compile_time: Duration,
     /// Entries currently resident.
     pub entries: u64,
+}
+
+impl CacheCounters {
+    /// Slot fills that actually ran a compilation (misses not answered
+    /// from the artifact store).
+    pub fn compiled(&self) -> u64 {
+        self.misses - self.disk_hits
+    }
 }
 
 impl std::fmt::Display for CacheCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits, {} misses, {} entries, {:.2}ms compiling",
+            "{} hits, {} misses ({} compiled, {} from disk), {} entries, \
+             {} bytes, {} evicted, {:.2}ms compiling",
             self.hits,
             self.misses,
+            self.compiled(),
+            self.disk_hits,
             self.entries,
+            self.bytes,
+            self.evictions,
             self.compile_time.as_secs_f64() * 1_000.0
-        )
+        )?;
+        if self.disk_errors > 0 {
+            write!(f, ", {} unusable disk artifacts", self.disk_errors)?;
+        }
+        Ok(())
     }
 }
 
@@ -102,6 +145,28 @@ pub struct EngineStats {
     pub automata: CacheCounters,
     /// Tree-shape enumeration caches (one per DTD).
     pub shapes: CacheCounters,
+    /// The context's memory budget, if bounded.
+    pub memory_budget: Option<u64>,
+}
+
+impl EngineStats {
+    /// Approximate bytes accounted across all families.
+    pub fn total_bytes(&self) -> u64 {
+        self.sat.bytes + self.chase.bytes + self.automata.bytes + self.shapes.bytes
+    }
+
+    /// Slot fills across all families that ran a compilation.
+    pub fn total_compiled(&self) -> u64 {
+        self.sat.compiled()
+            + self.chase.compiled()
+            + self.automata.compiled()
+            + self.shapes.compiled()
+    }
+
+    /// Slot fills across all families answered from the artifact store.
+    pub fn total_disk_hits(&self) -> u64 {
+        self.sat.disk_hits + self.chase.disk_hits + self.automata.disk_hits + self.shapes.disk_hits
+    }
 }
 
 impl std::fmt::Display for EngineStats {
@@ -109,7 +174,19 @@ impl std::fmt::Display for EngineStats {
         writeln!(f, "sat:      {}", self.sat)?;
         writeln!(f, "chase:    {}", self.chase)?;
         writeln!(f, "automata: {}", self.automata)?;
-        write!(f, "shapes:   {}", self.shapes)
+        writeln!(f, "shapes:   {}", self.shapes)?;
+        match self.memory_budget {
+            Some(b) => write!(
+                f,
+                "memory:   {} bytes accounted, budget {b}",
+                self.total_bytes()
+            ),
+            None => write!(
+                f,
+                "memory:   {} bytes accounted, unbounded",
+                self.total_bytes()
+            ),
+        }
     }
 }
 
@@ -119,25 +196,84 @@ impl std::fmt::Display for EngineStats {
 struct StatCells {
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_errors: AtomicU64,
+    evictions: AtomicU64,
+    bytes: AtomicU64,
     compile_ns: AtomicU64,
+}
+
+impl StatCells {
+    /// Adjusts the accounted-bytes total by `new - old`.
+    fn rebook(&self, old: u64, new: u64) {
+        if new >= old {
+            self.bytes.fetch_add(new - old, Ordering::Relaxed);
+        } else {
+            self.bytes.fetch_sub(old - new, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A cache slot: filled exactly once, by whichever thread wins the race.
 type Slot<V> = Arc<OnceLock<Arc<V>>>;
 
-/// One sharded compile-once map: canonical text → compiled artifact.
+/// One resident (or in-flight) cache entry: the compile-once slot plus the
+/// bookkeeping the eviction clock needs. Unfilled slots (a compile in
+/// flight) are never evicted — removing one would lose the dedup that
+/// makes N racing threads run one compilation.
+struct Entry<V> {
+    slot: Slot<V>,
+    /// Second-chance bit: set on every access, cleared (once) by the clock
+    /// hand before an entry becomes an eviction candidate.
+    referenced: AtomicBool,
+    /// Bytes accounted to this entry (0 until first measured).
+    bytes: AtomicU64,
+}
+
+/// One lock shard: the key map plus a clock ring over its keys.
+struct Shard<V> {
+    map: HashMap<String, Arc<Entry<V>>>,
+    /// Keys in residence order; `swap_remove` keeps eviction O(1).
+    ring: Vec<String>,
+    /// Clock hand into `ring`.
+    hand: usize,
+}
+
+/// How a lookup was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Fill {
+    /// The entry was already resident.
+    Hit,
+    /// A fresh slot, filled from the persistent artifact store.
+    Disk,
+    /// A fresh slot, filled by running the compiler.
+    Compiled,
+}
+
+/// One sharded compile-once map: canonical text → compiled artifact, with
+/// second-chance eviction over the shard rings.
 struct ShardedCache<V> {
-    shards: Vec<RwLock<HashMap<String, Slot<V>>>>,
+    shards: Vec<RwLock<Shard<V>>>,
     stats: StatCells,
+    /// Round-robin shard cursor for eviction, so successive evictions
+    /// spread over shards instead of draining one.
+    clock: AtomicUsize,
 }
 
 impl<V> ShardedCache<V> {
     fn new() -> ShardedCache<V> {
         ShardedCache {
             shards: (0..SHARD_COUNT)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| {
+                    RwLock::new(Shard {
+                        map: HashMap::new(),
+                        ring: Vec::new(),
+                        hand: 0,
+                    })
+                })
                 .collect(),
             stats: StatCells::default(),
+            clock: AtomicUsize::new(0),
         }
     }
 
@@ -147,50 +283,151 @@ impl<V> ShardedCache<V> {
         (h.finish() as usize) % SHARD_COUNT
     }
 
-    /// The compile-once protocol: read-lock lookup, double-checked slot
-    /// insertion under the write lock, compilation outside any shard lock
+    /// The compile-once protocol: read-lock lookup, double-checked entry
+    /// insertion under the write lock, filling outside any shard lock
     /// (inside the slot's `OnceLock`, which admits exactly one winner).
-    fn get_or_compile(&self, key: &str, compile: impl FnOnce() -> V) -> Arc<V> {
+    ///
+    /// `fill` produces the value and whether it came from the artifact
+    /// store; it runs at most once per residency.
+    fn get_or_fill(&self, key: &str, fill: impl FnOnce() -> (V, bool)) -> (Arc<V>, Fill) {
         let shard = &self.shards[self.shard_of(key)];
-        let slot = shard.read().unwrap().get(key).cloned();
-        let slot = match slot {
-            Some(slot) => slot,
+        let entry = shard.read().unwrap().map.get(key).cloned();
+        let entry = match entry {
+            Some(e) => e,
             None => {
-                let mut map = shard.write().unwrap();
-                map.entry(key.to_string())
-                    .or_insert_with(|| Arc::new(OnceLock::new()))
-                    .clone()
+                let mut guard = shard.write().unwrap();
+                match guard.map.get(key) {
+                    Some(e) => e.clone(),
+                    None => {
+                        let e = Arc::new(Entry {
+                            slot: Arc::new(OnceLock::new()),
+                            referenced: AtomicBool::new(true),
+                            bytes: AtomicU64::new(0),
+                        });
+                        guard.map.insert(key.to_string(), e.clone());
+                        guard.ring.push(key.to_string());
+                        e
+                    }
+                }
             }
         };
-        let mut compiled_here = false;
-        let value = slot
+        entry.referenced.store(true, Ordering::Relaxed);
+        let mut how = Fill::Hit;
+        let value = entry
+            .slot
             .get_or_init(|| {
-                compiled_here = true;
-                let start = Instant::now();
-                let v = Arc::new(compile());
-                self.stats
-                    .compile_ns
-                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                v
+                let (v, from_disk) = fill();
+                how = if from_disk {
+                    Fill::Disk
+                } else {
+                    Fill::Compiled
+                };
+                Arc::new(v)
             })
             .clone();
-        if compiled_here {
-            self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        match how {
+            Fill::Hit => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            Fill::Disk => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.stats.disk_hits.fetch_add(1, Ordering::Relaxed)
+            }
+            Fill::Compiled => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        (value, how)
+    }
+
+    /// Books `bytes` against the entry for `key` (and the family total).
+    fn set_bytes(&self, key: &str, bytes: u64) {
+        let shard = self.shards[self.shard_of(key)].read().unwrap();
+        if let Some(entry) = shard.map.get(key) {
+            let old = entry.bytes.swap(bytes, Ordering::Relaxed);
+            self.stats.rebook(old, bytes);
         }
-        value
+    }
+
+    /// Re-measures every resident entry (artifacts whose footprint grows at
+    /// query time: memoized verdicts, shape lists).
+    fn refresh_bytes(&self, measure: impl Fn(&V) -> u64) {
+        for shard in &self.shards {
+            let entries: Vec<Arc<Entry<V>>> = shard.read().unwrap().map.values().cloned().collect();
+            for entry in entries {
+                if let Some(v) = entry.slot.get() {
+                    let bytes = measure(v);
+                    let old = entry.bytes.swap(bytes, Ordering::Relaxed);
+                    self.stats.rebook(old, bytes);
+                }
+            }
+        }
+    }
+
+    /// Evicts one entry by the second-chance (clock) policy, returning the
+    /// bytes it had accounted. Unfilled slots (compiles in flight) are
+    /// skipped; a set `referenced` bit buys one more revolution. Returns
+    /// `None` when no shard holds an evictable entry.
+    fn evict_one(&self) -> Option<u64> {
+        let start = self.clock.fetch_add(1, Ordering::Relaxed);
+        for i in 0..SHARD_COUNT {
+            let mut shard = self.shards[(start + i) % SHARD_COUNT].write().unwrap();
+            // Two passes over the ring: the first may only clear bits.
+            for _ in 0..2 * shard.ring.len() {
+                if shard.hand >= shard.ring.len() {
+                    shard.hand = 0;
+                }
+                let spare = {
+                    let entry = &shard.map[&shard.ring[shard.hand]];
+                    entry.slot.get().is_none() || entry.referenced.swap(false, Ordering::Relaxed)
+                };
+                if spare {
+                    shard.hand += 1;
+                    continue;
+                }
+                let hand = shard.hand;
+                let key = shard.ring.swap_remove(hand);
+                let entry = shard.map.remove(&key).expect("ring key is mapped");
+                let bytes = entry.bytes.load(Ordering::Relaxed);
+                self.stats.rebook(bytes, 0);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                return Some(bytes);
+            }
+        }
+        None
+    }
+
+    /// Calls `f` on every resident (filled) entry.
+    fn for_each(&self, mut f: impl FnMut(&str, &Arc<V>)) {
+        for shard in &self.shards {
+            let entries: Vec<(String, Arc<Entry<V>>)> = shard
+                .read()
+                .unwrap()
+                .map
+                .iter()
+                .map(|(k, e)| (k.clone(), e.clone()))
+                .collect();
+            for (key, entry) in entries {
+                if let Some(v) = entry.slot.get() {
+                    f(&key, v);
+                }
+            }
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        self.stats.bytes.load(Ordering::Relaxed)
     }
 
     fn counters(&self) -> CacheCounters {
         CacheCounters {
             hits: self.stats.hits.load(Ordering::Relaxed),
             misses: self.stats.misses.load(Ordering::Relaxed),
+            disk_hits: self.stats.disk_hits.load(Ordering::Relaxed),
+            disk_errors: self.stats.disk_errors.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            bytes: self.stats.bytes.load(Ordering::Relaxed),
             compile_time: Duration::from_nanos(self.stats.compile_ns.load(Ordering::Relaxed)),
             entries: self
                 .shards
                 .iter()
-                .map(|s| s.read().unwrap().len() as u64)
+                .map(|s| s.read().unwrap().map.len() as u64)
                 .sum(),
         }
     }
@@ -219,6 +456,11 @@ pub struct EngineContext {
     chase: ShardedCache<ChaseCache>,
     automata: ShardedCache<AutomataCache>,
     shapes: ShardedCache<ShapeCache>,
+    /// Approximate ceiling on the accounted bytes of all resident
+    /// artifacts; `None` = unbounded (the pre-existing behaviour).
+    budget: Option<u64>,
+    /// Persistent artifact store; `None` = in-memory only.
+    store: Option<ArtifactStore>,
 }
 
 impl Default for EngineContext {
@@ -228,43 +470,229 @@ impl Default for EngineContext {
 }
 
 impl EngineContext {
-    /// A fresh, empty context.
+    /// A fresh, empty context: unbounded, in-memory only.
     pub fn new() -> EngineContext {
         EngineContext {
             sat: ShardedCache::new(),
             chase: ShardedCache::new(),
             automata: ShardedCache::new(),
             shapes: ShardedCache::new(),
+            budget: None,
+            store: None,
         }
+    }
+
+    /// Bounds the accounted bytes of resident compiled artifacts. When a
+    /// fill (or a byte re-measurement) pushes the total over `bytes`, the
+    /// context evicts by a second-chance clock until it fits again —
+    /// starting with the heaviest family. Evicted artifacts recompile on
+    /// next use (or reload from the disk store); `Arc`s already handed out
+    /// stay valid.
+    pub fn with_memory_budget(mut self, bytes: u64) -> EngineContext {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// Attaches a persistent artifact store at `dir` (created if absent).
+    /// Every cache miss first tries the store; compiled artifacts are
+    /// written back, so a later process (or a post-eviction refill) skips
+    /// compilation entirely. Call [`EngineContext::flush_disk_cache`]
+    /// before dropping the context to persist the query-time shape
+    /// enumerations too.
+    pub fn with_disk_cache(mut self, dir: impl AsRef<Path>) -> std::io::Result<EngineContext> {
+        self.store = Some(ArtifactStore::new(dir)?);
+        Ok(self)
+    }
+
+    /// The configured memory budget, if any.
+    pub fn memory_budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// The attached artifact-store directory, if any.
+    pub fn disk_cache_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(ArtifactStore::dir)
+    }
+
+    // ---- the load-or-compile spine -------------------------------------
+
+    /// One lookup against a family cache: resident hit, else disk load,
+    /// else compile (writing back to disk when `persist` and a store is
+    /// attached), then byte accounting and budget enforcement.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch<V>(
+        &self,
+        cache: &ShardedCache<V>,
+        family: Family,
+        key: &str,
+        persist: bool,
+        decode: impl FnOnce(&[u8]) -> Option<V>,
+        encode: impl FnOnce(&V) -> Vec<u8>,
+        measure: impl FnOnce(&V) -> u64,
+        compile: impl FnOnce() -> V,
+    ) -> Arc<V> {
+        let (value, how) = cache.get_or_fill(key, || {
+            if let Some(store) = &self.store {
+                match store.load(family, key) {
+                    Ok(payload) => match decode(&payload) {
+                        Some(v) => return (v, true),
+                        None => {
+                            cache.stats.disk_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    Err(LoadError::Missing) => {}
+                    Err(_) => {
+                        cache.stats.disk_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            let start = Instant::now();
+            let v = compile();
+            cache
+                .stats
+                .compile_ns
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            (v, false)
+        });
+        if how != Fill::Hit {
+            if how == Fill::Compiled && persist {
+                if let Some(store) = &self.store {
+                    store.save(family, key, &encode(&value));
+                }
+            }
+            cache.set_bytes(key, measure(&value));
+            self.enforce_budget();
+        }
+        value
+    }
+
+    /// Evicts (heaviest family first) until the accounted total fits the
+    /// budget, or nothing evictable remains.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.budget else { return };
+        loop {
+            let bytes = [
+                self.sat.bytes(),
+                self.chase.bytes(),
+                self.automata.bytes(),
+                self.shapes.bytes(),
+            ];
+            if bytes.iter().sum::<u64>() <= budget {
+                return;
+            }
+            let mut order = [0usize, 1, 2, 3];
+            order.sort_by_key(|&i| std::cmp::Reverse(bytes[i]));
+            let evicted = order.iter().any(|&i| {
+                match i {
+                    0 => self.sat.evict_one(),
+                    1 => self.chase.evict_one(),
+                    2 => self.automata.evict_one(),
+                    _ => self.shapes.evict_one(),
+                }
+                .is_some()
+            });
+            if !evicted {
+                return;
+            }
+        }
+    }
+
+    /// Re-measures every resident artifact and re-enforces the budget.
+    /// Cheap relative to any decision procedure, but pure overhead for
+    /// unbounded contexts — so it is a no-op without a budget, and callers
+    /// invoke it only after operations that can grow artifacts (memoized
+    /// verdicts, shape enumerations).
+    fn rebalance(&self) {
+        if self.budget.is_none() {
+            return;
+        }
+        self.sat.refresh_bytes(|v| v.approx_bytes());
+        self.chase.refresh_bytes(|v| v.approx_bytes());
+        self.automata.refresh_bytes(|v| v.approx_bytes());
+        self.shapes.refresh_bytes(|v| v.approx_bytes());
+        self.enforce_budget();
+    }
+
+    /// Writes the artifact families whose content accumulates at *query*
+    /// time — today the shape caches — to the attached store. Compiled-at-
+    /// fill families are persisted eagerly and need no flush. No-op
+    /// without a store.
+    pub fn flush_disk_cache(&self) {
+        let Some(store) = &self.store else { return };
+        self.shapes.for_each(|key, v| {
+            if v.has_content() {
+                store.save(Family::Shapes, key, &v.to_bytes());
+            }
+        });
     }
 
     // ---- raw cache accessors -------------------------------------------
 
-    /// The shared [`SatCache`] for `dtd`, compiling it on first request.
+    /// The shared [`SatCache`] for `dtd`, loading or compiling it on first
+    /// request.
     pub fn sat_cache(&self, dtd: &Dtd) -> Arc<SatCache> {
-        self.sat.get_or_compile(&dtd.to_string(), || {
-            SatCache::new(dtd).with_context(SAT_CONTEXT)
-        })
+        self.fetch(
+            &self.sat,
+            Family::Sat,
+            &dtd.to_string(),
+            true,
+            |b| {
+                SatCache::from_bytes(b)
+                    .ok()
+                    .map(|c| c.with_context(SAT_CONTEXT))
+            },
+            |v| v.to_bytes(),
+            |v| v.approx_bytes(),
+            || SatCache::new(dtd).with_context(SAT_CONTEXT),
+        )
     }
 
-    /// The shared [`ChaseCache`] for `m`, compiling it on first request.
+    /// The shared [`ChaseCache`] for `m`, loading or compiling it on first
+    /// request.
     pub fn chase_cache(&self, m: &Mapping) -> Arc<ChaseCache> {
-        self.chase
-            .get_or_compile(&m.to_string(), || ChaseCache::new(m))
+        self.fetch(
+            &self.chase,
+            Family::Chase,
+            &m.to_string(),
+            true,
+            |b| ChaseCache::from_bytes(b).ok(),
+            |v| v.to_bytes(),
+            |v| v.approx_bytes(),
+            || ChaseCache::new(m),
+        )
     }
 
     /// The shared [`AutomataCache`] for the ordered pair `(d1, d2)`,
-    /// compiling both automata on first request.
+    /// loading or compiling both automata on first request.
     pub fn automata_cache(&self, d1: &Dtd, d2: &Dtd) -> Arc<AutomataCache> {
         let key = format!("{d1}\u{0}{d2}");
-        self.automata
-            .get_or_compile(&key, || AutomataCache::new(d1, d2))
+        self.fetch(
+            &self.automata,
+            Family::Automata,
+            &key,
+            true,
+            |b| AutomataCache::from_bytes(b).ok(),
+            |v| v.to_bytes(),
+            |v| v.approx_bytes(),
+            || AutomataCache::new(d1, d2),
+        )
     }
 
-    /// The shared [`ShapeCache`] for `dtd`.
+    /// The shared [`ShapeCache`] for `dtd`. A fresh shape cache is empty
+    /// (enumeration happens per bound at query time), so this family is
+    /// persisted by [`EngineContext::flush_disk_cache`] rather than at
+    /// fill time.
     pub fn shape_cache(&self, dtd: &Dtd) -> Arc<ShapeCache> {
-        self.shapes
-            .get_or_compile(&dtd.to_string(), || ShapeCache::new(dtd))
+        self.fetch(
+            &self.shapes,
+            Family::Shapes,
+            &dtd.to_string(),
+            false,
+            |b| ShapeCache::from_bytes(b).ok(),
+            |v| v.to_bytes(),
+            |v| v.approx_bytes(),
+            || ShapeCache::new(dtd),
+        )
     }
 
     // ---- decision procedures over the shared caches --------------------
@@ -274,7 +702,9 @@ impl EngineContext {
     pub fn consistent(&self, m: &Mapping, budget: usize) -> Result<ConsAnswer, ConsError> {
         let src = self.sat_cache(&m.source_dtd);
         let tgt = self.sat_cache(&m.target_dtd);
-        consistent_cached(m, &src, &tgt, budget)
+        let out = consistent_cached(m, &src, &tgt, budget);
+        self.rebalance();
+        out
     }
 
     /// [`composition_consistent`](crate::consistency::composition_consistent)
@@ -288,7 +718,9 @@ impl EngineContext {
         let src = self.sat_cache(&m12.source_dtd);
         let mid = self.sat_cache(&m12.target_dtd);
         let tgt = self.sat_cache(&m23.target_dtd);
-        composition_consistent_cached(m12, m23, &src, &mid, &tgt, budget)
+        let out = composition_consistent_cached(m12, m23, &src, &mid, &tgt, budget);
+        self.rebalance();
+        out
     }
 
     /// [`abscons_structural`](crate::abscons::abscons_structural) over the
@@ -300,7 +732,9 @@ impl EngineContext {
     ) -> Result<Result<AbsConsAnswer, BudgetExceeded>, String> {
         let src = self.sat_cache(&m.source_dtd);
         let tgt = self.sat_cache(&m.target_dtd);
-        abscons_structural_cached(m, &src, &tgt, budget)
+        let out = abscons_structural_cached(m, &src, &tgt, budget);
+        self.rebalance();
+        out
     }
 
     /// [`canonical_solution`](crate::chase::canonical_solution) over the
@@ -338,7 +772,7 @@ impl EngineContext {
     ) -> Option<Tree> {
         let shapes = self.shape_cache(&m12.target_dtd);
         let chase = self.chase_cache(m12);
-        crate::compose::composition_member_cached(
+        let out = crate::compose::composition_member_cached(
             m12,
             m23,
             t1,
@@ -346,7 +780,9 @@ impl EngineContext {
             max_middle_nodes,
             &shapes,
             &chase,
-        )
+        );
+        self.rebalance();
+        out
     }
 
     /// [`solution_exists`](crate::bounded::solution_exists) over the
@@ -357,12 +793,14 @@ impl EngineContext {
         source: &Tree,
         max_target_nodes: usize,
     ) -> Option<Tree> {
-        crate::bounded::solution_exists_cached(
+        let out = crate::bounded::solution_exists_cached(
             m,
             source,
             max_target_nodes,
             &self.shape_cache(&m.target_dtd),
-        )
+        );
+        self.rebalance();
+        out
     }
 
     /// Subschema check `L(d1) ⊆ L(d2)` over the shared [`AutomataCache`].
@@ -372,7 +810,9 @@ impl EngineContext {
         d2: &Dtd,
         budget: usize,
     ) -> Result<Option<SubschemaViolation>, InclusionBudgetExceeded> {
-        self.automata_cache(d1, d2).subschema(budget)
+        let out = self.automata_cache(d1, d2).subschema(budget);
+        self.rebalance();
+        out
     }
 
     /// Label-structure inclusion `L(d1) ⊆ L(d2)` over the shared
@@ -383,16 +823,20 @@ impl EngineContext {
         d2: &Dtd,
         budget: usize,
     ) -> Result<Option<Tree>, InclusionBudgetExceeded> {
-        self.automata_cache(d1, d2).inclusion(budget)
+        let out = self.automata_cache(d1, d2).inclusion(budget);
+        self.rebalance();
+        out
     }
 
-    /// A snapshot of every cache family's hit/miss/compile-time counters.
+    /// A snapshot of every cache family's counters, plus the memory
+    /// budget.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             sat: self.sat.counters(),
             chase: self.chase.counters(),
             automata: self.automata.counters(),
             shapes: self.shapes.counters(),
+            memory_budget: self.budget,
         }
     }
 }

@@ -20,6 +20,7 @@ pub mod exchange;
 pub mod signature;
 pub mod skolem;
 pub mod stds;
+pub mod store;
 
 pub use abscons::{abscons_nr_ptime, abscons_structural, abscons_structural_cached, AbsConsAnswer};
 pub use batch::{parse_jobfile, render_batch, run_batch, run_job, BatchJob, JobKind, JobResult};
@@ -42,3 +43,4 @@ pub use exchange::{
 pub use signature::Signature;
 pub use skolem::{SkolemMapping, SkolemStd, Term, TermPattern};
 pub use stds::{Mapping, Std};
+pub use store::{ArtifactStore, Family, LoadError};

@@ -129,6 +129,27 @@ impl CompiledPattern {
     pub fn has_repeated_variable(&self) -> bool {
         self.has_repeated
     }
+
+    /// Approximate heap footprint in bytes of the flattened node array and
+    /// variable table.
+    pub fn approx_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                48 + n.vars.capacity() as u64 * 4
+                    + n.items
+                        .iter()
+                        .map(|it| match it {
+                            CItem::Seq { members, ops } => {
+                                32 + members.capacity() as u64 * 8 + ops.capacity() as u64
+                            }
+                            CItem::Descendant(_) => 16,
+                        })
+                        .sum::<u64>()
+            })
+            .sum::<u64>()
+            + self.vars.len() as u64 * 32
+    }
 }
 
 /// The in-flight valuation: dense environment plus undo trail. Bindings

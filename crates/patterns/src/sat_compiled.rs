@@ -38,6 +38,7 @@ use crate::sat::BudgetExceeded;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use xmlmap_codec::{CodecError, Decoder, Encoder};
 use xmlmap_dtd::Dtd;
 use xmlmap_regex::Nfa;
 use xmlmap_trees::{Name, Tree, Value};
@@ -107,6 +108,47 @@ impl DenseNfa {
     fn has_sym(&self, sym: u32) -> bool {
         self.syms.binary_search(&sym).is_ok()
     }
+
+    fn encode(&self, e: &mut Encoder) {
+        e.usize(self.words);
+        e.u64s(&self.accepting);
+        e.u32s(&self.syms);
+        for edges in &self.edges {
+            e.usize(edges.len());
+            for &(from, to) in edges {
+                e.u32(from);
+                e.u32(to);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<DenseNfa, CodecError> {
+        let words = d.usize()?;
+        let accepting = d.u64s()?.into_boxed_slice();
+        if accepting.len() != words {
+            return Err(CodecError::Malformed("DenseNfa accepting-word count"));
+        }
+        let syms = d.u32s()?;
+        let edges = syms
+            .iter()
+            .map(|_| {
+                let n = d.usize()?;
+                (0..n).map(|_| Ok((d.u32()?, d.u32()?))).collect()
+            })
+            .collect::<Result<Vec<Vec<(u32, u32)>>, CodecError>>()?;
+        Ok(DenseNfa {
+            words,
+            accepting,
+            syms,
+            edges,
+        })
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        (self.accepting.len() * 8
+            + self.syms.capacity() * 4
+            + self.edges.iter().map(|e| e.capacity() * 8).sum::<usize>()) as u64
+    }
 }
 
 /// The per-DTD compiled artifact: interned labels, per-label dense
@@ -157,6 +199,93 @@ impl DtdIndex {
     /// The compiled DTD.
     pub fn dtd(&self) -> &Dtd {
         &self.dtd
+    }
+
+    /// Serializes the index: the DTD's canonical text (its display form
+    /// round-trips through the parser) plus every derived table verbatim,
+    /// so deserialization reparses the small schema text but never re-runs
+    /// NFA densification or dependency analysis.
+    pub fn encode(&self, e: &mut Encoder) {
+        e.str(&self.dtd.to_string());
+        e.usize(self.labels.len());
+        for l in &self.labels {
+            e.str(l.as_str());
+        }
+        e.u32(self.root);
+        for &a in &self.arities {
+            e.usize(a);
+        }
+        for nfa in &self.nfas {
+            nfa.encode(e);
+        }
+        for deps in &self.dependents {
+            e.u32s(deps);
+        }
+    }
+
+    /// Inverse of [`DtdIndex::encode`]. Cheap structural sanity checks
+    /// only — the artifact store's checksum envelope is what guards
+    /// against corruption.
+    pub fn decode(d: &mut Decoder<'_>) -> Result<DtdIndex, CodecError> {
+        let text = d.str()?;
+        let dtd = xmlmap_dtd::parse(&text)
+            .map_err(|_| CodecError::Malformed("DtdIndex schema text does not parse"))?;
+        let n = d.usize()?;
+        if n > text.len().max(1) * 2 {
+            // A DTD cannot declare more labels than its text has characters.
+            return Err(CodecError::Malformed("DtdIndex label count"));
+        }
+        let labels: Vec<Name> = (0..n)
+            .map(|_| Ok(Name::new(d.str()?)))
+            .collect::<Result<_, CodecError>>()?;
+        let root = d.u32()?;
+        if root as usize >= n {
+            return Err(CodecError::Malformed("DtdIndex root id"));
+        }
+        let arities: Vec<usize> = (0..n).map(|_| d.usize()).collect::<Result<_, _>>()?;
+        let nfas: Vec<DenseNfa> = (0..n)
+            .map(|_| DenseNfa::decode(d))
+            .collect::<Result<_, _>>()?;
+        if nfas
+            .iter()
+            .any(|nfa| nfa.syms.iter().any(|&s| s as usize >= n))
+        {
+            return Err(CodecError::Malformed("DenseNfa symbol out of range"));
+        }
+        let dependents: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                let deps = d.u32s()?;
+                if deps.iter().any(|&l| l as usize >= n) {
+                    return Err(CodecError::Malformed("DtdIndex dependent out of range"));
+                }
+                Ok(deps)
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(DtdIndex {
+            dtd,
+            labels,
+            root,
+            arities,
+            nfas,
+            dependents,
+        })
+    }
+
+    /// Approximate heap footprint in bytes (label strings, arity table,
+    /// dense production NFAs, dependency lists).
+    pub fn approx_bytes(&self) -> u64 {
+        self.labels
+            .iter()
+            .map(|l| l.as_str().len() as u64 + 16)
+            .sum::<u64>()
+            + self.arities.capacity() as u64 * 8
+            + self.nfas.iter().map(DenseNfa::approx_bytes).sum::<u64>()
+            + self
+                .dependents
+                .iter()
+                .map(|v| v.capacity() as u64 * 4)
+                .sum::<u64>()
+            + self.dtd.to_string().len() as u64
     }
 }
 
@@ -333,6 +462,24 @@ impl CompiledPats {
             seq_area_words: offset,
             cand,
         }
+    }
+
+    /// Approximate heap footprint in bytes (pattern nodes, sequence
+    /// acceptors, candidate lists).
+    pub fn approx_bytes(&self) -> u64 {
+        (self
+            .nodes
+            .iter()
+            .map(|n| n.items.capacity() * std::mem::size_of::<CItem>())
+            .sum::<usize>()
+            + self.roots.capacity() * 8
+            + self.desc_bits.capacity() * 16
+            + self
+                .seqs
+                .iter()
+                .map(|s| s.members.capacity() * 8 + s.gap_mask.len() * 8 + 32)
+                .sum::<usize>()
+            + self.cand.iter().map(|c| c.capacity() * 4).sum::<usize>()) as u64
     }
 }
 
@@ -907,5 +1054,50 @@ impl SatCache {
         budget: usize,
     ) -> Result<Option<Tree>, BudgetExceeded> {
         self.satisfiable_all(&[pattern], budget)
+    }
+
+    /// Serializes the *compiled artifact* — the [`DtdIndex`] — as flat
+    /// bytes. The runtime memo tables (per-pattern-set closures and match
+    /// sets) are deliberately not persisted: they are keyed by query, not
+    /// by schema, and rebuild on demand.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        self.idx.encode(&mut e);
+        e.finish()
+    }
+
+    /// Rebuilds a cache around a deserialized [`DtdIndex`], with empty
+    /// memo tables and the default budget-error context (callers chain
+    /// [`SatCache::with_context`] as with a fresh compile).
+    pub fn from_bytes(bytes: &[u8]) -> Result<SatCache, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let idx = DtdIndex::decode(&mut d)?;
+        d.expect_end()?;
+        Ok(SatCache {
+            idx: Arc::new(idx),
+            context: "cached type-fixpoint probe".to_string(),
+            pats: Mutex::new(HashMap::new()),
+            results: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Approximate heap footprint in bytes: the compiled index plus both
+    /// runtime memo tables (whose match-set witnesses can dwarf the index
+    /// on heavily probed schemas — which is exactly what eviction needs to
+    /// see).
+    pub fn approx_bytes(&self) -> u64 {
+        let key_bytes =
+            |key: &Vec<String>| key.iter().map(|s| s.len() as u64 + 24).sum::<u64>() + 24;
+        let mut total = self.idx.approx_bytes() + self.context.len() as u64;
+        for (key, pats) in self.pats.lock().unwrap().iter() {
+            total += key_bytes(key) + pats.approx_bytes();
+        }
+        for (key, sets) in self.results.lock().unwrap().iter() {
+            total += key_bytes(key);
+            for (set, witness) in sets.iter() {
+                total += set.len() as u64 * 16 + witness.approx_bytes() + 48;
+            }
+        }
+        total
     }
 }

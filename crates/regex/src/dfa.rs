@@ -233,6 +233,16 @@ impl DenseDfa {
     pub fn step(&self, q: u32, s: u32) -> u32 {
         self.delta[q as usize * self.num_symbols + s as usize]
     }
+
+    /// Approximate heap footprint in bytes (transition table, flag
+    /// vectors, used-symbol list). Feeds the engine caches' memory
+    /// accounting; the row-major `delta` dominates.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.delta.capacity() * 4
+            + self.accepting.capacity()
+            + self.live.capacity()
+            + self.used_symbols.capacity() * 4) as u64
+    }
 }
 
 /// Reusable subset-construction workspace for [`DenseDfa::determinize`].

@@ -14,7 +14,7 @@ pub mod nfa;
 
 pub use ast::{parse, Regex, RegexParseError};
 pub use dfa::{DenseDfa, Determinizer, Dfa};
-pub use hash::{FastBuildHasher, FastHashMap, FastHashSet};
+pub use hash::{FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
 pub use nfa::Nfa;
 
 #[cfg(test)]

@@ -83,6 +83,19 @@ impl<A: Clone + Eq + Hash> Nfa<A> {
         true
     }
 
+    /// Approximate heap footprint in bytes (flag vector plus transition
+    /// lists; symbol payloads are counted at their inline size only, so
+    /// interned `Name`s are not double-counted).
+    pub fn approx_bytes(&self) -> u64 {
+        let per_edge = std::mem::size_of::<(A, usize)>();
+        (self.accepting.capacity()
+            + self
+                .transitions
+                .iter()
+                .map(|ts| ts.capacity() * per_edge)
+                .sum::<usize>()) as u64
+    }
+
     /// A shortest accepted word, if any (BFS).
     pub fn shortest_word(&self) -> Option<Vec<A>> {
         if self.accepting[0] {

@@ -308,6 +308,28 @@ impl Tree {
             .flat_map(|d| d.attrs.iter().map(|(_, v)| v))
     }
 
+    /// Approximate heap footprint in bytes: node records, child id lists,
+    /// attribute vectors, and the string data behind labels and values.
+    /// Interned `Name`s/`Arc<str>`s are counted once per occurrence — an
+    /// overestimate under sharing, which is the safe direction for the
+    /// engine caches' memory accounting (they evict too early, never too
+    /// late).
+    pub fn approx_bytes(&self) -> u64 {
+        let mut total = (self.nodes.capacity() * std::mem::size_of::<NodeData>()) as u64;
+        for d in &self.nodes {
+            total += (d.children.capacity() * std::mem::size_of::<NodeId>()) as u64;
+            total += (d.attrs.capacity() * std::mem::size_of::<(Name, Value)>()) as u64;
+            total += d.label.as_str().len() as u64;
+            for (name, value) in &d.attrs {
+                total += name.as_str().len() as u64;
+                if let Value::Str(s) = value {
+                    total += s.len() as u64;
+                }
+            }
+        }
+        total
+    }
+
     /// Extracts the subtree rooted at `n` as a standalone tree.
     pub fn subtree(&self, n: NodeId) -> Tree {
         let data = &self.nodes[n.index()];

@@ -11,6 +11,7 @@
 //! xmlmap compose   <mapping-file> <mapping-file> syntactic composition
 //! xmlmap subschema <dtd-file> <dtd-file>         every D1 doc conforms to D2?
 //! xmlmap batch     <jobfile> [--workers N] [--stats]
+//!                  [--cache-budget BYTES] [--cache-dir DIR]
 //!                                                run a job list in parallel
 //! ```
 //!
@@ -21,7 +22,11 @@
 //! completed, 1 when some job failed, 2 for usage/jobfile errors; jobs run
 //! on `--workers` threads (default: the available parallelism) over one
 //! shared [`EngineContext`], and `--stats` prints the per-cache
-//! hit/miss/compile-time counters to stderr.
+//! hit/miss/compile-time counters to stderr. `--cache-budget` bounds the
+//! bytes of resident compiled artifacts (suffixes `K`/`M`/`G` accepted),
+//! evicting least-recently-used entries past the limit; `--cache-dir`
+//! attaches a persistent compiled-artifact store so a later run against
+//! the same schemas skips compilation entirely.
 //!
 //! [`EngineContext`]: xmlmap::core::EngineContext
 
@@ -43,11 +48,28 @@ fn load_mapping(path: &str) -> Result<Mapping, String> {
     Mapping::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Parses a byte count with an optional `K`/`M`/`G` suffix (decimal).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (digits, scale) = match s.char_indices().last() {
+        Some((i, 'K' | 'k')) => (&s[..i], 1_000),
+        Some((i, 'M' | 'm')) => (&s[..i], 1_000_000),
+        Some((i, 'G' | 'g')) => (&s[..i], 1_000_000_000),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|n| n * scale)
+        .map_err(|_| format!("`{s}` is not a byte count (try 64M, 2G, 1000000)"))
+}
+
 /// Runs a jobfile over a shared [`EngineContext`] on `--workers` threads.
-fn run_batch_command(ctx: &EngineContext, args: &[&str]) -> Result<bool, String> {
+/// The context is built here — `--cache-budget` and `--cache-dir` shape it.
+fn run_batch_command(args: &[&str]) -> Result<bool, String> {
     let mut jobfile: Option<&str> = None;
     let mut workers = xmlmap::core::batch::default_workers();
     let mut stats = false;
+    let mut budget: Option<u64> = None;
+    let mut cache_dir: Option<&str> = None;
     let mut it = args.iter();
     while let Some(&arg) = it.next() {
         match arg {
@@ -60,12 +82,37 @@ fn run_batch_command(ctx: &EngineContext, args: &[&str]) -> Result<bool, String>
                     .map_err(|_| format!("--workers: `{n}` is not a number"))?;
             }
             "--stats" => stats = true,
+            "--cache-budget" => {
+                let b = it
+                    .next()
+                    .ok_or_else(|| "--cache-budget needs a byte count".to_string())?;
+                budget = Some(parse_bytes(b).map_err(|e| format!("--cache-budget: {e}"))?);
+            }
+            "--cache-dir" => {
+                cache_dir = Some(
+                    *it.next()
+                        .ok_or_else(|| "--cache-dir needs a directory".to_string())?,
+                );
+            }
             _ if jobfile.is_none() => jobfile = Some(arg),
             _ => return Err(format!("batch: unexpected argument `{arg}`")),
         }
     }
-    let jobfile = jobfile
-        .ok_or_else(|| "usage: xmlmap batch <jobfile> [--workers N] [--stats]".to_string())?;
+    let jobfile = jobfile.ok_or_else(|| {
+        "usage: xmlmap batch <jobfile> [--workers N] [--stats] \
+         [--cache-budget BYTES] [--cache-dir DIR]"
+            .to_string()
+    })?;
+    let mut ctx = EngineContext::new();
+    if let Some(b) = budget {
+        ctx = ctx.with_memory_budget(b);
+    }
+    if let Some(dir) = cache_dir {
+        ctx = ctx
+            .with_disk_cache(dir)
+            .map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+    }
+    let ctx = &ctx;
     let text = read(jobfile)?;
     let dir = std::path::Path::new(jobfile)
         .parent()
@@ -79,10 +126,17 @@ fn run_batch_command(ctx: &EngineContext, args: &[&str]) -> Result<bool, String>
         msg
     })?;
     let results = xmlmap::core::run_batch(ctx, &jobs, workers);
+    ctx.flush_disk_cache();
     print!("{}", xmlmap::core::render_batch(&jobs, &results));
     if stats {
+        let snapshot = ctx.stats();
         eprintln!("-- engine cache stats ({workers} workers)");
-        eprintln!("{}", ctx.stats());
+        eprintln!("{snapshot}");
+        eprintln!(
+            "-- totals: {} compiled, {} loaded from disk",
+            snapshot.total_compiled(),
+            snapshot.total_disk_hits()
+        );
     }
     Ok(results
         .iter()
@@ -96,7 +150,7 @@ fn run() -> Result<bool, String> {
     // compile-once caches too, and `batch` fans out over it.
     let ctx = EngineContext::new();
     match strs.as_slice() {
-        ["batch", rest @ ..] => run_batch_command(&ctx, rest),
+        ["batch", rest @ ..] => run_batch_command(rest),
         ["validate", dtd_path, xml_path] => {
             let dtd = xmlmap::dtd::parse(&read(dtd_path)?).map_err(|e| e.to_string())?;
             let mut tree = load_tree(xml_path)?;

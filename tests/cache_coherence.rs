@@ -14,7 +14,9 @@
 
 use std::sync::Arc;
 use xmlmap::automata::AutomataCache;
-use xmlmap::core::{canonical_solution, canonical_solution_cached, ChaseCache, EngineContext};
+use xmlmap::core::{
+    canonical_solution, canonical_solution_cached, ChaseCache, EngineContext, ShapeCache,
+};
 use xmlmap::gen::hard;
 use xmlmap::patterns::SatCache;
 use xmlmap::prelude::*;
@@ -175,6 +177,313 @@ fn automata_budget_errors_are_never_cached() {
     assert_eq!(err.operation, "inclusion check");
     let verdict = cache.inclusion(BUDGET).unwrap();
     assert_eq!(cache.inclusion(1).unwrap(), verdict);
+}
+
+// ---- ShapeCache ---------------------------------------------------------
+
+#[test]
+fn shape_cache_memoized_equals_fresh_enumeration() {
+    let d = xmlmap::dtd::parse("root r\nr -> a*\na -> b?").unwrap();
+    let cache = ShapeCache::new(&d);
+    let first = cache.shapes(5);
+    let memoized = cache.shapes(5);
+    assert!(
+        Arc::ptr_eq(&first, &memoized),
+        "second lookup is a memo hit"
+    );
+    let fresh = xmlmap::core::tree_shapes(&d, 5);
+    assert_eq!(first.len(), fresh.len());
+    for (a, b) in first.iter().zip(&fresh) {
+        assert!(isomorphic_mod_nulls(a, b));
+    }
+    // Distinct bounds are distinct memo entries.
+    assert_ne!(cache.shapes(3).len(), first.len());
+}
+
+// ---- serialized artifacts behave like fresh compiles --------------------
+
+#[test]
+fn sat_cache_deserialized_equals_fresh() {
+    let (d, p) = hard::sat_hard(6);
+    let cache = SatCache::new(&d);
+    let restored = SatCache::from_bytes(&cache.to_bytes()).expect("round trip");
+    let fresh = cache.satisfiable(&p, BUDGET).unwrap();
+    let loaded = restored.satisfiable(&p, BUDGET).unwrap();
+    assert_eq!(fresh, loaded);
+    // Corrupt payloads degrade to an error, never a panic.
+    let mut bytes = cache.to_bytes();
+    bytes.truncate(bytes.len() / 2);
+    assert!(SatCache::from_bytes(&bytes).is_err());
+}
+
+#[test]
+fn chase_cache_deserialized_is_isomorphic_to_fresh() {
+    let m = null_inventing_mapping();
+    let src = xmlmap::trees::xml::parse(r#"<r><a v="1"/><a v="2"/></r>"#).unwrap();
+    let cache = ChaseCache::new(&m);
+    let restored = ChaseCache::from_bytes(&cache.to_bytes()).expect("round trip");
+    let fresh = canonical_solution_cached(&m, &src, &cache).unwrap();
+    let loaded = canonical_solution_cached(&m, &src, &restored).unwrap();
+    assert!(isomorphic_mod_nulls(&fresh, &loaded));
+    assert!(m.is_solution(&src, &loaded));
+
+    // Error behaviour survives the round trip too.
+    let narrow = Mapping::parse(
+        "[source]\nroot r\nr -> a*\na @ v\n\
+         [target]\nroot r\nr -> a\na @ v\n\
+         [stds]\nr/a(x) --> r/a(x)\n",
+    )
+    .unwrap();
+    let cache = ChaseCache::new(&narrow);
+    let restored = ChaseCache::from_bytes(&cache.to_bytes()).expect("round trip");
+    let e1 = canonical_solution_cached(&narrow, &src, &cache).unwrap_err();
+    let e2 = canonical_solution_cached(&narrow, &src, &restored).unwrap_err();
+    assert_eq!(e1.to_string(), e2.to_string());
+}
+
+#[test]
+fn automata_cache_deserialized_equals_fresh() {
+    let d1 = hard::cons_nextsib(3).source_dtd;
+    let d2 = hard::cons_exptime(4).source_dtd;
+    let cache = AutomataCache::new(&d1, &d2);
+    let restored = AutomataCache::from_bytes(&cache.to_bytes()).expect("round trip");
+    let fresh = cache.subschema(BUDGET).unwrap();
+    let loaded = restored.subschema(BUDGET).unwrap();
+    assert_eq!(fresh.is_some(), loaded.is_some());
+    assert_eq!(
+        cache.inclusion(BUDGET).unwrap(),
+        restored.inclusion(BUDGET).unwrap()
+    );
+    assert_eq!(restored.d1().to_string(), d1.to_string());
+    assert_eq!(restored.d2().to_string(), d2.to_string());
+}
+
+#[test]
+fn shape_cache_deserialized_restores_memoized_bounds() {
+    let d = xmlmap::dtd::parse("root r\nr -> a*\na -> b?").unwrap();
+    let cache = ShapeCache::new(&d);
+    let s4 = cache.shapes(4);
+    let s2 = cache.shapes(2);
+    let restored = ShapeCache::from_bytes(&cache.to_bytes()).expect("round trip");
+    let r4 = restored.shapes(4);
+    let r2 = restored.shapes(2);
+    assert_eq!(s4.len(), r4.len());
+    assert_eq!(s2.len(), r2.len());
+    for (a, b) in s4.iter().zip(r4.iter()) {
+        assert!(isomorphic_mod_nulls(a, b));
+    }
+    // An empty cache round-trips to an empty cache.
+    let empty = ShapeCache::from_bytes(&ShapeCache::new(&d).to_bytes()).unwrap();
+    assert!(!empty.has_content());
+}
+
+// ---- bounded contexts: evict, recompile, agree --------------------------
+
+/// Accounted bytes must respect the budget once operations settle, and a
+/// budget far below the working set must force evictions — while every
+/// verdict stays identical to an unbounded context's.
+#[test]
+fn bounded_context_sat_family_evicts_and_agrees() {
+    let bounded = EngineContext::new().with_memory_budget(4_000);
+    let unbounded = EngineContext::new();
+    for round in 0..2 {
+        for k in [3, 4, 5] {
+            let m = hard::cons_exptime(k);
+            let a = bounded.consistent(&m, BUDGET).unwrap();
+            let b = unbounded.consistent(&m, BUDGET).unwrap();
+            assert_eq!(
+                a.is_consistent(),
+                b.is_consistent(),
+                "cons_exptime({k}) round {round}"
+            );
+        }
+    }
+    let stats = bounded.stats();
+    assert!(stats.sat.evictions > 0, "budget below working set: {stats}");
+    assert!(stats.total_bytes() <= 4_000, "{stats}");
+    // The unbounded context never evicts and never re-compiles.
+    let stats = unbounded.stats();
+    assert_eq!(stats.sat.evictions, 0);
+    assert_eq!(stats.sat.misses, stats.sat.entries);
+}
+
+#[test]
+fn bounded_context_chase_family_evicts_and_agrees() {
+    let bounded = EngineContext::new().with_memory_budget(500);
+    let unbounded = EngineContext::new();
+    let src = xmlmap::trees::xml::parse(r#"<r><a v="1"/><a v="2"/></r>"#).unwrap();
+    let mappings = [
+        null_inventing_mapping(),
+        Mapping::parse(
+            "[source]\nroot r\nr -> a*\na @ v\n\
+             [target]\nroot r\nr -> b*\nb @ w\n\
+             [stds]\nr/a(x) --> r/b(x)\n",
+        )
+        .unwrap(),
+    ];
+    for _ in 0..2 {
+        for m in &mappings {
+            let a = bounded.canonical_solution(m, &src).unwrap();
+            let b = unbounded.canonical_solution(m, &src).unwrap();
+            assert!(isomorphic_mod_nulls(&a, &b));
+        }
+    }
+    let stats = bounded.stats();
+    assert!(stats.chase.evictions > 0, "{stats}");
+    assert!(stats.total_bytes() <= 500, "{stats}");
+    assert!(
+        stats.chase.misses > stats.chase.entries,
+        "entries recompiled"
+    );
+}
+
+#[test]
+fn bounded_context_automata_family_evicts_and_agrees() {
+    let bounded = EngineContext::new().with_memory_budget(2_000);
+    let unbounded = EngineContext::new();
+    let d1 = hard::cons_nextsib(3).source_dtd;
+    let d2 = hard::cons_exptime(4).source_dtd;
+    for _ in 0..2 {
+        for (a, b) in [(&d1, &d2), (&d2, &d2), (&d1, &d1)] {
+            let x = bounded.subschema(a, b, BUDGET).unwrap();
+            let y = unbounded.subschema(a, b, BUDGET).unwrap();
+            assert_eq!(x.is_some(), y.is_some());
+        }
+    }
+    let stats = bounded.stats();
+    assert!(stats.automata.evictions > 0, "{stats}");
+    assert!(stats.total_bytes() <= 2_000, "{stats}");
+}
+
+#[test]
+fn bounded_context_shape_family_evicts_and_agrees() {
+    let bounded = EngineContext::new().with_memory_budget(300);
+    let unbounded = EngineContext::new();
+    let m1 = null_inventing_mapping();
+    let m2 = Mapping::parse(
+        "[source]\nroot r\nr -> a*\na @ v\n\
+         [target]\nroot r\nr -> c*\nc @ w\n\
+         [stds]\nr/a(x) --> r/c(x)\n",
+    )
+    .unwrap();
+    let src = xmlmap::trees::xml::parse(r#"<r><a v="1"/></r>"#).unwrap();
+    for _ in 0..2 {
+        for m in [&m1, &m2] {
+            let a = bounded.solution_exists(m, &src, 4);
+            let b = unbounded.solution_exists(m, &src, 4);
+            assert_eq!(a.is_some(), b.is_some());
+        }
+    }
+    let stats = bounded.stats();
+    assert!(stats.shapes.evictions > 0, "{stats}");
+    assert!(stats.total_bytes() <= 300, "{stats}");
+}
+
+// ---- disk-backed contexts -----------------------------------------------
+
+fn temp_cache_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xmlmap-coherence-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A second context over the same store must answer every compile from
+/// disk — and agree with the first on every verdict.
+#[test]
+fn disk_cache_warm_restart_skips_compilation() {
+    let dir = temp_cache_dir("warm");
+    let m = null_inventing_mapping();
+    let src = xmlmap::trees::xml::parse(r#"<r><a v="1"/><a v="2"/></r>"#).unwrap();
+    let d2 = hard::cons_exptime(4).source_dtd;
+
+    let cold = EngineContext::new().with_disk_cache(&dir).unwrap();
+    let sol_cold = cold.canonical_solution(&m, &src).unwrap();
+    let cons_cold = cold.consistent(&m, BUDGET).unwrap();
+    let sub_cold = cold.subschema(&d2, &d2, BUDGET).unwrap();
+    let sol_exists_cold = cold.solution_exists(&m, &src, 6);
+    cold.flush_disk_cache();
+    let stats = cold.stats();
+    assert_eq!(stats.total_disk_hits(), 0);
+    assert!(stats.total_compiled() >= 4);
+
+    // "Restart": a fresh context, same directory.
+    let warm = EngineContext::new().with_disk_cache(&dir).unwrap();
+    let sol_warm = warm.canonical_solution(&m, &src).unwrap();
+    let cons_warm = warm.consistent(&m, BUDGET).unwrap();
+    let sub_warm = warm.subschema(&d2, &d2, BUDGET).unwrap();
+    let sol_exists_warm = warm.solution_exists(&m, &src, 6);
+    assert!(isomorphic_mod_nulls(&sol_cold, &sol_warm));
+    assert_eq!(cons_cold.is_consistent(), cons_warm.is_consistent());
+    assert_eq!(sub_cold.is_some(), sub_warm.is_some());
+    assert_eq!(sol_exists_cold.is_some(), sol_exists_warm.is_some());
+
+    let stats = warm.stats();
+    assert_eq!(
+        stats.total_compiled(),
+        0,
+        "warm restart compiles nothing: {stats}"
+    );
+    assert!(stats.total_disk_hits() >= 4, "{stats}");
+    assert_eq!(stats.sat.compile_time, std::time::Duration::ZERO);
+}
+
+/// Damaged artifacts are a diagnostic counter and a silent recompile,
+/// never an error.
+#[test]
+fn disk_cache_corruption_falls_back_to_compile() {
+    let dir = temp_cache_dir("corrupt");
+    let m = null_inventing_mapping();
+    let src = xmlmap::trees::xml::parse(r#"<r><a v="1"/></r>"#).unwrap();
+
+    let cold = EngineContext::new().with_disk_cache(&dir).unwrap();
+    let sol = cold.canonical_solution(&m, &src).unwrap();
+
+    // Truncate every stored artifact.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    }
+
+    let warm = EngineContext::new().with_disk_cache(&dir).unwrap();
+    let again = warm.canonical_solution(&m, &src).unwrap();
+    assert!(isomorphic_mod_nulls(&sol, &again));
+    let stats = warm.stats();
+    assert_eq!(stats.total_disk_hits(), 0);
+    assert!(stats.chase.disk_errors > 0, "{stats}");
+    assert_eq!(stats.chase.compiled(), 1);
+}
+
+/// An eviction under a disk-backed context refills from the store, not the
+/// compiler.
+#[test]
+fn evicted_entries_refill_from_disk() {
+    let dir = temp_cache_dir("refill");
+    let ctx = EngineContext::new()
+        .with_memory_budget(500)
+        .with_disk_cache(&dir)
+        .unwrap();
+    let src = xmlmap::trees::xml::parse(r#"<r><a v="1"/></r>"#).unwrap();
+    let m1 = null_inventing_mapping();
+    let m2 = Mapping::parse(
+        "[source]\nroot r\nr -> a*\na @ v\n\
+         [target]\nroot r\nr -> b*\nb @ w\n\
+         [stds]\nr/a(x) --> r/b(x)\n",
+    )
+    .unwrap();
+    for _ in 0..3 {
+        for m in [&m1, &m2] {
+            assert!(ctx.canonical_solution(m, &src).is_ok());
+        }
+    }
+    let stats = ctx.stats();
+    assert!(stats.chase.evictions > 0, "{stats}");
+    assert_eq!(
+        stats.chase.compiled(),
+        2,
+        "each mapping compiled once: {stats}"
+    );
+    assert!(stats.chase.disk_hits > 0, "refills came from disk: {stats}");
 }
 
 // ---- EngineContext ------------------------------------------------------

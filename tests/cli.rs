@@ -319,6 +319,87 @@ r[a(x), a(y)] ; x != y --> r/b(x)
 }
 
 #[test]
+fn batch_disk_cache_second_run_compiles_nothing() {
+    let fx = Fixture::new("batch-disk");
+    let jobs = batch_fixture(&fx);
+    let cache = fx.dir.join("cache");
+    let cache = cache.to_string_lossy();
+
+    let (code, out_cold, err_cold) = xmlmap(&["batch", &jobs, "--cache-dir", &cache, "--stats"]);
+    assert_eq!(code, 0, "{err_cold}");
+    assert!(
+        !err_cold.contains("-- totals: 0 compiled"),
+        "cold run must compile: {err_cold}"
+    );
+    assert!(err_cold.contains("loaded from disk"), "{err_cold}");
+
+    // Second process, same directory: every artifact comes off disk.
+    let (code, out_warm, err_warm) = xmlmap(&["batch", &jobs, "--cache-dir", &cache, "--stats"]);
+    assert_eq!(code, 0, "{err_warm}");
+    assert_eq!(out_warm, out_cold, "warm run must be byte-identical");
+    assert!(
+        err_warm.contains("-- totals: 0 compiled"),
+        "warm run must not compile: {err_warm}"
+    );
+}
+
+#[test]
+fn batch_disk_cache_survives_corrupt_artifacts() {
+    let fx = Fixture::new("batch-disk-corrupt");
+    let jobs = batch_fixture(&fx);
+    let cache_dir = fx.dir.join("cache");
+    let cache = cache_dir.to_string_lossy().into_owned();
+
+    let (code, out_cold, _) = xmlmap(&["batch", &jobs, "--cache-dir", &cache, "--stats"]);
+    assert_eq!(code, 0);
+
+    // Truncate every stored artifact to garbage.
+    let mut damaged = 0;
+    for entry in std::fs::read_dir(&cache_dir).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        damaged += 1;
+    }
+    assert!(damaged > 0, "the cold run must have persisted artifacts");
+
+    let (code, out_warm, err_warm) = xmlmap(&["batch", &jobs, "--cache-dir", &cache, "--stats"]);
+    assert_eq!(
+        code, 0,
+        "corrupt artifacts must not fail the run: {err_warm}"
+    );
+    assert_eq!(out_warm, out_cold, "results are unaffected by corruption");
+    assert!(
+        err_warm.contains("unusable disk artifacts"),
+        "corruption is diagnosed in the stats: {err_warm}"
+    );
+    assert!(
+        !err_warm.contains("-- totals: 0 compiled"),
+        "corrupt artifacts force recompilation: {err_warm}"
+    );
+}
+
+#[test]
+fn batch_cache_budget_bounds_memory_without_changing_results() {
+    let fx = Fixture::new("batch-budget");
+    let jobs = batch_fixture(&fx);
+
+    let (code_free, out_free, _) = xmlmap(&["batch", &jobs, "--stats"]);
+    let (code_tight, out_tight, err_tight) =
+        xmlmap(&["batch", &jobs, "--cache-budget", "1K", "--stats"]);
+    assert_eq!((code_free, code_tight), (0, 0), "{err_tight}");
+    assert_eq!(
+        out_tight, out_free,
+        "a bounded context must return byte-identical results"
+    );
+    assert!(err_tight.contains("budget 1000"), "{err_tight}");
+
+    let (code, _, stderr) = xmlmap(&["batch", &jobs, "--cache-budget", "lots"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("not a byte count"), "{stderr}");
+}
+
+#[test]
 fn batch_usage_errors() {
     let (code, _, stderr) = xmlmap(&["batch"]);
     assert_eq!(code, 2);
