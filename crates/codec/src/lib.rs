@@ -247,6 +247,134 @@ impl<'a> Decoder<'a> {
     }
 }
 
+/// Length-delimited framing over byte streams — the wire format of
+/// `xmlmap serve`.
+///
+/// A frame is a 4-byte little-endian payload length followed by the
+/// payload bytes. The reader distinguishes three stream states a server
+/// loop cares about: a complete [`frame::ReadFrame::Frame`], a clean
+/// [`frame::ReadFrame::Eof`] at a frame boundary, and
+/// [`frame::ReadFrame::Idle`] when a read timeout fired before *any* byte
+/// of the next frame arrived (so a poll loop can check a shutdown flag
+/// without desynchronizing the stream). Once the first byte of a frame
+/// has been consumed the reader commits: it retries timeouts until the
+/// frame completes, up to [`frame::STALL_RETRY_LIMIT`] consecutive
+/// timeouts, after which the frame is
+/// reported as corrupt (`InvalidData`) — a half-written frame must never
+/// be silently resynchronized.
+pub mod frame {
+    use std::io::{self, Read, Write};
+
+    /// Hard ceiling a reader enforces on the advertised payload length.
+    /// Requests are job lines and responses are JSON rows, so anything
+    /// near this is corruption, not traffic.
+    pub const MAX_FRAME: u32 = 4 * 1024 * 1024;
+
+    /// Consecutive mid-frame read timeouts tolerated before the frame is
+    /// declared stalled. With the ~20ms poll timeouts the server uses,
+    /// this bounds a dead mid-frame peer to a few seconds of patience.
+    pub const STALL_RETRY_LIMIT: u32 = 100;
+
+    /// What [`read`] found on the stream.
+    #[derive(Debug)]
+    pub enum ReadFrame {
+        /// A complete frame payload.
+        Frame(Vec<u8>),
+        /// The peer closed the stream at a frame boundary.
+        Eof,
+        /// A read timeout fired with no byte of the next frame consumed;
+        /// the stream is still synchronized — poll and retry.
+        Idle,
+    }
+
+    /// Writes one length-delimited frame.
+    pub fn write(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&n| n <= MAX_FRAME)
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "frame payload too large")
+            })?;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(payload)?;
+        w.flush()
+    }
+
+    /// Fills `buf`, retrying timeouts; `commit` is whether earlier bytes
+    /// of the current frame were already consumed (controls Idle vs
+    /// stall handling).
+    fn read_exact_patient(
+        r: &mut impl Read,
+        buf: &mut [u8],
+        mut committed: bool,
+    ) -> io::Result<Option<bool>> {
+        let mut filled = 0;
+        let mut stalls = 0u32;
+        while filled < buf.len() {
+            match r.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return if committed {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream ended mid-frame",
+                        ))
+                    } else {
+                        Ok(None) // clean EOF at a frame boundary
+                    };
+                }
+                Ok(n) => {
+                    filled += n;
+                    committed = true;
+                    stalls = 0;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if !committed {
+                        return Ok(Some(false)); // Idle: nothing consumed yet
+                    }
+                    stalls += 1;
+                    if stalls >= STALL_RETRY_LIMIT {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "frame stalled mid-transfer",
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Some(true))
+    }
+
+    /// Reads one frame. `Ok(Idle)` is only possible when the stream has a
+    /// read timeout configured; blocking streams return `Frame` or `Eof`.
+    pub fn read(r: &mut impl Read, max_len: u32) -> io::Result<ReadFrame> {
+        let mut len_buf = [0u8; 4];
+        match read_exact_patient(r, &mut len_buf, false)? {
+            None => return Ok(ReadFrame::Eof),
+            Some(false) => return Ok(ReadFrame::Idle),
+            Some(true) => {}
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len > max_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds the {max_len}-byte limit"),
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_exact_patient(r, &mut payload, true)? {
+            Some(_) => Ok(ReadFrame::Frame(payload)),
+            None => unreachable!("committed reads never report clean EOF"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +441,46 @@ mod tests {
             Decoder::new(&buf).bool().unwrap_err(),
             CodecError::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        frame::write(&mut buf, b"first").unwrap();
+        frame::write(&mut buf, b"").unwrap();
+        frame::write(&mut buf, b"third frame").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        for expect in [&b"first"[..], b"", b"third frame"] {
+            match frame::read(&mut r, frame::MAX_FRAME).unwrap() {
+                frame::ReadFrame::Frame(p) => assert_eq!(p, expect),
+                other => panic!("expected a frame, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            frame::read(&mut r, frame::MAX_FRAME).unwrap(),
+            frame::ReadFrame::Eof
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        frame::write(&mut buf, b"payload").unwrap();
+        for cut in 1..buf.len() {
+            let mut r = std::io::Cursor::new(&buf[..cut]);
+            let err = frame::read(&mut r, frame::MAX_FRAME).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_invalid_data() {
+        let buf = u32::MAX.to_le_bytes().to_vec();
+        let err = frame::read(&mut std::io::Cursor::new(buf), frame::MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let err =
+            frame::write(&mut Vec::new(), &vec![0u8; frame::MAX_FRAME as usize + 1]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -266,10 +266,23 @@ pub fn run_batch(ctx: &EngineContext, jobs: &[BatchJob], workers: usize) -> Vec<
 /// CLI and the determinism tests so "byte-identical output" means this
 /// exact rendering.
 pub fn render_batch(jobs: &[BatchJob], results: &[JobResult]) -> String {
+    let labeled: Vec<(String, JobResult)> = jobs
+        .iter()
+        .zip(results)
+        .map(|(job, result)| (job.label.clone(), result.clone()))
+        .collect();
+    render_results(&labeled)
+}
+
+/// The rendering behind [`render_batch`], over bare `(label, result)`
+/// pairs. `xmlmap client` reassembles daemon responses into this exact
+/// format, so a serve/client round trip is byte-equivalent to
+/// `xmlmap batch` over the same jobfile.
+pub fn render_results(labeled: &[(String, JobResult)]) -> String {
     let mut out = String::new();
     let (mut yes, mut no, mut failed) = (0usize, 0usize, 0usize);
-    for (i, (job, result)) in jobs.iter().zip(results).enumerate() {
-        out.push_str(&format!("[{}] {}: {result}\n", i + 1, job.label));
+    for (i, (label, result)) in labeled.iter().enumerate() {
+        out.push_str(&format!("[{}] {label}: {result}\n", i + 1));
         match result {
             JobResult::Answer { yes: true, .. } => yes += 1,
             JobResult::Answer { yes: false, .. } => no += 1,
@@ -278,7 +291,7 @@ pub fn render_batch(jobs: &[BatchJob], results: &[JobResult]) -> String {
     }
     out.push_str(&format!(
         "-- {} job(s): {yes} yes, {no} no, {failed} failed\n",
-        jobs.len()
+        labeled.len()
     ));
     out
 }
@@ -305,7 +318,7 @@ pub fn render_batch(jobs: &[BatchJob], results: &[JobResult]) -> String {
 /// the whole parse fails with one clean error *per offending line*; no
 /// jobs run.
 pub fn parse_jobfile(text: &str, dir: &Path) -> Result<Vec<BatchJob>, Vec<String>> {
-    let mut loader = Loader::new(dir);
+    let mut parser = JobParser::new(dir);
     let mut jobs = Vec::new();
     let mut errors = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
@@ -313,11 +326,8 @@ pub fn parse_jobfile(text: &str, dir: &Path) -> Result<Vec<BatchJob>, Vec<String
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        match parse_line(line, &mut loader) {
-            Ok(kind) => jobs.push(BatchJob {
-                label: line.to_string(),
-                kind,
-            }),
+        match parser.parse(line) {
+            Ok(job) => jobs.push(job),
             Err(e) => errors.push(format!("line {}: {e}", lineno + 1)),
         }
     }
@@ -325,6 +335,38 @@ pub fn parse_jobfile(text: &str, dir: &Path) -> Result<Vec<BatchJob>, Vec<String
         Ok(jobs)
     } else {
         Err(errors)
+    }
+}
+
+/// A line-at-a-time jobfile parser with the same path-interning loader as
+/// [`parse_jobfile`]. The `xmlmap serve` daemon keeps one of these alive
+/// for its whole lifetime, so a long-lived request stream over a handful
+/// of schema files parses each file once; note that interning is by
+/// *path*, so a file edited under a running daemon keeps its first-loaded
+/// contents until restart.
+pub struct JobParser {
+    loader: Loader,
+}
+
+impl JobParser {
+    /// A parser resolving job-line paths relative to `dir`.
+    pub fn new(dir: &Path) -> JobParser {
+        JobParser {
+            loader: Loader::new(dir),
+        }
+    }
+
+    /// Parses one job line (comments and blank lines are errors here —
+    /// callers filter them, as [`parse_jobfile`] does).
+    pub fn parse(&mut self, line: &str) -> Result<BatchJob, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Err("empty job line".to_string());
+        }
+        Ok(BatchJob {
+            label: line.to_string(),
+            kind: parse_line(line, &mut self.loader)?,
+        })
     }
 }
 

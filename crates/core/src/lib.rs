@@ -17,13 +17,17 @@ pub mod cond;
 pub mod consistency;
 pub mod engine;
 pub mod exchange;
+pub mod serve;
 pub mod signature;
 pub mod skolem;
 pub mod stds;
 pub mod store;
 
 pub use abscons::{abscons_nr_ptime, abscons_structural, abscons_structural_cached, AbsConsAnswer};
-pub use batch::{parse_jobfile, render_batch, run_batch, run_job, BatchJob, JobKind, JobResult};
+pub use batch::{
+    parse_jobfile, render_batch, render_results, run_batch, run_job, BatchJob, JobKind, JobParser,
+    JobResult,
+};
 pub use bounded::{
     abscons_violation_bounded, consistent_bounded, solution_exists, solution_exists_cached,
     tree_shapes, BoundedOutcome, ShapeCache,
@@ -39,6 +43,9 @@ pub use engine::{CacheCounters, EngineContext, EngineStats};
 pub use exchange::{
     certain_answers, certain_answers_cached, nest_solution, reduce_solution, reduced_solution,
     reduced_solution_cached, CertainAnswersError,
+};
+pub use serve::{
+    serve, Endpoint, Response, ServeClient, ServeConfig, ServeSummary, ShutdownHandle,
 };
 pub use signature::Signature;
 pub use skolem::{SkolemMapping, SkolemStd, Term, TermPattern};

@@ -1,0 +1,1053 @@
+//! `xmlmap serve` — a long-lived daemon over one shared [`EngineContext`].
+//!
+//! The batch driver (`core::batch`) proves that a shared context wins
+//! ~13x over a fresh context per job, but a `batch` process still dies
+//! after one jobfile and throws its warm caches away. This module keeps
+//! the context alive: a [`serve`] loop accepts connections on a unix
+//! socket (or a TCP address), reads length-delimited requests, dispatches
+//! them to a fixed worker pool, and writes JSON responses. Requests reuse
+//! the *jobfile grammar* — one job line per request — so anything a
+//! jobfile can ask, a client can ask interactively.
+//!
+//! ## Wire format
+//!
+//! Both directions are length-delimited frames
+//! ([`xmlmap_codec::frame`]): a 4-byte little-endian payload length, then
+//! the payload. A **request** payload is an `xmlmap-codec` record:
+//!
+//! ```text
+//! magic "XMRQ" · u64 id · u64 deadline_ms · str command
+//! ```
+//!
+//! where `command` is one job line (`consistent m.map`, `member m.map
+//! s.xml t.xml`, …) resolved against the server's root directory, or one
+//! of the service commands `STATS` (counter snapshot) and `PING [ms]`
+//! (health probe, optionally delayed — useful for latency testing and
+//! for deterministic queue-wait tests). `deadline_ms` of 0 means "use
+//! the server default"; ids are chosen by the client (use ids ≥ 1; the
+//! server reserves id 0 for protocol errors) and echoed back verbatim,
+//! so clients may pipeline requests and match responses out of order.
+//!
+//! A **response** payload is one JSON object:
+//!
+//! ```text
+//! {"id":7,"ok":true,"yes":true,"detail":"consistent (…)",
+//!  "elapsed_us":412,"compiled":1,"disk_loaded":0}
+//! {"id":8,"ok":false,"error":"state budget exceeded …","elapsed_us":93}
+//! {"id":9,"ok":true,"stats":{…},"elapsed_us":2}
+//! ```
+//!
+//! `compiled`/`disk_loaded` are the change in the context's
+//! compile/disk-load totals across the request — exact cache-hit
+//! provenance under serial traffic, best-effort under concurrency (the
+//! counters are global).
+//!
+//! ## Semantics
+//!
+//! * **Backpressure** — requests flow through a bounded queue; when the
+//!   pool falls behind, connection readers block on the queue, socket
+//!   buffers fill, and clients stall at `write` — no unbounded buffering
+//!   anywhere in the daemon.
+//! * **Deadlines** — a per-request wall-clock deadline (request field,
+//!   else the server's `--deadline-ms`) is enforced on top of the
+//!   engines' own step budgets: expired-in-queue requests fail without
+//!   running, and a request whose execution overruns its deadline gets a
+//!   budget-style error response. Deadline failures never poison the
+//!   caches — artifacts compiled along the way stay valid (budget errors
+//!   were already never cached).
+//! * **Graceful drain** — when shutdown is requested (SIGTERM in the
+//!   CLI, [`ShutdownHandle::raise`] in-process), the daemon stops
+//!   accepting, stops reading new frames, finishes every request already
+//!   read off a socket, writes those responses, flushes the shape caches
+//!   to the artifact store, and returns an exit-0 summary.
+//!
+//! See DESIGN.md §8.6 for the architecture discussion.
+
+use crate::batch::{run_job, JobParser, JobResult};
+use crate::engine::{CacheCounters, EngineContext, EngineStats};
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use xmlmap_codec::frame::{self, ReadFrame};
+use xmlmap_codec::{Decoder, Encoder};
+
+/// Magic marker opening every request payload.
+pub const REQUEST_MAGIC: [u8; 4] = *b"XMRQ";
+
+/// Ceiling on the artificial `PING <ms>` delay, so a hostile client
+/// cannot park a worker for minutes.
+pub const MAX_PING_DELAY_MS: u64 = 10_000;
+
+/// How long the daemon sleeps between accept polls and how long
+/// connection readers wait before re-checking the shutdown flag. Bounds
+/// shutdown latency; small enough to be invisible next to any engine
+/// call.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Where a daemon listens, or a client connects.
+#[derive(Clone, Debug)]
+pub enum Endpoint {
+    /// A unix-domain socket at this path (the default transport).
+    #[cfg(unix)]
+    Unix(PathBuf),
+    /// A TCP address, `host:port`.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parses a CLI endpoint spec: a socket path, or `host:port` when
+    /// `tcp` is set. On platforms without unix sockets only `--tcp`
+    /// endpoints are accepted.
+    pub fn parse(spec: &str, tcp: bool) -> Result<Endpoint, String> {
+        if tcp {
+            return Ok(Endpoint::Tcp(spec.to_string()));
+        }
+        #[cfg(unix)]
+        {
+            Ok(Endpoint::Unix(PathBuf::from(spec)))
+        }
+        #[cfg(not(unix))]
+        {
+            Err("unix sockets are unavailable on this platform; use --tcp host:port".to_string())
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            #[cfg(unix)]
+            Endpoint::Unix(p) => write!(f, "{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// Configuration for one [`serve`] loop.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing requests (≥ 1).
+    pub workers: usize,
+    /// Default per-request deadline in milliseconds; 0 = none.
+    pub deadline_ms: u64,
+    /// Bound of the request queue between connection readers and the
+    /// pool; 0 derives `max(32, workers * 8)`.
+    pub queue_depth: usize,
+    /// Directory job-line paths resolve against.
+    pub root: PathBuf,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: crate::batch::default_workers(),
+            deadline_ms: 0,
+            queue_depth: 0,
+            root: PathBuf::from("."),
+        }
+    }
+}
+
+/// A cloneable flag that asks a running [`serve`] loop to drain and
+/// exit. Raising it is a single atomic store, safe to do from a signal
+/// handler.
+#[derive(Clone, Default)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// A fresh, unraised handle.
+    pub fn new() -> ShutdownHandle {
+        ShutdownHandle::default()
+    }
+
+    /// Requests shutdown (idempotent).
+    pub fn raise(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_raised(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// What one [`serve`] run did, reported after a clean drain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Well-formed requests dispatched to the pool.
+    pub requests: u64,
+    /// Error responses written (malformed frames, parse failures, budget
+    /// and deadline errors).
+    pub failed: u64,
+}
+
+impl std::fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} connection(s), {} request(s), {} error response(s)",
+            self.connections, self.requests, self.failed
+        )
+    }
+}
+
+/// Shared atomic tallies behind a [`ServeSummary`].
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl Counters {
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Encodes one request payload (the client side of the wire format).
+pub fn encode_request(id: u64, deadline_ms: u64, command: &str) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.magic(&REQUEST_MAGIC);
+    e.u64(id);
+    e.u64(deadline_ms);
+    e.str(command);
+    e.finish()
+}
+
+/// Decodes one request payload into `(id, deadline_ms, command)`.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, u64, String), String> {
+    let mut d = Decoder::new(payload);
+    match d.take_magic() {
+        Some(m) if m == REQUEST_MAGIC => {}
+        _ => return Err("bad request magic".to_string()),
+    }
+    let id = d.u64().map_err(|e| e.to_string())?;
+    let deadline_ms = d.u64().map_err(|e| e.to_string())?;
+    let command = d.str().map_err(|e| e.to_string())?;
+    d.expect_end().map_err(|e| e.to_string())?;
+    Ok((id, deadline_ms, command))
+}
+
+// ---- JSON emission --------------------------------------------------------
+
+/// Escapes `s` for use inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn counters_json(c: &CacheCounters) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"compiled\":{},\"disk_hits\":{},\
+         \"disk_errors\":{},\"evictions\":{},\"bytes\":{},\"entries\":{},\
+         \"compile_ns\":{}}}",
+        c.hits,
+        c.misses,
+        c.compiled(),
+        c.disk_hits,
+        c.disk_errors,
+        c.evictions,
+        c.bytes,
+        c.entries,
+        c.compile_time.as_nanos()
+    )
+}
+
+/// Renders an [`EngineStats`] snapshot (plus server tallies) as the JSON
+/// object the `STATS` request returns. The key CI and warm-restart
+/// checks grep for is `"total_compiled"`.
+pub fn stats_json(stats: &EngineStats, requests: u64, connections: u64) -> String {
+    let budget = match stats.memory_budget {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"sat\":{},\"chase\":{},\"automata\":{},\"shapes\":{},\
+         \"memory_budget\":{budget},\"total_bytes\":{},\"total_compiled\":{},\
+         \"total_disk_hits\":{},\"requests\":{requests},\"connections\":{connections}}}",
+        counters_json(&stats.sat),
+        counters_json(&stats.chase),
+        counters_json(&stats.automata),
+        counters_json(&stats.shapes),
+        stats.total_bytes(),
+        stats.total_compiled(),
+        stats.total_disk_hits(),
+    )
+}
+
+// ---- listener / stream abstraction ----------------------------------------
+
+type BoxedRead = Box<dyn Read + Send>;
+type BoxedWrite = Box<dyn Write + Send>;
+
+enum AnyListener {
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+    Tcp(std::net::TcpListener),
+}
+
+impl AnyListener {
+    fn bind(endpoint: &Endpoint) -> io::Result<AnyListener> {
+        match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                use std::os::unix::net::{UnixListener, UnixStream};
+                match UnixListener::bind(path) {
+                    Ok(l) => Ok(AnyListener::Unix(l)),
+                    Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                        // A live daemon answers a connect; a stale socket
+                        // file (crashed predecessor) refuses it and is
+                        // safe to replace.
+                        if UnixStream::connect(path).is_ok() {
+                            return Err(io::Error::new(
+                                io::ErrorKind::AddrInUse,
+                                format!("{} is already being served", path.display()),
+                            ));
+                        }
+                        std::fs::remove_file(path)?;
+                        Ok(AnyListener::Unix(UnixListener::bind(path)?))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Endpoint::Tcp(addr) => Ok(AnyListener::Tcp(std::net::TcpListener::bind(addr)?)),
+        }
+    }
+
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            AnyListener::Unix(l) => l.set_nonblocking(true),
+            AnyListener::Tcp(l) => l.set_nonblocking(true),
+        }
+    }
+
+    /// One accept poll: `Ok(None)` when no connection is pending. The
+    /// returned reader carries a [`POLL_INTERVAL`] read timeout so the
+    /// connection loop can watch the shutdown flag between frames.
+    fn accept(&self) -> io::Result<Option<(BoxedRead, BoxedWrite)>> {
+        match self {
+            #[cfg(unix)]
+            AnyListener::Unix(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+                    let writer = stream.try_clone()?;
+                    Ok(Some((Box::new(stream), Box::new(writer))))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            AnyListener::Tcp(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+                    let writer = stream.try_clone()?;
+                    Ok(Some((Box::new(stream), Box::new(writer))))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// Per-connection shared state: the response writer, locked per frame so
+/// workers can interleave responses for pipelined requests without
+/// tearing frames.
+struct Conn {
+    writer: Mutex<BoxedWrite>,
+}
+
+impl Conn {
+    fn write_frame(&self, payload: &[u8]) -> io::Result<()> {
+        frame::write(&mut *self.writer.lock().unwrap(), payload)
+    }
+}
+
+/// One dispatched request.
+struct Request {
+    id: u64,
+    /// Resolved deadline instant (arrival + effective deadline_ms).
+    deadline: Option<Instant>,
+    /// The effective deadline in ms, for error messages.
+    deadline_ms: u64,
+    line: String,
+    conn: Arc<Conn>,
+}
+
+// ---- the server -----------------------------------------------------------
+
+/// Runs the daemon until `shutdown` is raised: accept loop, bounded
+/// request queue, `cfg.workers` executor threads over the shared `ctx`.
+/// Returns the drain summary; on return every request that was read off
+/// a socket has been answered and (when a disk store is attached) the
+/// shape caches have been flushed.
+pub fn serve(
+    endpoint: &Endpoint,
+    ctx: &EngineContext,
+    cfg: &ServeConfig,
+    shutdown: &ShutdownHandle,
+) -> io::Result<ServeSummary> {
+    let listener = AnyListener::bind(endpoint)?;
+    listener.set_nonblocking()?;
+    let workers = cfg.workers.max(1);
+    let depth = if cfg.queue_depth == 0 {
+        (workers * 8).max(32)
+    } else {
+        cfg.queue_depth
+    };
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Request>(depth);
+    let rx = Mutex::new(rx);
+    let counters = Counters::default();
+    let parser = Mutex::new(JobParser::new(&cfg.root));
+
+    let accept_result: io::Result<()> = std::thread::scope(|scope| {
+        let rx = &rx;
+        let counters = &counters;
+        let parser = &parser;
+        for _ in 0..workers {
+            scope.spawn(move || worker_loop(ctx, parser, rx, counters));
+        }
+        let mut conns = Vec::new();
+        let mut accept_err = None;
+        while !shutdown.is_raised() {
+            match listener.accept() {
+                Ok(Some((reader, writer))) => {
+                    counters.connections.fetch_add(1, Ordering::Relaxed);
+                    let conn = Arc::new(Conn {
+                        writer: Mutex::new(writer),
+                    });
+                    let tx = tx.clone();
+                    let default_deadline = cfg.deadline_ms;
+                    conns.push(scope.spawn(move || {
+                        conn_loop(reader, conn, tx, shutdown, counters, default_deadline)
+                    }));
+                }
+                Ok(None) => std::thread::sleep(POLL_INTERVAL),
+                Err(e) => {
+                    accept_err = Some(e);
+                    shutdown.raise();
+                }
+            }
+            conns.retain(|h| !h.is_finished());
+        }
+        // Drain: connection readers notice the flag within one poll
+        // interval and stop submitting; everything already queued is
+        // executed once the main sender drops and the workers run the
+        // queue dry.
+        for handle in conns {
+            let _ = handle.join();
+        }
+        drop(tx);
+        match accept_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    });
+    ctx.flush_disk_cache();
+    #[cfg(unix)]
+    if let Endpoint::Unix(path) = endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+    accept_result?;
+    Ok(counters.summary())
+}
+
+/// Reads frames off one connection until EOF, an unrecoverable framing
+/// error, or shutdown. Malformed *payloads* get an id-0 error response
+/// and the connection lives on (the length prefix kept the stream
+/// synchronized); malformed *framing* closes the connection.
+fn conn_loop(
+    mut reader: BoxedRead,
+    conn: Arc<Conn>,
+    tx: SyncSender<Request>,
+    shutdown: &ShutdownHandle,
+    counters: &Counters,
+    default_deadline_ms: u64,
+) {
+    loop {
+        if shutdown.is_raised() {
+            return;
+        }
+        match frame::read(&mut reader, frame::MAX_FRAME) {
+            Ok(ReadFrame::Idle) => continue,
+            Ok(ReadFrame::Eof) | Err(_) => return,
+            Ok(ReadFrame::Frame(payload)) => match decode_request(&payload) {
+                Ok((id, requested_ms, line)) => {
+                    let deadline_ms = if requested_ms > 0 {
+                        requested_ms
+                    } else {
+                        default_deadline_ms
+                    };
+                    let deadline = if deadline_ms > 0 {
+                        Instant::now().checked_add(Duration::from_millis(deadline_ms))
+                    } else {
+                        None
+                    };
+                    counters.requests.fetch_add(1, Ordering::Relaxed);
+                    let request = Request {
+                        id,
+                        deadline,
+                        deadline_ms,
+                        line,
+                        conn: conn.clone(),
+                    };
+                    // Blocks when the queue is full: backpressure all the
+                    // way to the client. Send only fails after the
+                    // workers are gone, i.e. during teardown.
+                    if tx.send(request).is_err() {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    let json = format!(
+                        "{{\"id\":0,\"ok\":false,\"error\":\"malformed request frame: {}\"}}",
+                        json_escape(&e)
+                    );
+                    if conn.write_frame(json.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Executes queued requests until the channel closes (drain complete).
+fn worker_loop(
+    ctx: &EngineContext,
+    parser: &Mutex<JobParser>,
+    rx: &Mutex<Receiver<Request>>,
+    counters: &Counters,
+) {
+    loop {
+        let request = match rx.lock().unwrap().recv() {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let (json, failed) = execute(ctx, parser, counters, &request);
+        if failed {
+            counters.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        let _ = request.conn.write_frame(json.as_bytes());
+    }
+}
+
+/// Runs one request to a response JSON string; the bool is "this is an
+/// error response".
+fn execute(
+    ctx: &EngineContext,
+    parser: &Mutex<JobParser>,
+    counters: &Counters,
+    request: &Request,
+) -> (String, bool) {
+    let start = Instant::now();
+    let expired = |when: &str| {
+        (
+            format!(
+                "{{\"id\":{},\"ok\":false,\"error\":\"request deadline of {}ms exceeded {when}\"}}",
+                request.id, request.deadline_ms
+            ),
+            true,
+        )
+    };
+    if request.deadline.is_some_and(|d| Instant::now() > d) {
+        return expired("before execution");
+    }
+    let line = request.line.trim();
+    if line == "STATS" {
+        let stats = stats_json(
+            &ctx.stats(),
+            counters.requests.load(Ordering::Relaxed),
+            counters.connections.load(Ordering::Relaxed),
+        );
+        let json = format!(
+            "{{\"id\":{},\"ok\":true,\"stats\":{stats},\"elapsed_us\":{}}}",
+            request.id,
+            start.elapsed().as_micros()
+        );
+        return (json, false);
+    }
+    if let Some(rest) = line.strip_prefix("PING") {
+        let rest = rest.trim();
+        let delay = if rest.is_empty() {
+            0
+        } else {
+            match rest.parse::<u64>() {
+                Ok(ms) => ms.min(MAX_PING_DELAY_MS),
+                Err(_) => return (
+                    format!(
+                        "{{\"id\":{},\"ok\":false,\"error\":\"PING delay `{}` is not a number\"}}",
+                        request.id,
+                        json_escape(rest)
+                    ),
+                    true,
+                ),
+            }
+        };
+        if delay > 0 {
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+        if request.deadline.is_some_and(|d| Instant::now() > d) {
+            return expired("during execution");
+        }
+        let json = format!(
+            "{{\"id\":{},\"ok\":true,\"yes\":true,\"detail\":\"pong\",\"elapsed_us\":{},\
+             \"compiled\":0,\"disk_loaded\":0}}",
+            request.id,
+            start.elapsed().as_micros()
+        );
+        return (json, false);
+    }
+    let job = match parser.lock().unwrap().parse(line) {
+        Ok(job) => job,
+        Err(e) => {
+            return (
+                format!(
+                    "{{\"id\":{},\"ok\":false,\"error\":\"{}\",\"elapsed_us\":{}}}",
+                    request.id,
+                    json_escape(&e),
+                    start.elapsed().as_micros()
+                ),
+                true,
+            )
+        }
+    };
+    let before = ctx.stats();
+    let result = run_job(ctx, &job);
+    let after = ctx.stats();
+    if request.deadline.is_some_and(|d| Instant::now() > d) {
+        return expired("during execution");
+    }
+    let elapsed_us = start.elapsed().as_micros();
+    match result {
+        JobResult::Answer { yes, detail } => (
+            format!(
+                "{{\"id\":{},\"ok\":true,\"yes\":{yes},\"detail\":\"{}\",\"elapsed_us\":{elapsed_us},\
+                 \"compiled\":{},\"disk_loaded\":{}}}",
+                request.id,
+                json_escape(&detail),
+                after.total_compiled().saturating_sub(before.total_compiled()),
+                after.total_disk_hits().saturating_sub(before.total_disk_hits()),
+            ),
+            false,
+        ),
+        JobResult::Failed { error } => (
+            format!(
+                "{{\"id\":{},\"ok\":false,\"error\":\"{}\",\"elapsed_us\":{elapsed_us}}}",
+                request.id,
+                json_escape(&error)
+            ),
+            true,
+        ),
+    }
+}
+
+// ---- a minimal JSON reader for the daemon's own responses -----------------
+
+/// A parsed flat JSON value. Nested objects are kept as raw text — the
+/// only nested object the protocol emits is the `STATS` payload, which
+/// clients pass through verbatim.
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+    Null,
+    Object(String),
+}
+
+/// Parses one of the daemon's own JSON response objects. Not a general
+/// JSON parser — exactly the subset the emitter above produces (flat
+/// objects, string/number/bool/null values, one level of nesting kept
+/// raw).
+fn parse_flat_json(text: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    };
+    let expect = |pos: &mut usize, b: u8| -> Result<(), String> {
+        if *pos < bytes.len() && bytes[*pos] == b {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, *pos))
+        }
+    };
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            *pos += 4;
+                        }
+                        _ => return Err("unknown escape".to_string()),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let s = text_tail(bytes, *pos);
+                    let c = s.chars().next().ok_or("invalid UTF-8")?;
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+    fn text_tail(bytes: &[u8], pos: usize) -> &str {
+        std::str::from_utf8(&bytes[pos..]).unwrap_or("")
+    }
+    fn parse_raw_object(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        let start = *pos;
+        let mut depth = 0usize;
+        let mut in_string = false;
+        while *pos < bytes.len() {
+            let b = bytes[*pos];
+            if in_string {
+                match b {
+                    b'\\' => *pos += 1,
+                    b'"' => in_string = false,
+                    _ => {}
+                }
+            } else {
+                match b {
+                    b'"' => in_string = true,
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            *pos += 1;
+                            return Ok(String::from_utf8_lossy(&bytes[start..*pos]).into_owned());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            *pos += 1;
+        }
+        Err("unterminated object".to_string())
+    }
+    skip_ws(&mut pos);
+    expect(&mut pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(&mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut pos);
+        let key = parse_string(bytes, &mut pos)?;
+        skip_ws(&mut pos);
+        expect(&mut pos, b':')?;
+        skip_ws(&mut pos);
+        let value = match bytes.get(pos) {
+            Some(b'"') => JsonValue::Str(parse_string(bytes, &mut pos)?),
+            Some(b'{') => JsonValue::Object(parse_raw_object(bytes, &mut pos)?),
+            Some(b't') if bytes[pos..].starts_with(b"true") => {
+                pos += 4;
+                JsonValue::Bool(true)
+            }
+            Some(b'f') if bytes[pos..].starts_with(b"false") => {
+                pos += 5;
+                JsonValue::Bool(false)
+            }
+            Some(b'n') if bytes[pos..].starts_with(b"null") => {
+                pos += 4;
+                JsonValue::Null
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = pos;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let n = std::str::from_utf8(&bytes[start..pos])
+                    .unwrap()
+                    .parse::<u64>()
+                    .map_err(|_| "number overflows u64".to_string())?;
+                JsonValue::Num(n)
+            }
+            _ => return Err(format!("unexpected value at byte {pos}")),
+        };
+        fields.push((key, value));
+        skip_ws(&mut pos);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => return Ok(fields),
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+// ---- the client -----------------------------------------------------------
+
+/// One decoded daemon response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The echoed request id (0 for protocol errors).
+    pub id: u64,
+    /// The verdict, in the same shape the batch driver uses — so client
+    /// front ends can reuse [`crate::batch::render_results`].
+    pub result: JobResult,
+    /// Server-side wall-clock for the request, microseconds.
+    pub elapsed_us: u64,
+    /// Compilations this request triggered (exact under serial traffic).
+    pub compiled: u64,
+    /// Artifact-store loads this request triggered.
+    pub disk_loaded: u64,
+    /// The raw stats object, for `STATS` responses.
+    pub stats: Option<String>,
+    /// The raw response text.
+    pub raw: String,
+}
+
+impl Response {
+    /// Decodes one response payload.
+    pub fn parse(payload: &[u8]) -> io::Result<Response> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))?;
+        let fields = parse_flat_json(text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}"))
+        })?;
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let num = |k: &str| match get(k) {
+            Some(JsonValue::Num(n)) => *n,
+            _ => 0,
+        };
+        let ok = matches!(get("ok"), Some(JsonValue::Bool(true)));
+        let result = if ok {
+            let detail = match get("detail") {
+                Some(JsonValue::Str(s)) => s.clone(),
+                _ => "ok".to_string(),
+            };
+            let yes = matches!(get("yes"), Some(JsonValue::Bool(true)));
+            JobResult::Answer { yes, detail }
+        } else {
+            let error = match get("error") {
+                Some(JsonValue::Str(s)) => s.clone(),
+                _ => "unspecified server error".to_string(),
+            };
+            JobResult::Failed { error }
+        };
+        let stats = match get("stats") {
+            Some(JsonValue::Object(raw)) => Some(raw.clone()),
+            _ => None,
+        };
+        Ok(Response {
+            id: num("id"),
+            result,
+            elapsed_us: num("elapsed_us"),
+            compiled: num("compiled"),
+            disk_loaded: num("disk_loaded"),
+            stats,
+            raw: text.to_string(),
+        })
+    }
+}
+
+/// A blocking client for the serve protocol: connect, pipeline job
+/// lines, collect responses. Used by `xmlmap client` and the end-to-end
+/// tests.
+pub struct ServeClient {
+    reader: BoxedRead,
+    writer: BoxedWrite,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connects to a running daemon.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<ServeClient> {
+        let (reader, writer): (BoxedRead, BoxedWrite) = match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let stream = std::os::unix::net::UnixStream::connect(path)?;
+                let writer = stream.try_clone()?;
+                (Box::new(stream), Box::new(writer))
+            }
+            Endpoint::Tcp(addr) => {
+                let stream = std::net::TcpStream::connect(addr)?;
+                let writer = stream.try_clone()?;
+                (Box::new(stream), Box::new(writer))
+            }
+        };
+        Ok(ServeClient {
+            reader,
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// [`ServeClient::connect`], retried for up to `patience` — for
+    /// drivers that start the daemon themselves and race its bind.
+    pub fn connect_with_retry(endpoint: &Endpoint, patience: Duration) -> io::Result<ServeClient> {
+        let deadline = Instant::now() + patience;
+        loop {
+            match ServeClient::connect(endpoint) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+
+    /// Sends one command without waiting for the response; returns the
+    /// assigned request id. `deadline_ms` of 0 uses the server default.
+    pub fn send(&mut self, command: &str, deadline_ms: u64) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        frame::write(&mut self.writer, &encode_request(id, deadline_ms, command))?;
+        Ok(id)
+    }
+
+    /// Receives the next response (any request id).
+    pub fn recv(&mut self) -> io::Result<Response> {
+        match frame::read(&mut self.reader, frame::MAX_FRAME)? {
+            ReadFrame::Frame(payload) => Response::parse(&payload),
+            ReadFrame::Eof => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            ReadFrame::Idle => unreachable!("client streams have no read timeout"),
+        }
+    }
+
+    /// Sends one command and waits for its response.
+    pub fn roundtrip(&mut self, command: &str, deadline_ms: u64) -> io::Result<Response> {
+        let id = self.send(command, deadline_ms)?;
+        let response = self.recv()?;
+        if response.id != id && response.id != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {} for request {id}", response.id),
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Fetches the daemon's `STATS` snapshot (raw JSON).
+    pub fn stats(&mut self) -> io::Result<String> {
+        let response = self.roundtrip("STATS", 0)?;
+        response.stats.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "STATS response without stats")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_payloads_round_trip() {
+        let payload = encode_request(42, 250, "consistent copy.map");
+        let (id, deadline_ms, line) = decode_request(&payload).unwrap();
+        assert_eq!(
+            (id, deadline_ms, line.as_str()),
+            (42, 250, "consistent copy.map")
+        );
+        assert!(decode_request(b"junk").is_err());
+        let mut trailing = encode_request(1, 0, "STATS");
+        trailing.push(0);
+        assert!(decode_request(&trailing).is_err());
+    }
+
+    #[test]
+    fn responses_parse_back_including_escapes_and_stats() {
+        let json = format!(
+            "{{\"id\":7,\"ok\":true,\"yes\":false,\"detail\":\"{}\",\"elapsed_us\":12,\
+             \"compiled\":1,\"disk_loaded\":0}}",
+            json_escape("NOT a \"sub\"schema\n\ttab")
+        );
+        let r = Response::parse(json.as_bytes()).unwrap();
+        assert_eq!(r.id, 7);
+        assert_eq!(
+            r.result,
+            JobResult::Answer {
+                yes: false,
+                detail: "NOT a \"sub\"schema\n\ttab".to_string()
+            }
+        );
+        assert_eq!((r.compiled, r.disk_loaded), (1, 0));
+
+        let stats = stats_json(&EngineStats::default(), 3, 1);
+        let wrapped = format!("{{\"id\":9,\"ok\":true,\"stats\":{stats},\"elapsed_us\":2}}");
+        let r = Response::parse(wrapped.as_bytes()).unwrap();
+        assert_eq!(r.stats.as_deref(), Some(stats.as_str()));
+        assert!(stats.contains("\"total_compiled\":0"));
+    }
+
+    #[test]
+    fn error_responses_become_failed_results() {
+        let r = Response::parse(
+            b"{\"id\":3,\"ok\":false,\"error\":\"state budget exceeded\",\"elapsed_us\":5}",
+        )
+        .unwrap();
+        assert_eq!(
+            r.result,
+            JobResult::Failed {
+                error: "state budget exceeded".to_string()
+            }
+        );
+    }
+}

@@ -13,6 +13,13 @@
 //! xmlmap batch     <jobfile> [--workers N] [--stats]
 //!                  [--cache-budget BYTES] [--cache-dir DIR]
 //!                                                run a job list in parallel
+//! xmlmap serve     <socket> [--tcp] [--workers N] [--deadline-ms T]
+//!                  [--queue N] [--root DIR]
+//!                  [--cache-budget BYTES] [--cache-dir DIR]
+//!                                                long-lived request daemon
+//! xmlmap client    <socket> [jobfile] [--tcp] [--job LINE]... [--stats]
+//!                  [--deadline-ms T] [--wait-ms N]
+//!                                                drive a running daemon
 //! ```
 //!
 //! Mapping files use the `[source]`/`[target]`/`[stds]` format of
@@ -27,6 +34,17 @@
 //! evicting least-recently-used entries past the limit; `--cache-dir`
 //! attaches a persistent compiled-artifact store so a later run against
 //! the same schemas skips compilation entirely.
+//!
+//! `serve` keeps one shared context alive across any number of requests:
+//! it listens on a unix socket (or, with `--tcp`, a TCP address), fans
+//! requests — job lines in the batch grammar, plus `STATS` and
+//! `PING [ms]` — over a fixed worker pool, and answers with JSON frames
+//! (wire format: `xmlmap::core::serve`). SIGTERM/SIGINT drain in-flight
+//! requests, flush the artifact store, and exit 0. `client` connects,
+//! pipelines a jobfile (and/or `--job` lines), and prints responses in
+//! the exact `batch` output format — byte-equivalent for the same
+//! jobfile; `--stats` additionally fetches the daemon's `STATS` snapshot
+//! and prints the JSON to stderr.
 //!
 //! [`EngineContext`]: xmlmap::core::EngineContext
 
@@ -60,6 +78,35 @@ fn parse_bytes(s: &str) -> Result<u64, String> {
         .parse::<u64>()
         .map(|n| n * scale)
         .map_err(|_| format!("`{s}` is not a byte count (try 64M, 2G, 1000000)"))
+}
+
+/// Prints the engine-cache counter block to stderr — shared by `batch`
+/// (`--stats`, on every exit path) and `serve` (at drain), so failed runs
+/// stay as diagnosable as clean ones.
+fn print_engine_stats(ctx: &EngineContext, heading: &str) {
+    let snapshot = ctx.stats();
+    eprintln!("-- engine cache stats ({heading})");
+    eprintln!("{snapshot}");
+    eprintln!(
+        "-- totals: {} compiled, {} loaded from disk",
+        snapshot.total_compiled(),
+        snapshot.total_disk_hits()
+    );
+}
+
+/// Builds an [`EngineContext`] from the shared `--cache-budget` /
+/// `--cache-dir` options.
+fn build_context(budget: Option<u64>, cache_dir: Option<&str>) -> Result<EngineContext, String> {
+    let mut ctx = EngineContext::new();
+    if let Some(b) = budget {
+        ctx = ctx.with_memory_budget(b);
+    }
+    if let Some(dir) = cache_dir {
+        ctx = ctx
+            .with_disk_cache(dir)
+            .map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+    }
+    Ok(ctx)
 }
 
 /// Runs a jobfile over a shared [`EngineContext`] on `--workers` threads.
@@ -103,16 +150,20 @@ fn run_batch_command(args: &[&str]) -> Result<bool, String> {
          [--cache-budget BYTES] [--cache-dir DIR]"
             .to_string()
     })?;
-    let mut ctx = EngineContext::new();
-    if let Some(b) = budget {
-        ctx = ctx.with_memory_budget(b);
+    let ctx = build_context(budget, cache_dir)?;
+    // The counter block prints on *every* exit path past this point —
+    // exit 1 (failed jobs) and exit 2 (malformed jobfile) included — so a
+    // failed batch is still diagnosable from its cache behaviour.
+    let outcome = run_batch_jobs(&ctx, jobfile, workers);
+    if stats {
+        print_engine_stats(&ctx, &format!("{workers} workers"));
     }
-    if let Some(dir) = cache_dir {
-        ctx = ctx
-            .with_disk_cache(dir)
-            .map_err(|e| format!("--cache-dir {dir}: {e}"))?;
-    }
-    let ctx = &ctx;
+    outcome
+}
+
+/// The jobfile-to-rendered-results part of `batch`, separated so stats
+/// printing wraps all of its exit paths.
+fn run_batch_jobs(ctx: &EngineContext, jobfile: &str, workers: usize) -> Result<bool, String> {
     let text = read(jobfile)?;
     let dir = std::path::Path::new(jobfile)
         .parent()
@@ -128,19 +179,205 @@ fn run_batch_command(args: &[&str]) -> Result<bool, String> {
     let results = xmlmap::core::run_batch(ctx, &jobs, workers);
     ctx.flush_disk_cache();
     print!("{}", xmlmap::core::render_batch(&jobs, &results));
-    if stats {
-        let snapshot = ctx.stats();
-        eprintln!("-- engine cache stats ({workers} workers)");
-        eprintln!("{snapshot}");
-        eprintln!(
-            "-- totals: {} compiled, {} loaded from disk",
-            snapshot.total_compiled(),
-            snapshot.total_disk_hits()
-        );
-    }
     Ok(results
         .iter()
         .all(|r| !matches!(r, xmlmap::core::JobResult::Failed { .. })))
+}
+
+/// Registers SIGTERM/SIGINT handlers that raise the daemon's shutdown
+/// flag (a single atomic store — async-signal-safe). Pure-std FFI against
+/// the platform `signal(2)`; the build has no `libc` crate.
+#[cfg(unix)]
+fn install_signal_handlers(handle: xmlmap::core::ShutdownHandle) {
+    use std::sync::OnceLock;
+    static HANDLE: OnceLock<xmlmap::core::ShutdownHandle> = OnceLock::new();
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(h) = HANDLE.get() {
+            h.raise();
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let _ = HANDLE.set(handle);
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers(_handle: xmlmap::core::ShutdownHandle) {}
+
+/// `xmlmap serve <socket>` — the long-lived daemon over one context.
+fn run_serve_command(args: &[&str]) -> Result<bool, String> {
+    let mut socket: Option<&str> = None;
+    let mut tcp = false;
+    let mut cfg = xmlmap::core::ServeConfig::default();
+    let mut budget: Option<u64> = None;
+    let mut cache_dir: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, String> {
+            let n = it.next().ok_or_else(|| format!("{flag} needs a number"))?;
+            n.parse::<u64>()
+                .map_err(|_| format!("{flag}: `{n}` is not a number"))
+        };
+        match arg {
+            "--tcp" => tcp = true,
+            "--workers" => cfg.workers = num("--workers")? as usize,
+            "--deadline-ms" => cfg.deadline_ms = num("--deadline-ms")?,
+            "--queue" => cfg.queue_depth = num("--queue")? as usize,
+            "--root" => {
+                cfg.root = std::path::PathBuf::from(
+                    *it.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--cache-budget" => {
+                let b = it
+                    .next()
+                    .ok_or_else(|| "--cache-budget needs a byte count".to_string())?;
+                budget = Some(parse_bytes(b).map_err(|e| format!("--cache-budget: {e}"))?);
+            }
+            "--cache-dir" => {
+                cache_dir = Some(
+                    *it.next()
+                        .ok_or_else(|| "--cache-dir needs a directory".to_string())?,
+                );
+            }
+            _ if socket.is_none() => socket = Some(arg),
+            _ => return Err(format!("serve: unexpected argument `{arg}`")),
+        }
+    }
+    let socket = socket.ok_or_else(|| {
+        "usage: xmlmap serve <socket> [--tcp] [--workers N] [--deadline-ms T] [--queue N] \
+         [--root DIR] [--cache-budget BYTES] [--cache-dir DIR]"
+            .to_string()
+    })?;
+    let endpoint = xmlmap::core::Endpoint::parse(socket, tcp)?;
+    let ctx = build_context(budget, cache_dir)?;
+    let shutdown = xmlmap::core::ShutdownHandle::new();
+    install_signal_handlers(shutdown.clone());
+    eprintln!(
+        "xmlmap serve: listening on {endpoint} ({} workers, deadline {}, root {})",
+        cfg.workers.max(1),
+        if cfg.deadline_ms == 0 {
+            "none".to_string()
+        } else {
+            format!("{}ms", cfg.deadline_ms)
+        },
+        cfg.root.display()
+    );
+    let summary =
+        xmlmap::core::serve(&endpoint, &ctx, &cfg, &shutdown).map_err(|e| format!("serve: {e}"))?;
+    eprintln!("xmlmap serve: drained — {summary}");
+    print_engine_stats(&ctx, &format!("serve, {} workers", cfg.workers.max(1)));
+    Ok(true)
+}
+
+/// `xmlmap client <socket>` — drive a running daemon with a jobfile
+/// and/or `--job` lines, printing responses in the `batch` format.
+fn run_client_command(args: &[&str]) -> Result<bool, String> {
+    let mut socket: Option<&str> = None;
+    let mut jobfile: Option<&str> = None;
+    let mut tcp = false;
+    let mut stats = false;
+    let mut deadline_ms = 0u64;
+    let mut wait_ms = 5_000u64;
+    let mut extra_jobs: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--tcp" => tcp = true,
+            "--stats" => stats = true,
+            "--job" => {
+                extra_jobs.push(
+                    it.next()
+                        .ok_or_else(|| "--job needs a job line".to_string())?
+                        .to_string(),
+                );
+            }
+            "--deadline-ms" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| "--deadline-ms needs a number".to_string())?;
+                deadline_ms = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("--deadline-ms: `{n}` is not a number"))?;
+            }
+            "--wait-ms" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| "--wait-ms needs a number".to_string())?;
+                wait_ms = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("--wait-ms: `{n}` is not a number"))?;
+            }
+            _ if socket.is_none() => socket = Some(arg),
+            _ if jobfile.is_none() => jobfile = Some(arg),
+            _ => return Err(format!("client: unexpected argument `{arg}`")),
+        }
+    }
+    let socket = socket.ok_or_else(|| {
+        "usage: xmlmap client <socket> [jobfile] [--tcp] [--job LINE]... [--stats] \
+         [--deadline-ms T] [--wait-ms N]"
+            .to_string()
+    })?;
+    let endpoint = xmlmap::core::Endpoint::parse(socket, tcp)?;
+    // Job lines: the jobfile's (filtered exactly like `batch` filters
+    // them, so the rendering is byte-equivalent), then any `--job` lines.
+    let mut lines: Vec<String> = Vec::new();
+    if let Some(path) = jobfile {
+        for raw in read(path)?.lines() {
+            let line = raw.trim();
+            if !line.is_empty() && !line.starts_with('#') {
+                lines.push(line.to_string());
+            }
+        }
+    }
+    lines.extend(extra_jobs);
+    let mut client = xmlmap::core::ServeClient::connect_with_retry(
+        &endpoint,
+        std::time::Duration::from_millis(wait_ms),
+    )
+    .map_err(|e| format!("client: cannot connect to {endpoint}: {e}"))?;
+    // Windowed pipelining: keep up to `WINDOW` requests in flight so the
+    // daemon's worker pool sees real concurrency from one connection,
+    // while response frames can never overfill the socket buffer.
+    const WINDOW: usize = 32;
+    let total = lines.len();
+    let mut results: Vec<Option<xmlmap::core::JobResult>> = vec![None; total];
+    let (mut sent, mut received) = (0usize, 0usize);
+    while received < total {
+        while sent < total && sent - received < WINDOW {
+            client
+                .send(&lines[sent], deadline_ms)
+                .map_err(|e| format!("client: send failed: {e}"))?;
+            sent += 1;
+        }
+        let response = client.recv().map_err(|e| format!("client: {e}"))?;
+        let id = response.id as usize;
+        if id == 0 || id > total || results[id - 1].is_some() {
+            return Err(format!("client: unexpected response id {id}"));
+        }
+        results[id - 1] = Some(response.result);
+        received += 1;
+    }
+    let labeled: Vec<(String, xmlmap::core::JobResult)> = lines
+        .into_iter()
+        .zip(results.into_iter().map(|r| r.expect("all ids received")))
+        .collect();
+    print!("{}", xmlmap::core::render_results(&labeled));
+    if stats {
+        let snapshot = client.stats().map_err(|e| format!("client: STATS: {e}"))?;
+        eprintln!("{snapshot}");
+    }
+    Ok(labeled
+        .iter()
+        .all(|(_, r)| !matches!(r, xmlmap::core::JobResult::Failed { .. })))
 }
 
 fn run() -> Result<bool, String> {
@@ -151,6 +388,8 @@ fn run() -> Result<bool, String> {
     let ctx = EngineContext::new();
     match strs.as_slice() {
         ["batch", rest @ ..] => run_batch_command(rest),
+        ["serve", rest @ ..] => run_serve_command(rest),
+        ["client", rest @ ..] => run_client_command(rest),
         ["validate", dtd_path, xml_path] => {
             let dtd = xmlmap::dtd::parse(&read(dtd_path)?).map_err(|e| e.to_string())?;
             let mut tree = load_tree(xml_path)?;
@@ -323,7 +562,7 @@ fn run() -> Result<bool, String> {
             }
             Ok(true)
         }
-        _ => Err("usage: xmlmap <validate|match|check|chase|certain|consistent|abscons|compose|subschema|batch> …\n\
+        _ => Err("usage: xmlmap <validate|match|check|chase|certain|consistent|abscons|compose|subschema|batch|serve|client> …\n\
                   see `xmlmap` module docs for argument lists"
             .to_string()),
     }

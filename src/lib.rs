@@ -43,6 +43,7 @@
 //! ```
 
 pub use xmlmap_automata as automata;
+pub use xmlmap_codec as codec;
 pub use xmlmap_core as core;
 pub use xmlmap_dtd as dtd;
 pub use xmlmap_gen as gen;
