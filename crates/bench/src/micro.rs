@@ -464,6 +464,55 @@ pub fn run_suite() -> Vec<(&'static str, f64)> {
         );
     });
 
+    // Streaming rows: the O(depth) engines of `xmlmap stream`. Both are
+    // self-asserting — the membership row checks the streaming verdict
+    // against the tree-based evaluator on the 1x bench document, and the
+    // RSS row checks that peak live streaming state over a 100x corpus
+    // stays within 2x of the 1x run (flat in document size). Corpora are
+    // streamed from temp files, never materialised.
+    let uni_idx = std::sync::Arc::new(xmlmap_dtd::DtdIndex::new(&xmlmap_gen::university_dtd()));
+    let stream_dir =
+        std::env::temp_dir().join(format!("xmlmap-bench-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&stream_dir).expect("bench corpus dir");
+    let corpus = |scale: usize| {
+        let path = stream_dir.join(format!("university_{scale}x.xml"));
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path).expect("bench corpus"));
+        xmlmap_gen::write_university_xml(160 * scale, 3, &mut w).expect("bench corpus");
+        std::io::Write::flush(&mut w).expect("bench corpus");
+        path
+    };
+    let stream_file = |path: &std::path::Path, plan: Option<&xmlmap_patterns::StreamPattern>| {
+        let src = std::io::BufReader::new(std::fs::File::open(path).expect("bench corpus"));
+        let out = xmlmap_core::stream_document(&uni_idx, plan, src).expect("well-formed corpus");
+        assert_eq!(out.violation, None, "bench corpora conform");
+        out
+    };
+    let (corpus_1x, corpus_100x) = (corpus(1), corpus(100));
+
+    // Membership verdict parity on the 1x document, measured streaming.
+    let stream_probe = xmlmap_patterns::parse("r//year(y)[course(c1), course(c2)]").unwrap();
+    let stream_plan = xmlmap_patterns::StreamPattern::compile(&stream_probe).unwrap();
+    let mut tree_1x = xmlmap_gen::university_tree(160, 3);
+    uni_idx.dtd().normalize_attrs(&mut tree_1x).unwrap();
+    let tree_verdict = xmlmap_patterns::matches(&tree_1x, &stream_probe);
+    bench("stream/membership_vs_tree_1x", &mut || {
+        let out = stream_file(&corpus_1x, Some(&stream_plan));
+        assert_eq!(out.matched, Some(tree_verdict), "stream vs tree verdict");
+    });
+
+    // Flat-RSS conformance: peak live state over 100x within 2x of 1x.
+    let state_1x = stream_file(&corpus_1x, None).stats.peak_state_bytes;
+    bench("stream/conformance_100x_flat_rss", &mut || {
+        let out = stream_file(&corpus_100x, None);
+        assert!(
+            out.stats.peak_state_bytes <= 2 * state_1x,
+            "streaming state grew with document size: {} bytes at 100x vs {} at 1x",
+            out.stats.peak_state_bytes,
+            state_1x
+        );
+    });
+    let _ = std::fs::remove_dir_all(&stream_dir);
+
     out
 }
 

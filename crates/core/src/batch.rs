@@ -42,6 +42,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use xmlmap_automata::SubschemaViolation;
 use xmlmap_dtd::Dtd;
+use xmlmap_patterns::{Pattern, StreamPattern};
 use xmlmap_trees::Tree;
 
 /// Default per-job state budget (matches the CLI's single-query budget).
@@ -95,6 +96,18 @@ pub enum JobKind {
         d2: Arc<Dtd>,
         /// State budget for the inclusion fixpoint.
         budget: usize,
+    },
+    /// Stream-validate a document (and optionally evaluate a pattern) in
+    /// O(depth) memory; the document is opened at *run* time and never
+    /// materialised as a tree.
+    Stream {
+        /// The schema to validate against.
+        dtd: Arc<Dtd>,
+        /// Resolved path of the document to stream.
+        path: PathBuf,
+        /// Optional downward-fragment pattern (streamability is checked
+        /// at jobfile parse time).
+        pattern: Option<Pattern>,
     },
     /// Is `(source, target)` in the semantic composition `⟦m12⟧ ∘ ⟦m23⟧`?
     CompositionMember {
@@ -230,6 +243,42 @@ pub fn run_job(ctx: &EngineContext, job: &BatchJob) -> JobResult {
                 error: e.to_string(),
             },
         },
+        JobKind::Stream { dtd, path, pattern } => match std::fs::File::open(path) {
+            Err(e) => JobResult::Failed {
+                error: format!("cannot open {}: {e}", path.display()),
+            },
+            Ok(file) => {
+                match ctx.stream_document(dtd, pattern.as_ref(), std::io::BufReader::new(file)) {
+                    Err(e) => JobResult::Failed {
+                        error: e.to_string(),
+                    },
+                    Ok(out) => {
+                        let shape = format!(
+                            "{} elements, depth {}",
+                            out.stats.elements, out.stats.peak_depth
+                        );
+                        match (&out.violation, out.matched) {
+                            (Some(v), _) => JobResult::Answer {
+                                yes: false,
+                                detail: v.clone(),
+                            },
+                            (None, None) => JobResult::Answer {
+                                yes: true,
+                                detail: format!("conforms ({shape})"),
+                            },
+                            (None, Some(true)) => JobResult::Answer {
+                                yes: true,
+                                detail: format!("conforms and matches ({shape})"),
+                            },
+                            (None, Some(false)) => JobResult::Answer {
+                                yes: false,
+                                detail: format!("conforms but does NOT match ({shape})"),
+                            },
+                        }
+                    }
+                }
+            }
+        },
         JobKind::CompositionMember {
             m12,
             m23,
@@ -309,7 +358,16 @@ pub fn render_results(labeled: &[(String, JobResult)]) -> String {
 /// abscons        <mapping> [budget]
 /// subschema      <d1.dtd> <d2.dtd> [budget]
 /// compose-member <m12> <m23> <source.xml> <target.xml> [max-middle]
+/// stream         <d.dtd> <doc.xml> [pattern...]
 /// ```
+///
+/// A `stream` job validates `doc.xml` against the schema (and, when the
+/// trailing fields give a pattern — they are re-joined with spaces, so
+/// patterns may contain whitespace — evaluates membership) in O(depth)
+/// memory: the document is opened when the job *runs* and is never
+/// loaded as a tree, so jobfiles can point at documents far larger than
+/// memory. Patterns must lie in the streamable downward fragment;
+/// anything else fails at parse time with a diagnostic.
 ///
 /// Mappings and DTDs are interned by path, so a 200-line jobfile over one
 /// mapping parses it once and every job shares the `Arc`. Documents are
@@ -409,6 +467,17 @@ impl Loader {
         Ok(d)
     }
 
+    /// Resolves a document path for streaming: the file is only *opened*
+    /// when the job runs, but existence is checked here so a malformed
+    /// jobfile still fails cleanly before any job executes.
+    fn resolve(&self, path: &str) -> Result<PathBuf, String> {
+        let full = self.dir.join(path);
+        if !full.is_file() {
+            return Err(format!("cannot read {path}: no such file"));
+        }
+        Ok(full)
+    }
+
     /// Loads a document and normalizes its attribute order against `dtd`.
     fn tree(&self, path: &str, dtd: &Dtd) -> Result<Tree, String> {
         let mut t =
@@ -466,6 +535,20 @@ fn parse_line(line: &str, loader: &mut Loader) -> Result<JobKind, String> {
                 max_middle_nodes: parse_budget(rest.first(), DEFAULT_MAX_MIDDLE_NODES)?,
             })
         }
+        ["stream", d, xml, rest @ ..] => {
+            let dtd = loader.dtd(d)?;
+            let path = loader.resolve(xml)?;
+            let pattern = if rest.is_empty() {
+                None
+            } else {
+                let text = rest.join(" ");
+                let p =
+                    xmlmap_patterns::parse(&text).map_err(|e| format!("pattern `{text}`: {e}"))?;
+                StreamPattern::compile(&p).map_err(|e| format!("pattern `{text}`: {e}"))?;
+                Some(p)
+            };
+            Ok(JobKind::Stream { dtd, path, pattern })
+        }
         [op, ..]
             if [
                 "member",
@@ -473,6 +556,7 @@ fn parse_line(line: &str, loader: &mut Loader) -> Result<JobKind, String> {
                 "abscons",
                 "subschema",
                 "compose-member",
+                "stream",
             ]
             .contains(op) =>
         {
@@ -549,6 +633,60 @@ mod tests {
         assert!(err[0].contains("line 2") && err[0].contains("unknown operation"));
         assert!(err[1].contains("line 3") && err[1].contains("cannot read"));
         assert!(err[2].contains("line 4") && err[2].contains("wrong number of arguments"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_jobs_run_and_report() {
+        let dir = fixture(&[
+            ("d.dtd", "root r\nr -> a*\na @ v"),
+            ("good.xml", r#"<r><a v="1"/><a v="2"/></r>"#),
+            ("bad.xml", r#"<r><b/></r>"#),
+        ]);
+        let jobs = parse_jobfile(
+            "stream d.dtd good.xml\n\
+             stream d.dtd good.xml r/a(x)\n\
+             stream d.dtd bad.xml\n",
+            &dir,
+        )
+        .unwrap();
+        let ctx = EngineContext::new();
+        let results = run_batch(&ctx, &jobs, 1);
+        assert_eq!(
+            results[0],
+            JobResult::Answer {
+                yes: true,
+                detail: "conforms (3 elements, depth 2)".to_string()
+            }
+        );
+        assert_eq!(
+            results[1],
+            JobResult::Answer {
+                yes: true,
+                detail: "conforms and matches (3 elements, depth 2)".to_string()
+            }
+        );
+        assert!(
+            matches!(&results[2], JobResult::Answer { yes: false, detail }
+                     if detail.contains("invalid at byte")),
+            "{:?}",
+            results[2]
+        );
+        let stats = ctx.stats();
+        assert_eq!((stats.stream_jobs, stats.stream_peak_depth), (3, 2));
+        assert_eq!(stats.stream_index.misses, 1);
+
+        // Bad lines fail at parse time: missing document, unstreamable
+        // pattern.
+        let err = parse_jobfile(
+            "stream d.dtd missing.xml\n\
+             stream d.dtd good.xml r[a(x) -> a(y)]\n",
+            &dir,
+        )
+        .unwrap_err();
+        assert_eq!(err.len(), 2);
+        assert!(err[0].contains("cannot read missing.xml"), "{}", err[0]);
+        assert!(err[1].contains("sibling-order"), "{}", err[1]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -52,6 +52,7 @@ use crate::consistency::{composition_consistent_cached, consistent_cached, ConsA
 use crate::exchange::{certain_answers_cached, reduced_solution_cached, CertainAnswersError};
 use crate::stds::Mapping;
 use crate::store::{ArtifactStore, Family, LoadError};
+use crate::stream::{StreamJobError, StreamOutcome};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -60,9 +61,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 use xmlmap_automata::{AutomataCache, InclusionBudgetExceeded, SubschemaViolation};
-use xmlmap_dtd::Dtd;
+use xmlmap_codec::{Decoder, Encoder};
+use xmlmap_dtd::{Dtd, DtdIndex};
 use xmlmap_patterns::sat::BudgetExceeded;
-use xmlmap_patterns::{Pattern, SatCache, Valuation};
+use xmlmap_patterns::{Pattern, SatCache, StreamPattern, UnstreamablePattern, Valuation};
 use xmlmap_trees::Tree;
 
 /// Number of lock shards per cache family. A small power of two: enough
@@ -145,6 +147,15 @@ pub struct EngineStats {
     pub automata: CacheCounters,
     /// Tree-shape enumeration caches (one per DTD).
     pub shapes: CacheCounters,
+    /// Streaming validation indexes (one per DTD — the dense
+    /// content-model NFAs behind `StreamValidator`).
+    pub stream_index: CacheCounters,
+    /// Streaming pattern plans (one per downward-fragment pattern).
+    pub stream_plans: CacheCounters,
+    /// Streaming passes run through [`EngineContext::stream_document`].
+    pub stream_jobs: u64,
+    /// Deepest open-element stack any streaming pass reached.
+    pub stream_peak_depth: u64,
     /// The context's memory budget, if bounded.
     pub memory_budget: Option<u64>,
 }
@@ -152,7 +163,12 @@ pub struct EngineStats {
 impl EngineStats {
     /// Approximate bytes accounted across all families.
     pub fn total_bytes(&self) -> u64 {
-        self.sat.bytes + self.chase.bytes + self.automata.bytes + self.shapes.bytes
+        self.sat.bytes
+            + self.chase.bytes
+            + self.automata.bytes
+            + self.shapes.bytes
+            + self.stream_index.bytes
+            + self.stream_plans.bytes
     }
 
     /// Slot fills across all families that ran a compilation.
@@ -161,11 +177,18 @@ impl EngineStats {
             + self.chase.compiled()
             + self.automata.compiled()
             + self.shapes.compiled()
+            + self.stream_index.compiled()
+            + self.stream_plans.compiled()
     }
 
     /// Slot fills across all families answered from the artifact store.
     pub fn total_disk_hits(&self) -> u64 {
-        self.sat.disk_hits + self.chase.disk_hits + self.automata.disk_hits + self.shapes.disk_hits
+        self.sat.disk_hits
+            + self.chase.disk_hits
+            + self.automata.disk_hits
+            + self.shapes.disk_hits
+            + self.stream_index.disk_hits
+            + self.stream_plans.disk_hits
     }
 }
 
@@ -175,6 +198,13 @@ impl std::fmt::Display for EngineStats {
         writeln!(f, "chase:    {}", self.chase)?;
         writeln!(f, "automata: {}", self.automata)?;
         writeln!(f, "shapes:   {}", self.shapes)?;
+        writeln!(f, "sindex:   {}", self.stream_index)?;
+        writeln!(f, "splan:    {}", self.stream_plans)?;
+        writeln!(
+            f,
+            "stream:   {} job(s), peak stream depth {}",
+            self.stream_jobs, self.stream_peak_depth
+        )?;
         match self.memory_budget {
             Some(b) => write!(
                 f,
@@ -456,6 +486,12 @@ pub struct EngineContext {
     chase: ShardedCache<ChaseCache>,
     automata: ShardedCache<AutomataCache>,
     shapes: ShardedCache<ShapeCache>,
+    stream_idx: ShardedCache<DtdIndex>,
+    stream_plans: ShardedCache<StreamPattern>,
+    /// Streaming passes run (diagnostics for `batch --stats` / `STATS`).
+    stream_jobs: AtomicU64,
+    /// Deepest open-element stack any streaming pass reached.
+    stream_peak_depth: AtomicU64,
     /// Approximate ceiling on the accounted bytes of all resident
     /// artifacts; `None` = unbounded (the pre-existing behaviour).
     budget: Option<u64>,
@@ -477,6 +513,10 @@ impl EngineContext {
             chase: ShardedCache::new(),
             automata: ShardedCache::new(),
             shapes: ShardedCache::new(),
+            stream_idx: ShardedCache::new(),
+            stream_plans: ShardedCache::new(),
+            stream_jobs: AtomicU64::new(0),
+            stream_peak_depth: AtomicU64::new(0),
             budget: None,
             store: None,
         }
@@ -576,18 +616,22 @@ impl EngineContext {
                 self.chase.bytes(),
                 self.automata.bytes(),
                 self.shapes.bytes(),
+                self.stream_idx.bytes(),
+                self.stream_plans.bytes(),
             ];
             if bytes.iter().sum::<u64>() <= budget {
                 return;
             }
-            let mut order = [0usize, 1, 2, 3];
+            let mut order = [0usize, 1, 2, 3, 4, 5];
             order.sort_by_key(|&i| std::cmp::Reverse(bytes[i]));
             let evicted = order.iter().any(|&i| {
                 match i {
                     0 => self.sat.evict_one(),
                     1 => self.chase.evict_one(),
                     2 => self.automata.evict_one(),
-                    _ => self.shapes.evict_one(),
+                    3 => self.shapes.evict_one(),
+                    4 => self.stream_idx.evict_one(),
+                    _ => self.stream_plans.evict_one(),
                 }
                 .is_some()
             });
@@ -693,6 +737,72 @@ impl EngineContext {
             |v| v.approx_bytes(),
             || ShapeCache::new(dtd),
         )
+    }
+
+    /// The shared streaming [`DtdIndex`] for `dtd` (dense content-model
+    /// NFAs), loading or compiling it on first request.
+    pub fn stream_index(&self, dtd: &Dtd) -> Arc<DtdIndex> {
+        self.fetch(
+            &self.stream_idx,
+            Family::StreamIndex,
+            &dtd.to_string(),
+            true,
+            |b| {
+                let mut d = Decoder::new(b);
+                DtdIndex::decode(&mut d).ok()
+            },
+            |v| {
+                let mut e = Encoder::new();
+                v.encode(&mut e);
+                e.finish()
+            },
+            |v| v.approx_bytes(),
+            || DtdIndex::new(dtd),
+        )
+    }
+
+    /// The shared streaming plan for `pattern`, compiling it on first
+    /// request; rejects patterns outside the streamable downward fragment
+    /// with a diagnostic naming the offending feature. Plans are cheap to
+    /// compile and are kept in memory only (never persisted to disk).
+    pub fn stream_plan(
+        &self,
+        pattern: &Pattern,
+    ) -> Result<Arc<StreamPattern>, UnstreamablePattern> {
+        let compiled = StreamPattern::compile(pattern)?;
+        Ok(self.fetch(
+            &self.stream_plans,
+            Family::StreamPlan,
+            &pattern.to_string(),
+            false,
+            |_| None,
+            |_| Vec::new(),
+            |v| v.approx_bytes(),
+            move || compiled,
+        ))
+    }
+
+    /// Streams `src` against `dtd` — and, when `pattern` is given,
+    /// evaluates membership in the same single pass — in O(depth) memory,
+    /// over the shared compiled index and plan
+    /// (see [`crate::stream::stream_document`]).
+    pub fn stream_document<R: std::io::Read>(
+        &self,
+        dtd: &Dtd,
+        pattern: Option<&Pattern>,
+        src: R,
+    ) -> Result<StreamOutcome, StreamJobError> {
+        let idx = self.stream_index(dtd);
+        let plan = match pattern {
+            Some(p) => Some(self.stream_plan(p)?),
+            None => None,
+        };
+        self.stream_jobs.fetch_add(1, Ordering::Relaxed);
+        let outcome = crate::stream::stream_document(&idx, plan.as_deref(), src)?;
+        self.stream_peak_depth
+            .fetch_max(outcome.stats.peak_depth as u64, Ordering::Relaxed);
+        self.rebalance();
+        Ok(outcome)
     }
 
     // ---- decision procedures over the shared caches --------------------
@@ -836,6 +946,10 @@ impl EngineContext {
             chase: self.chase.counters(),
             automata: self.automata.counters(),
             shapes: self.shapes.counters(),
+            stream_index: self.stream_idx.counters(),
+            stream_plans: self.stream_plans.counters(),
+            stream_jobs: self.stream_jobs.load(Ordering::Relaxed),
+            stream_peak_depth: self.stream_peak_depth.load(Ordering::Relaxed),
             memory_budget: self.budget,
         }
     }
@@ -901,6 +1015,28 @@ mod tests {
         let again = ctx.consistent(&m, budget).unwrap();
         assert_eq!(again.is_consistent(), fresh.is_consistent());
         assert!(ctx.stats().sat.hits >= 2);
+    }
+
+    #[test]
+    fn streaming_caches_and_tallies() {
+        let ctx = EngineContext::new();
+        let d = dtd("root r\nr -> a*\na @ v");
+        let doc = r#"<r><a v="1"/></r>"#;
+        let p = xmlmap_patterns::parse("r/a(x)").unwrap();
+        let out = ctx.stream_document(&d, Some(&p), doc.as_bytes()).unwrap();
+        assert_eq!(out.violation, None);
+        assert_eq!(out.matched, Some(true));
+        let again = ctx.stream_document(&d, Some(&p), doc.as_bytes()).unwrap();
+        assert_eq!(again.matched, Some(true));
+        let s = ctx.stats();
+        assert_eq!((s.stream_index.misses, s.stream_index.hits), (1, 1));
+        assert_eq!((s.stream_plans.misses, s.stream_plans.hits), (1, 1));
+        assert_eq!((s.stream_jobs, s.stream_peak_depth), (2, 2));
+        assert!(s.total_bytes() > 0);
+        // Outside the streamable fragment: a diagnostic, nothing cached.
+        let sib = xmlmap_patterns::parse("r[a(x) -> a(y)]").unwrap();
+        assert!(ctx.stream_plan(&sib).is_err());
+        assert_eq!(ctx.stats().stream_plans.entries, 1);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod signature;
 pub mod skolem;
 pub mod stds;
 pub mod store;
+pub mod stream;
 
 pub use abscons::{abscons_nr_ptime, abscons_structural, abscons_structural_cached, AbsConsAnswer};
 pub use batch::{
@@ -51,3 +52,4 @@ pub use signature::Signature;
 pub use skolem::{SkolemMapping, SkolemStd, Term, TermPattern};
 pub use stds::{Mapping, Std};
 pub use store::{ArtifactStore, Family, LoadError};
+pub use stream::{stream_document, StreamJobError, StreamOutcome};

@@ -288,12 +288,18 @@ pub fn stats_json(stats: &EngineStats, requests: u64, connections: u64) -> Strin
     };
     format!(
         "{{\"sat\":{},\"chase\":{},\"automata\":{},\"shapes\":{},\
+         \"stream_index\":{},\"stream_plans\":{},\
+         \"stream_jobs\":{},\"stream_peak_depth\":{},\
          \"memory_budget\":{budget},\"total_bytes\":{},\"total_compiled\":{},\
          \"total_disk_hits\":{},\"requests\":{requests},\"connections\":{connections}}}",
         counters_json(&stats.sat),
         counters_json(&stats.chase),
         counters_json(&stats.automata),
         counters_json(&stats.shapes),
+        counters_json(&stats.stream_index),
+        counters_json(&stats.stream_plans),
+        stats.stream_jobs,
+        stats.stream_peak_depth,
         stats.total_bytes(),
         stats.total_compiled(),
         stats.total_disk_hits(),
@@ -602,14 +608,16 @@ fn execute(
         } else {
             match rest.parse::<u64>() {
                 Ok(ms) => ms.min(MAX_PING_DELAY_MS),
-                Err(_) => return (
-                    format!(
+                Err(_) => {
+                    return (
+                        format!(
                         "{{\"id\":{},\"ok\":false,\"error\":\"PING delay `{}` is not a number\"}}",
                         request.id,
                         json_escape(rest)
                     ),
-                    true,
-                ),
+                        true,
+                    )
+                }
             }
         };
         if delay > 0 {

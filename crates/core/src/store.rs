@@ -37,7 +37,7 @@ pub const FORMAT_VERSION: u32 = 1;
 
 const MAGIC: &[u8; 4] = b"XMAP";
 
-/// The four compiled-artifact families of the engine caches.
+/// The compiled-artifact families of the engine caches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Family {
     /// `SatCache` — per-schema satisfiability index.
@@ -48,6 +48,13 @@ pub enum Family {
     Automata,
     /// `ShapeCache` — per-schema memoized shape enumerations.
     Shapes,
+    /// `DtdIndex` — per-schema dense content-model NFAs for streaming
+    /// validation.
+    StreamIndex,
+    /// `StreamPattern` — per-pattern streaming plans (never persisted;
+    /// the family exists so the in-memory cache has a distinct slot
+    /// namespace).
+    StreamPlan,
 }
 
 impl Family {
@@ -57,6 +64,8 @@ impl Family {
             Family::Chase => 1,
             Family::Automata => 2,
             Family::Shapes => 3,
+            Family::StreamIndex => 4,
+            Family::StreamPlan => 5,
         }
     }
 
@@ -67,6 +76,8 @@ impl Family {
             Family::Chase => "chase",
             Family::Automata => "automata",
             Family::Shapes => "shapes",
+            Family::StreamIndex => "streamindex",
+            Family::StreamPlan => "streamplan",
         }
     }
 }

@@ -1,0 +1,237 @@
+//! The streaming front door: conformance and (optionally) pattern
+//! membership over one SAX pass, in O(depth) memory (DESIGN.md §8.7).
+//!
+//! The per-crate cursors — [`StreamValidator`] in `xmlmap-dtd` and
+//! [`StreamMatcher`] in `xmlmap-patterns` — each consume open/close
+//! events independently. This module drives both off a *single*
+//! [`SaxReader`] pass, so `xmlmap stream <schema> --pattern π <doc>`
+//! reads the document exactly once, and bridges the one semantic gap
+//! between them: the matcher pairs attribute values with pattern tuples
+//! *positionally* (like the arena evaluator over a normalised tree), so
+//! the driver reorders each element's attributes into the DTD's
+//! canonical order before feeding the matcher — the streaming analogue
+//! of the arena pipeline's `normalize_attrs`.
+//!
+//! The compiled inputs ([`DtdIndex`], [`StreamPattern`]) are per-schema
+//! and per-pattern artifacts; [`crate::EngineContext`] caches them and
+//! exposes this driver as
+//! [`stream_document`](crate::EngineContext::stream_document).
+
+use std::fmt;
+use std::io::Read;
+use std::sync::Arc;
+use xmlmap_dtd::{DtdIndex, StreamStats, StreamValidator};
+use xmlmap_patterns::{StreamMatcher, StreamPattern, UnstreamablePattern};
+use xmlmap_trees::{Name, SaxEvent, SaxReader, Value, XmlError};
+
+/// What one streaming pass over a document established.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// `None` when the document conforms to the schema; otherwise the
+    /// first violation in document order, rendered with its byte offset
+    /// and line/column (the pass stops there — early reject).
+    pub violation: Option<String>,
+    /// The pattern verdict: `Some` when a plan was supplied *and* the
+    /// pass ran to completion, `None` otherwise (no pattern, or the
+    /// validator rejected first).
+    pub matched: Option<bool>,
+    /// Validator counters: elements seen, peak open-element depth, and
+    /// the high-water mark of live validator state in bytes.
+    pub stats: StreamStats,
+    /// High-water mark of live matcher state in bytes (0 without a
+    /// pattern).
+    pub pattern_state_bytes: u64,
+}
+
+/// Why a streaming job could not produce a verdict at all (distinct from
+/// a well-formed document that simply fails to conform or match).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamJobError {
+    /// The input is not well-formed XML.
+    Parse(XmlError),
+    /// The pattern lies outside the streamable downward fragment; the
+    /// diagnostic names the offending feature and points at the arena
+    /// evaluator.
+    Unstreamable(UnstreamablePattern),
+}
+
+impl fmt::Display for StreamJobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamJobError::Parse(e) => write!(f, "{e}"),
+            StreamJobError::Unstreamable(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamJobError {}
+
+impl From<XmlError> for StreamJobError {
+    fn from(e: XmlError) -> StreamJobError {
+        StreamJobError::Parse(e)
+    }
+}
+
+impl From<UnstreamablePattern> for StreamJobError {
+    fn from(e: UnstreamablePattern) -> StreamJobError {
+        StreamJobError::Unstreamable(e)
+    }
+}
+
+/// Streams `src` once, validating against `idx` and (when `plan` is
+/// given) evaluating pattern membership, in O(depth) memory.
+///
+/// A conformance violation stops the pass immediately and is reported in
+/// [`StreamOutcome::violation`]; only a parse error is a hard `Err`.
+pub fn stream_document<R: Read>(
+    idx: &Arc<DtdIndex>,
+    plan: Option<&StreamPattern>,
+    src: R,
+) -> Result<StreamOutcome, XmlError> {
+    let mut reader = SaxReader::new(src);
+    let mut validator = StreamValidator::new(Arc::clone(idx));
+    let mut matcher = plan.map(StreamMatcher::new);
+    let mut canonical: Vec<(Name, Value)> = Vec::new();
+    let rejected = |reader: &SaxReader<R>, validator: &StreamValidator, v: &dyn fmt::Display| {
+        let (line, col) = reader.position();
+        StreamOutcome {
+            violation: Some(format!(
+                "invalid at byte {} (line {line}, column {col}): {v}",
+                reader.offset()
+            )),
+            matched: None,
+            stats: validator.stats(),
+            pattern_state_bytes: 0,
+        }
+    };
+    while let Some(event) = reader.next_event()? {
+        match event {
+            SaxEvent::Open { label, attrs } => {
+                if let Err(v) = validator.open(&label, &attrs) {
+                    return Ok(rejected(&reader, &validator, &v));
+                }
+                if let Some(m) = &mut matcher {
+                    // The validator accepted this element, so its
+                    // attribute *set* equals the DTD's canonical list;
+                    // reorder so the matcher's positional tuple pairing
+                    // sees canonical order, exactly as the arena
+                    // evaluator sees a normalised tree.
+                    canonical.clear();
+                    for want in idx.dtd().attrs(&label) {
+                        let (_, value) = attrs
+                            .iter()
+                            .find(|(a, _)| a == want)
+                            .expect("validator checked the attribute set");
+                        canonical.push((want.clone(), value.clone()));
+                    }
+                    m.open(&label, &canonical);
+                }
+            }
+            SaxEvent::Close { .. } => {
+                if let Err(v) = validator.close() {
+                    return Ok(rejected(&reader, &validator, &v));
+                }
+                if let Some(m) = &mut matcher {
+                    m.close();
+                }
+            }
+        }
+    }
+    let pattern_state_bytes = matcher.as_ref().map_or(0, StreamMatcher::peak_state_bytes);
+    Ok(StreamOutcome {
+        violation: None,
+        matched: matcher.map(|m| m.finish()),
+        stats: validator.finish(),
+        pattern_state_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlmap_patterns::parse as parse_pattern;
+
+    fn idx() -> Arc<DtdIndex> {
+        Arc::new(DtdIndex::new(
+            &xmlmap_dtd::parse(
+                "root r
+                 r -> a*, b?
+                 a @ x, y",
+            )
+            .unwrap(),
+        ))
+    }
+
+    fn plan(text: &str) -> StreamPattern {
+        StreamPattern::compile(&parse_pattern(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn one_pass_validates_and_matches() {
+        let idx = idx();
+        let doc = r#"<r><a x="1" y="1"/><a x="2" y="3"/><b/></r>"#;
+        let p = plan("r/a(u, v)");
+        let out = stream_document(&idx, Some(&p), doc.as_bytes()).unwrap();
+        assert_eq!(out.violation, None);
+        assert_eq!(out.matched, Some(true));
+        assert_eq!(out.stats.elements, 4);
+        assert!(out.pattern_state_bytes > 0);
+
+        let repeated = plan("r/a(u, u)");
+        let out = stream_document(&idx, Some(&repeated), doc.as_bytes()).unwrap();
+        assert_eq!(out.matched, Some(true)); // the first <a> has x == y
+
+        let no = plan("r/b(u)");
+        let out = stream_document(&idx, Some(&no), doc.as_bytes()).unwrap();
+        assert_eq!(out.matched, Some(false));
+    }
+
+    #[test]
+    fn attribute_order_is_canonicalised_for_the_matcher() {
+        let idx = idx();
+        // Document order y-then-x; canonical (DTD) order is x-then-y.
+        // The within-tuple repeat u,u must bind both positions to the
+        // canonical pair (x, y) — equal here only under x == y.
+        let eq = r#"<r><a y="7" x="7"/></r>"#;
+        let ne = r#"<r><a y="7" x="8"/></r>"#;
+        let p = plan("r/a(u, u)");
+        assert_eq!(
+            stream_document(&idx, Some(&p), eq.as_bytes())
+                .unwrap()
+                .matched,
+            Some(true)
+        );
+        assert_eq!(
+            stream_document(&idx, Some(&p), ne.as_bytes())
+                .unwrap()
+                .matched,
+            Some(false)
+        );
+        // And the bound value is the canonical-position one: first tuple
+        // slot is attribute x.
+        let tree = xmlmap_trees::xml::parse(ne).unwrap();
+        let mut normalised = tree.clone();
+        idx.dtd().normalize_attrs(&mut normalised).unwrap();
+        let pat = parse_pattern("r/a(u, u)").unwrap();
+        assert!(!xmlmap_patterns::matches(&normalised, &pat));
+    }
+
+    #[test]
+    fn early_reject_reports_position_and_skips_the_verdict() {
+        let idx = idx();
+        let doc = r#"<r><b/><a x="1" y="2"/></r>"#; // b before a*: dead subset at <a>
+        let p = plan("r//a");
+        let out = stream_document(&idx, Some(&p), doc.as_bytes()).unwrap();
+        let v = out.violation.expect("must reject");
+        assert!(v.starts_with("invalid at byte "), "{v}");
+        assert!(v.contains("falls outside the production language"), "{v}");
+        assert_eq!(out.matched, None);
+    }
+
+    #[test]
+    fn parse_errors_are_hard_errors() {
+        let idx = idx();
+        let err = stream_document(&idx, None, r#"<r><a x="1" y="2"></r>"#.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("mismatched close tag"), "{err}");
+    }
+}

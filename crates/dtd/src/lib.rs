@@ -12,11 +12,15 @@ pub mod classify;
 pub mod conformance;
 #[allow(clippy::module_inception)]
 pub mod dtd;
+pub mod index;
 pub mod parse;
 pub mod relational;
+pub mod stream;
 
 pub use classify::{Mult, NestedRelationalView};
 pub use conformance::ConformanceError;
 pub use dtd::{Dtd, DtdBuilder, DtdError};
+pub use index::{DenseNfa, DtdIndex};
 pub use parse::{parse, ParseDtdError};
 pub use relational::{instance_to_tree, schema_to_dtd, Relation};
+pub use stream::{validate_stream, StreamError, StreamStats, StreamValidator, StreamViolation};

@@ -1,0 +1,87 @@
+//! `gendoc` — streams a university-shaped corpus document to a file or
+//! stdout for the streaming bench rows and the CI `stream-smoke` job.
+//!
+//! ```text
+//! gendoc [--size-scale K] [--students N] [--dtd PATH] [--out PATH]
+//! ```
+//!
+//! The 1x document is the micro-bench workload `university_tree(160, 3)`;
+//! `--size-scale K` emits `160·K` professors (so `--size-scale 100` is the
+//! 100x corpus). The document is streamed in O(depth) memory, so multi-GB
+//! corpora are fine; `--dtd PATH` additionally writes the matching
+//! university DTD for `xmlmap stream`. Generated corpora belong under
+//! `corpora/`, which is gitignored.
+
+use std::io::Write;
+
+/// Professors in the 1x document (the micro-bench university workload).
+const BASE_PROFESSORS: usize = 160;
+/// Students per professor (the micro-bench university workload).
+const BASE_STUDENTS: usize = 3;
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale: usize = 1;
+    let mut students = BASE_STUDENTS;
+    let mut dtd_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--size-scale" => {
+                scale = value("--size-scale")?
+                    .parse()
+                    .map_err(|e| format!("--size-scale: {e}"))?
+            }
+            "--students" => {
+                students = value("--students")?
+                    .parse()
+                    .map_err(|e| format!("--students: {e}"))?
+            }
+            "--dtd" => dtd_path = Some(value("--dtd")?),
+            "--out" => out_path = Some(value("--out")?),
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}`\n\
+                     usage: gendoc [--size-scale K] [--students N] [--dtd PATH] [--out PATH]"
+                ))
+            }
+        }
+    }
+    if let Some(path) = &dtd_path {
+        std::fs::write(path, xmlmap_gen::university_dtd().to_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let professors = BASE_PROFESSORS * scale;
+    match &out_path {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let mut out = std::io::BufWriter::new(file);
+            xmlmap_gen::write_university_xml(professors, students, &mut out)
+                .and_then(|()| out.flush())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("gendoc: wrote {professors} professors ({students} students each) to {path}");
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
+            xmlmap_gen::write_university_xml(professors, students, &mut out)
+                .and_then(|()| out.flush())
+                .map_err(|e| format!("stdout: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}

@@ -13,5 +13,6 @@ pub mod trees;
 
 pub use mappings::{random_nr_dtd, random_nr_mapping, MappingGenConfig};
 pub use trees::{
-    random_tree, university_dtd, university_target_dtd, university_tree, TreeGenConfig,
+    random_tree, university_dtd, university_target_dtd, university_tree, write_university_xml,
+    TreeGenConfig,
 };

@@ -208,11 +208,60 @@ pub fn university_target_dtd() -> Dtd {
     .expect("static DTD")
 }
 
+/// Streams the university document for `professors` professors straight
+/// to `out` — byte-for-byte the `xmlmap_trees::xml::to_string`
+/// serialisation of [`university_tree`] — without ever materialising the
+/// tree, so corpora far larger than memory can be generated in O(depth)
+/// space (the producer-side twin of `xmlmap stream`).
+pub fn write_university_xml<W: std::io::Write>(
+    professors: usize,
+    students: usize,
+    out: &mut W,
+) -> std::io::Result<()> {
+    if professors == 0 {
+        return writeln!(out, "<r/>");
+    }
+    writeln!(out, "<r>")?;
+    for p in 0..professors {
+        writeln!(out, "  <prof name=\"p{p}\">")?;
+        writeln!(out, "    <teach>")?;
+        writeln!(out, "      <year y=\"y{}\">", p % 4)?;
+        writeln!(out, "        <course cno=\"c{}\"/>", 2 * p)?;
+        writeln!(out, "        <course cno=\"c{}\"/>", 2 * p + 1)?;
+        writeln!(out, "      </year>")?;
+        writeln!(out, "    </teach>")?;
+        if students == 0 {
+            writeln!(out, "    <supervise/>")?;
+        } else {
+            writeln!(out, "    <supervise>")?;
+            for s in 0..students {
+                writeln!(out, "      <student sid=\"s{p}_{s}\"/>")?;
+            }
+            writeln!(out, "    </supervise>")?;
+        }
+        writeln!(out, "  </prof>")?;
+    }
+    writeln!(out, "</r>")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn streamed_university_matches_the_tree_serialisation() {
+        for (p, s) in [(0, 0), (1, 0), (3, 2), (7, 3)] {
+            let mut streamed = Vec::new();
+            write_university_xml(p, s, &mut streamed).unwrap();
+            assert_eq!(
+                String::from_utf8(streamed).unwrap(),
+                xmlmap_trees::xml::to_string(&university_tree(p, s)),
+                "professors={p} students={s}"
+            );
+        }
+    }
 
     #[test]
     fn random_trees_conform() {

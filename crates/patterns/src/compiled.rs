@@ -25,15 +25,15 @@ use xmlmap_trees::{NodeId, Tree, Value};
 
 /// One pattern node, flattened: label test, interned variable tuple, and
 /// the child list referencing other nodes by index.
-struct CNode {
-    label: LabelTest,
+pub(crate) struct CNode {
+    pub(crate) label: LabelTest,
     /// Dense variable ids, in tuple order.
-    vars: Vec<u32>,
-    items: Vec<CItem>,
+    pub(crate) vars: Vec<u32>,
+    pub(crate) items: Vec<CItem>,
 }
 
 /// A flattened list item; members reference [`CompiledPattern::nodes`].
-enum CItem {
+pub(crate) enum CItem {
     /// `π₁ op π₂ op … πₖ` — a sequence of siblings.
     Seq {
         members: Vec<usize>,
@@ -48,7 +48,7 @@ enum CItem {
 /// from the source [`Pattern`].
 pub struct CompiledPattern {
     /// Post-order (children before parents); the root is last.
-    nodes: Vec<CNode>,
+    pub(crate) nodes: Vec<CNode>,
     /// Dense id → variable name.
     vars: Vec<Var>,
     /// Does any variable occur more than once (implicit equality)?
@@ -106,7 +106,7 @@ impl CompiledPattern {
     }
 
     /// The root node's index (patterns are non-empty, so this is valid).
-    fn root(&self) -> usize {
+    pub(crate) fn root(&self) -> usize {
         self.nodes.len() - 1
     }
 

@@ -19,6 +19,8 @@
 //! * [`sat`] — satisfiability of patterns w.r.t. a DTD and achievable
 //!   match-set enumeration (Lemma 4.1, and the engine behind Thm 5.2 /
 //!   Prop 6.1 in `xmlmap-core`);
+//! * [`stream`] — streaming membership for the downward fragment over SAX
+//!   events in O(depth) memory, with diagnostics at the fragment boundary;
 //! * [`sat_compiled`] — the compiled fixpoint engine behind [`sat`]:
 //!   interned type bitsets, a dependency-driven worklist, and the per-DTD
 //!   [`SatCache`] for repeated probes. The original engine survives as
@@ -32,6 +34,7 @@ pub mod parse;
 pub mod reference;
 pub mod sat;
 pub mod sat_compiled;
+pub mod stream;
 
 pub use ast::{LabelTest, ListItem, Pattern, SeqOp, Var};
 pub use compiled::{CompiledPattern, Matcher};
@@ -45,6 +48,7 @@ pub use sat::{
     satisfiable_with_negations, BudgetExceeded, TypeEngine, DEFAULT_BUDGET,
 };
 pub use sat_compiled::{SatCache, SatEngine};
+pub use stream::{matches_stream, StreamMatcher, StreamPattern, UnstreamablePattern};
 
 #[cfg(test)]
 mod proptests {

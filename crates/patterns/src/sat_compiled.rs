@@ -35,259 +35,24 @@
 
 use crate::ast::{LabelTest, ListItem, Pattern, SeqOp};
 use crate::sat::BudgetExceeded;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use xmlmap_codec::{CodecError, Decoder, Encoder};
 use xmlmap_dtd::Dtd;
-use xmlmap_regex::Nfa;
-use xmlmap_trees::{Name, Tree, Value};
+
+use xmlmap_trees::{Tree, Value};
 
 /// Parallel rounds only when the alphabet is at least this large…
 const PAR_LABEL_GATE: usize = 16;
 /// …and at least this many labels are dirty in the round.
 const PAR_DIRTY_GATE: usize = 4;
 
-#[inline]
-fn get_bit(words: &[u64], i: usize) -> bool {
-    words[i / 64] >> (i % 64) & 1 == 1
-}
-
-#[inline]
-fn set_bit(words: &mut [u64], i: usize) {
-    words[i / 64] |= 1 << (i % 64);
-}
-
-/// A production NFA with transitions grouped by (interned) symbol.
-struct DenseNfa {
-    /// Words in the subset bitmask.
-    words: usize,
-    /// Accepting-state bitmask.
-    accepting: Box<[u64]>,
-    /// Sorted label ids having at least one transition, parallel to `edges`.
-    syms: Vec<u32>,
-    edges: Vec<Vec<(u32, u32)>>,
-}
-
-impl DenseNfa {
-    fn new(nfa: &Nfa<Name>, label_id: &HashMap<Name, u32>) -> DenseNfa {
-        let n = nfa.accepting.len();
-        let words = n.div_ceil(64).max(1);
-        let mut accepting = vec![0u64; words];
-        for (q, &acc) in nfa.accepting.iter().enumerate() {
-            if acc {
-                set_bit(&mut accepting, q);
-            }
-        }
-        let mut by: BTreeMap<u32, Vec<(u32, u32)>> = BTreeMap::new();
-        for (q, trans) in nfa.transitions.iter().enumerate() {
-            for (sym, q2) in trans {
-                // Symbols outside the alphabet can never label an
-                // achievable pair; drop their edges.
-                if let Some(&sid) = label_id.get(sym) {
-                    by.entry(sid).or_default().push((q as u32, *q2 as u32));
-                }
-            }
-        }
-        let (syms, edges) = by.into_iter().unzip();
-        DenseNfa {
-            words,
-            accepting: accepting.into_boxed_slice(),
-            syms,
-            edges,
-        }
-    }
-
-    fn edges_for(&self, sym: u32) -> Option<&[(u32, u32)]> {
-        self.syms
-            .binary_search(&sym)
-            .ok()
-            .map(|i| self.edges[i].as_slice())
-    }
-
-    fn has_sym(&self, sym: u32) -> bool {
-        self.syms.binary_search(&sym).is_ok()
-    }
-
-    fn encode(&self, e: &mut Encoder) {
-        e.usize(self.words);
-        e.u64s(&self.accepting);
-        e.u32s(&self.syms);
-        for edges in &self.edges {
-            e.usize(edges.len());
-            for &(from, to) in edges {
-                e.u32(from);
-                e.u32(to);
-            }
-        }
-    }
-
-    fn decode(d: &mut Decoder<'_>) -> Result<DenseNfa, CodecError> {
-        let words = d.usize()?;
-        let accepting = d.u64s()?.into_boxed_slice();
-        if accepting.len() != words {
-            return Err(CodecError::Malformed("DenseNfa accepting-word count"));
-        }
-        let syms = d.u32s()?;
-        let edges = syms
-            .iter()
-            .map(|_| {
-                let n = d.usize()?;
-                (0..n).map(|_| Ok((d.u32()?, d.u32()?))).collect()
-            })
-            .collect::<Result<Vec<Vec<(u32, u32)>>, CodecError>>()?;
-        Ok(DenseNfa {
-            words,
-            accepting,
-            syms,
-            edges,
-        })
-    }
-
-    fn approx_bytes(&self) -> u64 {
-        (self.accepting.len() * 8
-            + self.syms.capacity() * 4
-            + self.edges.iter().map(|e| e.capacity() * 8).sum::<usize>()) as u64
-    }
-}
-
-/// The per-DTD compiled artifact: interned labels, per-label dense
-/// production NFAs, and the label dependency graph. Reusable across
-/// pattern sets — [`SatCache`] holds one behind an `Arc`.
-pub struct DtdIndex {
-    dtd: Dtd,
-    labels: Vec<Name>,
-    root: u32,
-    arities: Vec<usize>,
-    nfas: Vec<DenseNfa>,
-    /// `dependents[s]` = labels whose production mentions label `s`.
-    dependents: Vec<Vec<u32>>,
-}
-
-impl DtdIndex {
-    /// Compiles `dtd`: interns labels, densifies every production NFA and
-    /// builds the label dependency graph.
-    pub fn new(dtd: &Dtd) -> DtdIndex {
-        let labels: Vec<Name> = dtd.alphabet().cloned().collect();
-        let label_id: HashMap<Name, u32> = labels
-            .iter()
-            .enumerate()
-            .map(|(i, l)| (l.clone(), i as u32))
-            .collect();
-        let root = label_id[dtd.root()];
-        let arities: Vec<usize> = labels.iter().map(|l| dtd.arity(l)).collect();
-        let epsilon = Nfa::epsilon();
-        let mut nfas = Vec::with_capacity(labels.len());
-        let mut dependents = vec![Vec::new(); labels.len()];
-        for (lid, l) in labels.iter().enumerate() {
-            let dense = DenseNfa::new(dtd.horizontal(l).unwrap_or(&epsilon), &label_id);
-            for &s in &dense.syms {
-                dependents[s as usize].push(lid as u32);
-            }
-            nfas.push(dense);
-        }
-        DtdIndex {
-            dtd: dtd.clone(),
-            labels,
-            root,
-            arities,
-            nfas,
-            dependents,
-        }
-    }
-
-    /// The compiled DTD.
-    pub fn dtd(&self) -> &Dtd {
-        &self.dtd
-    }
-
-    /// Serializes the index: the DTD's canonical text (its display form
-    /// round-trips through the parser) plus every derived table verbatim,
-    /// so deserialization reparses the small schema text but never re-runs
-    /// NFA densification or dependency analysis.
-    pub fn encode(&self, e: &mut Encoder) {
-        e.str(&self.dtd.to_string());
-        e.usize(self.labels.len());
-        for l in &self.labels {
-            e.str(l.as_str());
-        }
-        e.u32(self.root);
-        for &a in &self.arities {
-            e.usize(a);
-        }
-        for nfa in &self.nfas {
-            nfa.encode(e);
-        }
-        for deps in &self.dependents {
-            e.u32s(deps);
-        }
-    }
-
-    /// Inverse of [`DtdIndex::encode`]. Cheap structural sanity checks
-    /// only — the artifact store's checksum envelope is what guards
-    /// against corruption.
-    pub fn decode(d: &mut Decoder<'_>) -> Result<DtdIndex, CodecError> {
-        let text = d.str()?;
-        let dtd = xmlmap_dtd::parse(&text)
-            .map_err(|_| CodecError::Malformed("DtdIndex schema text does not parse"))?;
-        let n = d.usize()?;
-        if n > text.len().max(1) * 2 {
-            // A DTD cannot declare more labels than its text has characters.
-            return Err(CodecError::Malformed("DtdIndex label count"));
-        }
-        let labels: Vec<Name> = (0..n)
-            .map(|_| Ok(Name::new(d.str()?)))
-            .collect::<Result<_, CodecError>>()?;
-        let root = d.u32()?;
-        if root as usize >= n {
-            return Err(CodecError::Malformed("DtdIndex root id"));
-        }
-        let arities: Vec<usize> = (0..n).map(|_| d.usize()).collect::<Result<_, _>>()?;
-        let nfas: Vec<DenseNfa> = (0..n)
-            .map(|_| DenseNfa::decode(d))
-            .collect::<Result<_, _>>()?;
-        if nfas
-            .iter()
-            .any(|nfa| nfa.syms.iter().any(|&s| s as usize >= n))
-        {
-            return Err(CodecError::Malformed("DenseNfa symbol out of range"));
-        }
-        let dependents: Vec<Vec<u32>> = (0..n)
-            .map(|_| {
-                let deps = d.u32s()?;
-                if deps.iter().any(|&l| l as usize >= n) {
-                    return Err(CodecError::Malformed("DtdIndex dependent out of range"));
-                }
-                Ok(deps)
-            })
-            .collect::<Result<_, _>>()?;
-        Ok(DtdIndex {
-            dtd,
-            labels,
-            root,
-            arities,
-            nfas,
-            dependents,
-        })
-    }
-
-    /// Approximate heap footprint in bytes (label strings, arity table,
-    /// dense production NFAs, dependency lists).
-    pub fn approx_bytes(&self) -> u64 {
-        self.labels
-            .iter()
-            .map(|l| l.as_str().len() as u64 + 16)
-            .sum::<u64>()
-            + self.arities.capacity() as u64 * 8
-            + self.nfas.iter().map(DenseNfa::approx_bytes).sum::<u64>()
-            + self
-                .dependents
-                .iter()
-                .map(|v| v.capacity() as u64 * 4)
-                .sum::<u64>()
-            + self.dtd.to_string().len() as u64
-    }
-}
+use xmlmap_dtd::index::{get_bit, set_bit};
+/// Re-exported from `xmlmap-dtd`, where the per-DTD compiled artifact now
+/// lives (the streaming validator shares it); kept here so existing
+/// `sat_compiled::DtdIndex` paths continue to work.
+pub use xmlmap_dtd::index::{DenseNfa, DtdIndex};
 
 /// Flattened list item of a compiled pattern node.
 enum CItem {
@@ -436,7 +201,7 @@ impl CompiledPats {
             .collect();
 
         let cand: Vec<Vec<u32>> = idx
-            .labels
+            .labels()
             .iter()
             .enumerate()
             .map(|(lid, label)| {
@@ -446,7 +211,7 @@ impl CompiledPats {
                     .filter(|(_, (test, arity))| {
                         // An empty variable tuple imposes no arity
                         // requirement (mirrors `eval`).
-                        test.accepts(label) && (*arity == 0 || *arity == idx.arities[lid])
+                        test.accepts(label) && (*arity == 0 || *arity == idx.arities()[lid])
                     })
                     .map(|(pid, _)| pid as u32)
                     .collect()
@@ -544,9 +309,9 @@ impl EngineCore {
     }
 
     fn accepting(&self, nfa: &DenseNfa, state: &[u64]) -> bool {
-        state[..nfa.words]
+        state[..nfa.words()]
             .iter()
-            .zip(nfa.accepting.iter())
+            .zip(nfa.accepting().iter())
             .any(|(s, a)| s & a != 0)
     }
 
@@ -571,7 +336,7 @@ impl EngineCore {
         }
         let pats = &*self.pats;
         for seq in &pats.seqs {
-            let o = nfa.words + seq.offset;
+            let o = nfa.words() + seq.offset;
             let mut carry = 0u64;
             for i in 0..seq.words {
                 let cur = state[o + i];
@@ -581,7 +346,7 @@ impl EngineCore {
             }
         }
         let typ = &self.types[pair.type_id as usize];
-        let seen = nfa.words + pats.seq_area_words;
+        let seen = nfa.words() + pats.seq_area_words;
         for w in 0..pats.comp_words {
             out[seen + w] = state[seen + w] | typ[w];
         }
@@ -620,12 +385,12 @@ impl EngineCore {
         fn attach(core: &EngineCore, tree: &mut Tree, at: xmlmap_trees::NodeId, pid: usize) {
             for &child in &core.pairs[pid].word {
                 let info = &core.pairs[child as usize];
-                let label = &core.idx.labels[info.label as usize];
+                let label = &core.idx.labels()[info.label as usize];
                 let node = tree.add_child(
                     at,
                     label.clone(),
                     core.idx
-                        .dtd
+                        .dtd()
                         .attrs(label)
                         .iter()
                         .map(|a| (a.clone(), Value::str("d"))),
@@ -634,11 +399,11 @@ impl EngineCore {
             }
         }
         let info = &self.pairs[pair_id];
-        let label = &self.idx.labels[info.label as usize];
+        let label = &self.idx.labels()[info.label as usize];
         let mut tree = Tree::with_root_attrs(
             label.clone(),
             self.idx
-                .dtd
+                .dtd()
                 .attrs(label)
                 .iter()
                 .map(|a| (a.clone(), Value::str("d"))),
@@ -696,7 +461,7 @@ impl LabelExp {
         // Emission is decided at creation: acceptance and the induced type
         // depend only on the state itself.
         if core.accepting(nfa, &key) {
-            let typ = core.induced_type(self.lid, nfa.words, &key);
+            let typ = core.induced_type(self.lid, nfa.words(), &key);
             let known = core
                 .type_index
                 .get(&typ)
@@ -753,14 +518,14 @@ impl LabelExp {
 /// label's last round, then settle every fresh state against all relevant
 /// pairs. Returns the pairs discovered (interned later, sequentially).
 fn expand(core: &EngineCore, exp: &mut LabelExp) -> Result<Vec<NewPair>, BudgetExceeded> {
-    let nfa = &core.idx.nfas[exp.lid as usize];
+    let nfa = &core.idx.nfas()[exp.lid as usize];
     let mut out = Vec::new();
 
     if exp.parent.is_empty() {
         let mut init = vec![0u64; exp.stride];
         init[0] = 1; // NFA start state 0
         for seq in &core.pats.seqs {
-            set_bit(&mut init[nfa.words..], seq.offset * 64); // position 0
+            set_bit(&mut init[nfa.words()..], seq.offset * 64); // position 0
         }
         exp.insert_state(
             core,
@@ -826,9 +591,9 @@ impl SatEngine {
 
     /// Builds an engine over pre-compiled artifacts (the [`SatCache`] path).
     pub fn from_parts(idx: Arc<DtdIndex>, pats: Arc<CompiledPats>, budget: usize) -> SatEngine {
-        let exps = (0..idx.labels.len())
+        let exps = (0..idx.labels().len())
             .map(|lid| {
-                let stride = idx.nfas[lid].words + pats.seq_area_words + pats.comp_words;
+                let stride = idx.nfas()[lid].words() + pats.seq_area_words + pats.comp_words;
                 Mutex::new(LabelExp::new(lid as u32, stride))
             })
             .collect();
@@ -860,7 +625,7 @@ impl SatEngine {
         if self.done {
             return Ok(());
         }
-        let n_labels = self.core.idx.labels.len();
+        let n_labels = self.core.idx.labels().len();
         let mut dirty: Vec<u32> = (0..n_labels as u32).collect();
         while !dirty.is_empty() {
             let core = &self.core;
@@ -886,7 +651,7 @@ impl SatEngine {
             let changed = self.intern(fresh);
             let mut next: Vec<u32> = changed
                 .iter()
-                .flat_map(|&lid| self.core.idx.dependents[lid as usize].iter().copied())
+                .flat_map(|&lid| self.core.idx.dependents(lid).iter().copied())
                 .collect();
             next.sort_unstable();
             next.dedup();
@@ -936,7 +701,7 @@ impl SatEngine {
         let mut out: Vec<(BTreeSet<usize>, Tree)> = Vec::new();
         let mut seen: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
         for (id, pair) in core.pairs.iter().enumerate() {
-            if pair.label != core.idx.root {
+            if pair.label != core.idx.root() {
                 continue;
             }
             let typ = &core.types[pair.type_id as usize];

@@ -17,16 +17,21 @@
 //! * [`Name`] — interned element-type/attribute names;
 //! * [`Value`] — data values (constants and labelled nulls for the chase);
 //! * [`xml`] — a reader/writer for the element+attribute XML fragment;
+//! * [`sax`] — a pull-based event reader over the same fragment for
+//!   streaming consumers (O(depth) memory, no arena);
 //! * [`tree!`] — a literal syntax for documents in tests and examples.
 
 pub mod name;
+pub mod sax;
 pub mod tree;
 pub mod value;
 pub mod xml;
 
 pub use name::{name, Name};
+pub use sax::{SaxEvent, SaxReader};
 pub use tree::{isomorphic_mod_nulls, NodeId, Tree};
 pub use value::{NullFactory, Value};
+pub use xml::XmlError;
 
 /// Builds a [`Tree`] literal.
 ///

@@ -1,13 +1,17 @@
 //! A small XML reader/writer for the element+attribute fragment.
 //!
 //! Documents in schema-mapping problems consist of elements with attributes
-//! only — no mixed content, processing instructions, namespaces or entities
-//! beyond the five predefined ones. This module parses and prints exactly
-//! that fragment, so examples can work with ordinary-looking XML without an
-//! external dependency.
+//! only — no mixed content, namespaces or entities beyond the five
+//! predefined ones. This module parses and prints exactly that fragment, so
+//! examples can work with ordinary-looking XML without an external
+//! dependency.
+//!
+//! Tokenisation lives in [`crate::sax`]; [`parse`] here is an arena builder
+//! driving that pull reader, so the in-memory and streaming paths share
+//! entity/attribute handling and emit identical diagnostics.
 
+use crate::sax::{SaxEvent, SaxReader};
 use crate::tree::{NodeId, Tree};
-use crate::value::Value;
 use std::fmt::Write as _;
 
 /// Errors raised while parsing XML input.
@@ -15,6 +19,10 @@ use std::fmt::Write as _;
 pub struct XmlError {
     /// Byte offset of the error in the input.
     pub offset: usize,
+    /// 1-based line of the error.
+    pub line: u32,
+    /// 1-based column (in bytes) of the error.
+    pub col: u32,
     /// Human-readable description.
     pub message: String,
 }
@@ -23,206 +31,39 @@ impl std::fmt::Display for XmlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "XML parse error at byte {}: {}",
-            self.offset, self.message
+            "XML parse error at byte {} (line {}, column {}): {}",
+            self.offset, self.line, self.col, self.message
         )
     }
 }
 
 impl std::error::Error for XmlError {}
 
-struct Parser<'a> {
-    input: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
-        Err(XmlError {
-            offset: self.pos,
-            message: message.into(),
-        })
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.input.get(self.pos).copied()
-    }
-
-    fn bump(&mut self) -> Option<u8> {
-        let b = self.peek()?;
-        self.pos += 1;
-        Some(b)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.pos += 1;
-        }
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), XmlError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            self.err(format!("expected {:?}", b as char))
-        }
-    }
-
-    fn skip_prolog_and_comments(&mut self) -> Result<(), XmlError> {
-        loop {
-            self.skip_ws();
-            if self.input[self.pos..].starts_with(b"<?") {
-                match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
-                    Some(i) => self.pos += i + 2,
-                    None => return self.err("unterminated processing instruction"),
-                }
-            } else if self.input[self.pos..].starts_with(b"<!--") {
-                match self.input[self.pos..].windows(3).position(|w| w == b"-->") {
-                    Some(i) => self.pos += i + 3,
-                    None => return self.err("unterminated comment"),
-                }
-            } else {
-                return Ok(());
-            }
-        }
-    }
-
-    fn name(&mut self) -> Result<String, XmlError> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        if self.pos == start {
-            return self.err("expected a name");
-        }
-        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
-    }
-
-    fn quoted_value(&mut self) -> Result<String, XmlError> {
-        let quote = match self.bump() {
-            Some(q @ (b'"' | b'\'')) => q,
-            _ => return self.err("expected a quoted attribute value"),
-        };
-        let mut out = String::new();
-        loop {
-            match self.bump() {
-                None => return self.err("unterminated attribute value"),
-                Some(q) if q == quote => break,
-                Some(b'&') => out.push(self.entity()?),
-                Some(b) => out.push(b as char),
-            }
-        }
-        Ok(out)
-    }
-
-    fn entity(&mut self) -> Result<char, XmlError> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b == b';' {
-                let name = &self.input[start..self.pos];
-                self.pos += 1;
-                return match name {
-                    b"lt" => Ok('<'),
-                    b"gt" => Ok('>'),
-                    b"amp" => Ok('&'),
-                    b"quot" => Ok('"'),
-                    b"apos" => Ok('\''),
-                    _ => self.err("unknown entity"),
-                };
-            }
-            self.pos += 1;
-        }
-        self.err("unterminated entity")
-    }
-
-    /// Parses one element; appends under `parent` (or creates the tree when
-    /// `parent` is `None`).
-    fn element(&mut self, tree: &mut Option<Tree>, parent: Option<NodeId>) -> Result<(), XmlError> {
-        self.eat(b'<')?;
-        let label = self.name()?;
-        let mut attrs: Vec<(String, Value)> = Vec::new();
-        loop {
-            self.skip_ws();
-            match self.peek() {
-                Some(b'/') | Some(b'>') => break,
-                Some(_) => {
-                    let attr = self.name()?;
-                    self.skip_ws();
-                    self.eat(b'=')?;
-                    self.skip_ws();
-                    let value = self.quoted_value()?;
-                    if attrs.iter().any(|(a, _)| *a == attr) {
-                        return self.err(format!("duplicate attribute {attr:?}"));
-                    }
-                    attrs.push((attr, Value::from(value)));
-                }
-                None => return self.err("unterminated start tag"),
-            }
-        }
-
-        let node = match (tree.as_mut(), parent) {
-            (None, _) => {
-                *tree = Some(Tree::with_root_attrs(label.as_str(), attrs));
-                Tree::ROOT
-            }
-            (Some(t), Some(p)) => t.add_child(p, label.as_str(), attrs),
-            (Some(_), None) => return self.err("multiple root elements"),
-        };
-
-        if self.peek() == Some(b'/') {
-            self.pos += 1;
-            self.eat(b'>')?;
-            return Ok(());
-        }
-        self.eat(b'>')?;
-
-        loop {
-            self.skip_ws();
-            if self.input[self.pos..].starts_with(b"<!--") {
-                self.skip_prolog_and_comments()?;
-                continue;
-            }
-            if self.input[self.pos..].starts_with(b"</") {
-                self.pos += 2;
-                let close = self.name()?;
-                if close != label {
-                    return self.err(format!("mismatched close tag: expected </{label}>"));
-                }
-                self.skip_ws();
-                self.eat(b'>')?;
-                return Ok(());
-            }
-            if self.peek() == Some(b'<') {
-                self.element(tree, Some(node))?;
-            } else if self.peek().is_none() {
-                return self.err(format!("missing close tag </{label}>"));
-            } else {
-                return self.err("text content is not supported in this fragment");
-            }
-        }
-    }
-}
-
 /// Parses an XML document (element+attribute fragment) into a [`Tree`].
 pub fn parse(input: &str) -> Result<Tree, XmlError> {
-    let mut p = Parser {
-        input: input.as_bytes(),
-        pos: 0,
-    };
-    p.skip_prolog_and_comments()?;
-    let mut tree = None;
-    p.element(&mut tree, None)?;
-    p.skip_prolog_and_comments()?;
-    p.skip_ws();
-    if p.pos != p.input.len() {
-        return p.err("trailing content after the root element");
+    let mut reader = SaxReader::new(input.as_bytes());
+    let mut tree: Option<Tree> = None;
+    let mut stack: Vec<NodeId> = Vec::new();
+    while let Some(event) = reader.next_event()? {
+        match event {
+            SaxEvent::Open { label, attrs } => {
+                let node = match (tree.as_mut(), stack.last()) {
+                    (None, _) => {
+                        tree = Some(Tree::with_root_attrs(label, attrs));
+                        Tree::ROOT
+                    }
+                    (Some(t), Some(&parent)) => t.add_child(parent, label, attrs),
+                    // The reader rejects a second root as trailing content.
+                    (Some(_), None) => unreachable!("reader enforces a single root"),
+                };
+                stack.push(node);
+            }
+            SaxEvent::Close { .. } => {
+                stack.pop();
+            }
+        }
     }
-    Ok(tree.expect("root element parsed"))
+    Ok(tree.expect("reader yields at least the root element"))
 }
 
 fn escape(s: &str, out: &mut String) {
@@ -270,6 +111,7 @@ pub fn to_string(tree: &Tree) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::Value;
 
     const DOC: &str = r#"<?xml version="1.0"?>
 <!-- the running example of the paper -->

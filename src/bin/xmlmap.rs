@@ -10,6 +10,8 @@
 //! xmlmap abscons   <mapping-file>                ABSCONS(σ)
 //! xmlmap compose   <mapping-file> <mapping-file> syntactic composition
 //! xmlmap subschema <dtd-file> <dtd-file>         every D1 doc conforms to D2?
+//! xmlmap stream    <dtd-file> [--pattern P] [--stats] <xml-file|->
+//!                                                O(depth) streaming validation
 //! xmlmap batch     <jobfile> [--workers N] [--stats]
 //!                  [--cache-budget BYTES] [--cache-dir DIR]
 //!                                                run a job list in parallel
@@ -24,7 +26,18 @@
 //!
 //! Mapping files use the `[source]`/`[target]`/`[stds]` format of
 //! `Mapping::parse`; exit status is 0 for "yes" answers, 1 for "no",
-//! 2 for usage or input errors. For `batch` (jobfile syntax:
+//! 2 for usage or input errors.
+//!
+//! `stream` validates a document against a DTD — and, with `--pattern`,
+//! decides pattern membership in the same single pass — in O(depth)
+//! memory: the document is read as a byte stream (from a file, or stdin
+//! when the operand is `-`) and never materialised as a tree, so it
+//! works on documents far larger than memory. Patterns must lie in the
+//! streamable downward fragment (child `/`, descendant `//`, wildcard,
+//! within-tuple repeated variables); sibling-order operators and
+//! cross-node variable joins are rejected with a diagnostic pointing at
+//! the arena evaluator (`xmlmap match`). Exit status 0 = valid (and
+//! matching), 1 = invalid or non-matching, 2 = parse/usage errors. For `batch` (jobfile syntax:
 //! `xmlmap::core::batch::parse_jobfile`), exit status is 0 when every job
 //! completed, 1 when some job failed, 2 for usage/jobfile errors; jobs run
 //! on `--workers` threads (default: the available parallelism) over one
@@ -380,6 +393,75 @@ fn run_client_command(args: &[&str]) -> Result<bool, String> {
         .all(|(_, r)| !matches!(r, xmlmap::core::JobResult::Failed { .. })))
 }
 
+/// `xmlmap stream <dtd-file> [--pattern P] [--stats] <xml-file|->` —
+/// O(depth) streaming validation (and optional membership) that never
+/// builds the document tree.
+fn run_stream_command(ctx: &EngineContext, args: &[&str]) -> Result<bool, String> {
+    let mut schema: Option<&str> = None;
+    let mut doc: Option<&str> = None;
+    let mut pattern_text: Option<&str> = None;
+    let mut stats = false;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--pattern" => {
+                pattern_text = Some(
+                    *it.next()
+                        .ok_or_else(|| "--pattern needs a pattern".to_string())?,
+                );
+            }
+            "--stats" => stats = true,
+            _ if schema.is_none() => schema = Some(arg),
+            _ if doc.is_none() => doc = Some(arg),
+            _ => return Err(format!("stream: unexpected argument `{arg}`")),
+        }
+    }
+    let (Some(schema), Some(doc)) = (schema, doc) else {
+        return Err(
+            "usage: xmlmap stream <dtd-file> [--pattern P] [--stats] <xml-file|->".to_string(),
+        );
+    };
+    let dtd = xmlmap::dtd::parse(&read(schema)?).map_err(|e| e.to_string())?;
+    let pattern = pattern_text
+        .map(|t| xmlmap::patterns::parse(t).map_err(|e| e.to_string()))
+        .transpose()?;
+    let outcome = if doc == "-" {
+        let stdin = std::io::stdin();
+        ctx.stream_document(&dtd, pattern.as_ref(), stdin.lock())
+    } else {
+        let file = std::fs::File::open(doc).map_err(|e| format!("cannot read {doc}: {e}"))?;
+        ctx.stream_document(&dtd, pattern.as_ref(), std::io::BufReader::new(file))
+    }
+    .map_err(|e| format!("{doc}: {e}"))?;
+    if stats {
+        print_engine_stats(ctx, "stream");
+    }
+    if let Some(violation) = &outcome.violation {
+        println!("{violation}");
+        return Ok(false);
+    }
+    let shape = format!(
+        "{} elements, depth {}, peak stream state {} bytes",
+        outcome.stats.elements,
+        outcome.stats.peak_depth,
+        outcome.stats.peak_state_bytes + outcome.pattern_state_bytes
+    );
+    match outcome.matched {
+        None => {
+            println!("valid: {shape}");
+            Ok(true)
+        }
+        Some(true) => {
+            println!("valid, matches: {shape}");
+            Ok(true)
+        }
+        Some(false) => {
+            println!("valid, does NOT match: {shape}");
+            Ok(false)
+        }
+    }
+}
+
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
@@ -388,6 +470,7 @@ fn run() -> Result<bool, String> {
     let ctx = EngineContext::new();
     match strs.as_slice() {
         ["batch", rest @ ..] => run_batch_command(rest),
+        ["stream", rest @ ..] => run_stream_command(&ctx, rest),
         ["serve", rest @ ..] => run_serve_command(rest),
         ["client", rest @ ..] => run_client_command(rest),
         ["validate", dtd_path, xml_path] => {
@@ -562,7 +645,7 @@ fn run() -> Result<bool, String> {
             }
             Ok(true)
         }
-        _ => Err("usage: xmlmap <validate|match|check|chase|certain|consistent|abscons|compose|subschema|batch|serve|client> …\n\
+        _ => Err("usage: xmlmap <validate|match|check|chase|certain|consistent|abscons|compose|subschema|stream|batch|serve|client> …\n\
                   see `xmlmap` module docs for argument lists"
             .to_string()),
     }

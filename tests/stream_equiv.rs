@@ -1,0 +1,220 @@
+//! Differential tests: the streaming O(depth) engines against the
+//! tree-based engines, on generated documents that *do* fit the arena.
+//!
+//! Every case serialises a generated (and sometimes deliberately
+//! corrupted) document to XML bytes, runs the one-pass streaming driver
+//! ([`xmlmap::core::stream_document`]) over them, and re-parses the same
+//! bytes into the arena pipeline (`normalize_attrs` + `Dtd::check`, then
+//! `patterns::matches`). The verdicts must agree exactly:
+//!
+//! * conformance — including attribute-order shuffles (both sides are
+//!   order-insensitive), unknown labels, dropped attributes, and dropped
+//!   or relabelled subtrees;
+//! * membership for streamable downward patterns — defined only on
+//!   conforming documents (the streaming pass early-rejects otherwise,
+//!   which is asserted too).
+//!
+//! Roughly 550 cases run in the default `cargo test`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use xmlmap::dtd::{Dtd, DtdIndex};
+use xmlmap::gen::{random_tree, university_dtd, TreeGenConfig};
+use xmlmap::patterns::{self, StreamPattern};
+use xmlmap::trees::{xml, Name, NodeId, Tree, Value};
+
+/// Keep generated documents comfortably arena-sized.
+fn config() -> TreeGenConfig {
+    TreeGenConfig {
+        continue_probability: 0.4,
+        value_pool: 4,
+        max_nodes: 300,
+    }
+}
+
+/// A copy of `t` with random, mostly harmless edits: attribute-order
+/// shuffles (never a verdict change), and occasional real corruptions —
+/// dropped subtrees, relabelled nodes, dropped attributes — that flip a
+/// conforming document to non-conforming.
+fn perturb(t: &Tree, rng: &mut StdRng) -> Tree {
+    fn copy(t: &Tree, n: NodeId, out: &mut Tree, dst: NodeId, rng: &mut StdRng) {
+        for &c in t.children(n) {
+            if rng.gen_bool(0.02) {
+                continue; // drop the whole subtree
+            }
+            let label: Name = if rng.gen_bool(0.03) {
+                "zz".into()
+            } else {
+                t.label(c).clone()
+            };
+            let mut attrs: Vec<(Name, Value)> = t.attrs(c).to_vec();
+            if attrs.len() >= 2 && rng.gen_bool(0.5) {
+                attrs.swap(0, 1); // harmless: both engines are order-insensitive
+            }
+            if !attrs.is_empty() && rng.gen_bool(0.05) {
+                attrs.pop();
+            }
+            let d = out.add_child(dst, label, attrs);
+            copy(t, c, out, d, rng);
+        }
+    }
+    let mut out = Tree::new(t.label(Tree::ROOT).clone());
+    copy(t, Tree::ROOT, &mut out, Tree::ROOT, rng);
+    out
+}
+
+/// The arena-side conformance verdict on raw (document-order) attributes:
+/// normalise first, exactly as the CLI/batch pipelines do, then check.
+fn tree_conforms(dtd: &Dtd, t: &Tree) -> bool {
+    let mut t = t.clone();
+    dtd.normalize_attrs(&mut t).is_ok() && dtd.check(&t).is_ok()
+}
+
+/// Streams the serialised bytes of `t` and returns the outcome.
+fn stream(
+    idx: &Arc<DtdIndex>,
+    plan: Option<&StreamPattern>,
+    t: &Tree,
+) -> xmlmap::core::StreamOutcome {
+    let bytes = xml::to_string(t).into_bytes();
+    xmlmap::core::stream_document(idx, plan, bytes.as_slice())
+        .expect("serialised docs are well-formed")
+}
+
+#[test]
+fn conformance_verdicts_match_the_tree_engine() {
+    let dtds = [
+        university_dtd(),
+        xmlmap::gen::university_target_dtd(),
+        xmlmap::dtd::parse("root r\nr -> (a|b)*, c?\na -> c*\nc @ v").unwrap(),
+        xmlmap::dtd::parse("root r\nr -> a\na -> a?, b\nb @ x, y").unwrap(), // recursive
+        xmlmap::dtd::parse("root r\nr -> a*, b*\na @ x, y\nb @ z").unwrap(),
+    ];
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let (mut cases, mut invalid) = (0usize, 0usize);
+    for dtd in &dtds {
+        let idx = Arc::new(DtdIndex::new(dtd));
+        for _ in 0..30 {
+            let clean = random_tree(dtd, &config(), &mut rng);
+            for doc in [&clean, &perturb(&clean, &mut rng)] {
+                let expected = tree_conforms(dtd, doc);
+                let out = stream(&idx, None, doc);
+                assert_eq!(
+                    out.violation.is_none(),
+                    expected,
+                    "conformance disagreement on\n{}\nstream said {:?}",
+                    xml::to_string(doc),
+                    out.violation
+                );
+                cases += 1;
+                if !expected {
+                    invalid += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(cases, 300);
+    assert!(
+        invalid > 10,
+        "perturbation produced only {invalid} invalid docs"
+    );
+}
+
+#[test]
+fn membership_verdicts_match_the_tree_engine() {
+    let dtd = university_dtd();
+    let idx = Arc::new(DtdIndex::new(&dtd));
+    let probes = [
+        "r/prof(x)",
+        "r//course(c)",
+        "r//student(s)",
+        "r/prof(x)[teach[year(y)]]",
+        "r[prof(x)[supervise[student(s)]]]",
+        "r//year(y)[course(c1), course(c2)]",
+        "r//supervise[student(s1), student(s2)]",
+        "r//_(v)",
+        "r/prof(x)[teach[year(y)[course(c)]], supervise]",
+        "r//zz",
+    ];
+    let plans: Vec<(patterns::Pattern, StreamPattern)> = probes
+        .iter()
+        .map(|p| {
+            let pat = patterns::parse(p).unwrap();
+            let plan = StreamPattern::compile(&pat).expect("downward probes stream");
+            (pat, plan)
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0xd1ff);
+    let mut cases = 0usize;
+    let mut matched = 0usize;
+    for _ in 0..25 {
+        let doc = random_tree(&dtd, &config(), &mut rng);
+        let mut normalised = doc.clone();
+        dtd.normalize_attrs(&mut normalised).unwrap();
+        for (pat, plan) in &plans {
+            let expected = patterns::matches(&normalised, pat);
+            let out = stream(&idx, Some(plan), &doc);
+            assert_eq!(out.violation, None);
+            assert_eq!(
+                out.matched,
+                Some(expected),
+                "membership disagreement for `{pat}` on\n{}",
+                xml::to_string(&doc)
+            );
+            cases += 1;
+            if expected {
+                matched += 1;
+            }
+        }
+    }
+    assert_eq!(cases, 250);
+    assert!(
+        matched > 0 && matched < cases,
+        "degenerate mix: {matched}/{cases}"
+    );
+}
+
+#[test]
+fn membership_is_withheld_when_conformance_fails() {
+    let dtd = university_dtd();
+    let idx = Arc::new(DtdIndex::new(&dtd));
+    let plan = StreamPattern::compile(&patterns::parse("r//student(s)").unwrap()).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xbad);
+    let mut rejected = 0usize;
+    while rejected < 20 {
+        let doc = perturb(&random_tree(&dtd, &config(), &mut rng), &mut rng);
+        if tree_conforms(&dtd, &doc) {
+            continue;
+        }
+        let out = stream(&idx, Some(&plan), &doc);
+        assert!(out.violation.is_some());
+        assert_eq!(out.matched, None, "no verdict on a rejected document");
+        rejected += 1;
+    }
+}
+
+#[test]
+fn engine_context_streaming_agrees_with_the_direct_driver() {
+    let ctx = xmlmap::core::EngineContext::new();
+    let dtd = university_dtd();
+    let idx = Arc::new(DtdIndex::new(&dtd));
+    let pat = patterns::parse("r//year(y)[course(c1), course(c2)]").unwrap();
+    let plan = StreamPattern::compile(&pat).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xc7);
+    for _ in 0..10 {
+        let doc = random_tree(&dtd, &config(), &mut rng);
+        let bytes = xml::to_string(&doc).into_bytes();
+        let via_ctx = ctx
+            .stream_document(&dtd, Some(&pat), bytes.as_slice())
+            .unwrap();
+        let direct = stream(&idx, Some(&plan), &doc);
+        assert_eq!(via_ctx.violation, direct.violation);
+        assert_eq!(via_ctx.matched, direct.matched);
+        assert_eq!(via_ctx.stats.elements, direct.stats.elements);
+    }
+    let stats = ctx.stats();
+    assert_eq!(stats.stream_jobs, 10);
+    assert_eq!(stats.stream_index.misses, 1, "schema compiled once");
+    assert_eq!(stats.stream_plans.misses, 1, "plan compiled once");
+}
