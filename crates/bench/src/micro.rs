@@ -511,6 +511,70 @@ pub fn run_suite() -> Vec<(&'static str, f64)> {
             state_1x
         );
     });
+    // Streaming-chase rows (DESIGN.md §8.8). Both self-asserting: the
+    // parity row checks that the streamed canonical solution equals the
+    // tree chase's exactly (same canonical firing order ⇒ equal trees)
+    // and that a streamed pass stays within 10x of a parse-then-chase
+    // tree run on the same bytes; the flat-RSS row chases an exchange
+    // corpus whose pad tail is 100x bigger and checks that firings and
+    // peak live streaming state do not grow with the pad count.
+    let ex_map = xmlmap_gen::exchange_mapping();
+    let ex_idx = std::sync::Arc::new(xmlmap_dtd::DtdIndex::new(&ex_map.source_dtd));
+    let ex_plan = xmlmap_core::StreamChasePlan::new(&ex_map);
+    assert!(ex_plan.unstreamable().is_none(), "exchange stds stream");
+    let ex_corpus = |scale: usize, pads: usize| {
+        let path = stream_dir.join(format!("exchange_{scale}x.xml"));
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path).expect("bench corpus"));
+        xmlmap_gen::write_exchange_xml(160, 3, pads, &mut w).expect("bench corpus");
+        std::io::Write::flush(&mut w).expect("bench corpus");
+        path
+    };
+    let chase_file = |path: &std::path::Path| {
+        let src = std::io::BufReader::new(std::fs::File::open(path).expect("bench corpus"));
+        let out = xmlmap_core::chase_stream(&ex_idx, &ex_plan, src).expect("streamable plan");
+        assert_eq!(out.violation, None, "bench corpora conform");
+        out
+    };
+    let (ex_1x, ex_100x) = (ex_corpus(1, 4_000), ex_corpus(100, 400_000));
+
+    let started = std::time::Instant::now();
+    let expected = {
+        let text = std::fs::read_to_string(&ex_1x).expect("bench corpus");
+        let mut tree = xmlmap_trees::xml::parse(&text).expect("bench corpus");
+        ex_map
+            .source_dtd
+            .normalize_attrs(&mut tree)
+            .expect("conforms");
+        xmlmap_core::canonical_solution(&ex_map, &tree).expect("in fragment")
+    };
+    let tree_chase = started.elapsed();
+    let started = std::time::Instant::now();
+    let out_1x = chase_file(&ex_1x);
+    let stream_chase = started.elapsed();
+    assert!(
+        stream_chase <= tree_chase.max(Duration::from_millis(1)) * 10,
+        "streamed chase ({stream_chase:?}) fell behind parse+chase ({tree_chase:?}) by over 10x"
+    );
+    bench("stream/chase_vs_tree_1x", &mut || {
+        let out = chase_file(&ex_1x);
+        let sol = out.solution.expect("conforming").expect("in fragment");
+        assert!(sol == expected, "stream vs tree chase solutions differ");
+    });
+
+    // Flat-RSS chase: 100x the pads, same professors — identical firings,
+    // peak live state within 2x of the 1x run.
+    let live_1x = out_1x.peak_live_bytes();
+    let firings_1x = out_1x.firings;
+    bench("stream/chase_100x_flat_rss", &mut || {
+        let out = chase_file(&ex_100x);
+        assert_eq!(out.firings, firings_1x, "pads must fire nothing");
+        assert!(
+            out.peak_live_bytes() <= 2 * live_1x,
+            "live chase state grew with corpus size: {} bytes at 100x vs {} at 1x",
+            out.peak_live_bytes(),
+            live_1x
+        );
+    });
     let _ = std::fs::remove_dir_all(&stream_dir);
 
     out

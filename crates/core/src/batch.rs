@@ -109,6 +109,16 @@ pub enum JobKind {
         /// at jobfile parse time).
         pattern: Option<Pattern>,
     },
+    /// Stream-chase a source document into its canonical solution in
+    /// O(depth + firings) memory; like [`JobKind::Stream`], the document
+    /// is opened at *run* time and never materialised as a tree.
+    ChaseStream {
+        /// The mapping to chase under (streamability of every std source
+        /// is checked at jobfile parse time).
+        mapping: Arc<Mapping>,
+        /// Resolved path of the source document to stream.
+        path: PathBuf,
+    },
     /// Is `(source, target)` in the semantic composition `⟦m12⟧ ∘ ⟦m23⟧`?
     CompositionMember {
         /// First mapping.
@@ -279,6 +289,37 @@ pub fn run_job(ctx: &EngineContext, job: &BatchJob) -> JobResult {
                 }
             }
         },
+        JobKind::ChaseStream { mapping, path } => match std::fs::File::open(path) {
+            Err(e) => JobResult::Failed {
+                error: format!("cannot open {}: {e}", path.display()),
+            },
+            Ok(file) => match ctx.chase_stream(mapping, std::io::BufReader::new(file)) {
+                Err(e) => JobResult::Failed {
+                    error: e.to_string(),
+                },
+                Ok(out) => {
+                    let shape = format!(
+                        "{} firing(s), {} elements, depth {}",
+                        out.firings, out.stats.elements, out.stats.peak_depth
+                    );
+                    match (&out.violation, out.solution) {
+                        (Some(v), _) => JobResult::Answer {
+                            yes: false,
+                            detail: v.clone(),
+                        },
+                        (None, Some(Ok(tree))) => JobResult::Answer {
+                            yes: true,
+                            detail: format!("chased ({shape}, target has {} nodes)", tree.size()),
+                        },
+                        (None, Some(Err(e))) => JobResult::Answer {
+                            yes: false,
+                            detail: format!("no solution: {e}"),
+                        },
+                        (None, None) => unreachable!("no violation implies a verdict"),
+                    }
+                }
+            },
+        },
         JobKind::CompositionMember {
             m12,
             m23,
@@ -359,6 +400,7 @@ pub fn render_results(labeled: &[(String, JobResult)]) -> String {
 /// subschema      <d1.dtd> <d2.dtd> [budget]
 /// compose-member <m12> <m23> <source.xml> <target.xml> [max-middle]
 /// stream         <d.dtd> <doc.xml> [pattern...]
+/// chase-stream   <mapping> <source.xml>
 /// ```
 ///
 /// A `stream` job validates `doc.xml` against the schema (and, when the
@@ -368,6 +410,12 @@ pub fn render_results(labeled: &[(String, JobResult)]) -> String {
 /// loaded as a tree, so jobfiles can point at documents far larger than
 /// memory. Patterns must lie in the streamable downward fragment;
 /// anything else fails at parse time with a diagnostic.
+///
+/// A `chase-stream` job streams `source.xml` once, enumerating std
+/// firings, and chases them into the canonical solution without ever
+/// materialising the source tree. Every std source pattern must lie in
+/// the streamable downward fragment; anything else fails at parse time
+/// with a diagnostic naming the offending std.
 ///
 /// Mappings and DTDs are interned by path, so a 200-line jobfile over one
 /// mapping parses it once and every job shares the `Arc`. Documents are
@@ -549,6 +597,15 @@ fn parse_line(line: &str, loader: &mut Loader) -> Result<JobKind, String> {
             };
             Ok(JobKind::Stream { dtd, path, pattern })
         }
+        ["chase-stream", map, xml] => {
+            let mapping = loader.mapping(map)?;
+            let path = loader.resolve(xml)?;
+            for (i, s) in mapping.stds.iter().enumerate() {
+                StreamPattern::compile(&s.source)
+                    .map_err(|e| format!("std {i} source `{}`: {e}", s.source))?;
+            }
+            Ok(JobKind::ChaseStream { mapping, path })
+        }
         [op, ..]
             if [
                 "member",
@@ -557,6 +614,7 @@ fn parse_line(line: &str, loader: &mut Loader) -> Result<JobKind, String> {
                 "subschema",
                 "compose-member",
                 "stream",
+                "chase-stream",
             ]
             .contains(op) =>
         {
@@ -687,6 +745,53 @@ mod tests {
         assert_eq!(err.len(), 2);
         assert!(err[0].contains("cannot read missing.xml"), "{}", err[0]);
         assert!(err[1].contains("sibling-order"), "{}", err[1]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chase_stream_jobs_run_and_report() {
+        let dir = fixture(&[
+            ("copy.map", COPY_MAP),
+            (
+                "sib.map",
+                "[source]\nroot r\nr -> a*\na @ v\n\
+                 [target]\nroot r\nr -> b*\nb @ w\n\
+                 [stds]\nr[a(x) -> a(y)] --> r[b(x), b(y)]\n",
+            ),
+            ("src.xml", r#"<r><a v="1"/><a v="2"/></r>"#),
+            ("bad.xml", r#"<r><c/></r>"#),
+        ]);
+        let jobs = parse_jobfile(
+            "chase-stream copy.map src.xml\n\
+             chase-stream copy.map bad.xml\n",
+            &dir,
+        )
+        .unwrap();
+        let ctx = EngineContext::new();
+        let results = run_batch(&ctx, &jobs, 1);
+        assert_eq!(
+            results[0],
+            JobResult::Answer {
+                yes: true,
+                detail: "chased (2 firing(s), 3 elements, depth 2, target has 3 nodes)".to_string()
+            }
+        );
+        assert!(
+            matches!(&results[1], JobResult::Answer { yes: false, detail }
+                     if detail.contains("invalid at byte")),
+            "{:?}",
+            results[1]
+        );
+        assert_eq!(ctx.stats().stream_firings, 2);
+
+        // Unstreamable std sources fail at parse time, naming the std.
+        let err = parse_jobfile("chase-stream sib.map src.xml\n", &dir).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(
+            err[0].contains("std 0 source") && err[0].contains("sibling-order"),
+            "{}",
+            err[0]
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -514,6 +514,67 @@ impl ChaseCache {
         })
     }
 
+    /// The static fragment error, if the mapping is outside the chase
+    /// fragment (reported before any firing is examined).
+    pub fn fragment_error(&self) -> Option<&ChaseError> {
+        self.fragment_err.as_ref()
+    }
+
+    /// Number of std plans (one per std of the source mapping, in order).
+    pub fn std_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Canonical display text of std `i`'s source pattern. Reparsing it
+    /// reproduces the compiled source pattern with identical interned
+    /// variable ids, so externally-enumerated firing tuples (e.g. from a
+    /// streaming pass) line up with this plan's condition and class
+    /// indices.
+    pub fn source_text(&self, i: usize) -> &str {
+        &self.plans[i].source_text
+    }
+
+    /// Filters externally-enumerated match tuples of std `i` by the std's
+    /// source conditions and canonicalises the result — sorted in
+    /// alphabetical variable order, deduplicated — exactly the firing
+    /// sequence [`canonical_solution_cached`] obtains from the arena
+    /// kernel. Tuples are indexed by the source pattern's interned
+    /// variable ids.
+    pub(crate) fn canonical_firings(
+        &self,
+        i: usize,
+        tuples: Vec<Box<[Value]>>,
+    ) -> Vec<Box<[Value]>> {
+        let p = &self.plans[i];
+        if p.src_conds.iter().any(Option::is_none) {
+            return Vec::new(); // a condition that can never hold
+        }
+        let mut tuples = tuples;
+        tuples.retain(|t| {
+            p.src_conds.iter().all(|c| {
+                let (op, l, r) = c.expect("dead conditions handled above");
+                let (a, b) = (&t[l as usize], &t[r as usize]);
+                match op {
+                    CompOp::Eq => a == b,
+                    CompOp::Neq => a != b,
+                }
+            })
+        });
+        // The kernel's row order: value order under the alphabetical
+        // variable permutation (see `Matcher::all_match_tuples`).
+        let vars = p.source.vars();
+        let mut perm: Vec<usize> = (0..vars.len()).collect();
+        perm.sort_by(|&a, &b| vars[a].cmp(&vars[b]));
+        tuples.sort_unstable_by(|a, b| {
+            perm.iter()
+                .map(|&i| a[i].cmp(&b[i]))
+                .find(|c| *c != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        tuples.dedup();
+        tuples
+    }
+
     /// Approximate heap footprint in bytes: slot/attribute tables, compiled
     /// source patterns, and every plan's instruction sequence.
     pub fn approx_bytes(&self) -> u64 {
@@ -978,6 +1039,45 @@ pub fn canonical_solution_cached(
             cache.plans.iter().map(enumerate).collect()
         };
 
+    let tree = chase_firings(cache, &firings)?;
+    debug_assert!(m.target_dtd.conforms(&tree), "chase output must conform");
+    Ok(tree)
+}
+
+/// [`canonical_solution_cached`] for callers that enumerated the firings
+/// themselves — e.g. the streaming chase, which never materialises the
+/// source tree. `per_std[i]` holds std `i`'s raw match tuples (indexed by
+/// the source pattern's interned variable ids, any order); they are
+/// filtered and canonicalised by [`ChaseCache::canonical_firings`] before
+/// instantiation, so the construction — null labels included — is
+/// identical to the tree-side chase on the same document.
+///
+/// The caller is responsible for the checks that precede firing
+/// enumeration: source conformance and [`ChaseCache::fragment_error`].
+pub(crate) fn canonical_solution_from_firings(
+    cache: &ChaseCache,
+    per_std: Vec<Vec<Box<[Value]>>>,
+) -> Result<Tree, ChaseError> {
+    debug_assert_eq!(per_std.len(), cache.plans.len());
+    let canonical: Vec<Vec<Box<[Value]>>> = per_std
+        .into_iter()
+        .enumerate()
+        .map(|(i, tuples)| cache.canonical_firings(i, tuples))
+        .collect();
+    let views: Vec<Vec<Vec<&Value>>> = canonical
+        .iter()
+        .map(|std| std.iter().map(|t| t.iter().collect()).collect())
+        .collect();
+    chase_firings(cache, &views)
+}
+
+/// The chase construction proper: instantiates every firing of every std
+/// into the union-find/slot-cursor arena, completes mandatory slots, and
+/// materialises the canonical solution. `firings[i]` must be std `i`'s
+/// canonical firing sequence (the kernel's sorted, deduplicated,
+/// condition-filtered order) — the construction replays it verbatim, so
+/// identical sequences yield byte-identical trees.
+fn chase_firings(cache: &ChaseCache, firings: &[Vec<Vec<&Value>>]) -> Result<Tree, ChaseError> {
     // Root node with fresh-null attributes.
     let mut vals = Values::default();
     let mut arena: Vec<ANode> = Vec::new();
@@ -987,7 +1087,7 @@ pub fn canonical_solution_cached(
     let mut obligations: Vec<(Val, Val, &String)> = Vec::new();
     let mut class_vals: Vec<Option<Val>> = Vec::new();
     let mut node_map: Vec<u32> = Vec::new();
-    for (si, (plan, std_firings)) in cache.plans.iter().zip(&firings).enumerate() {
+    for (si, (plan, std_firings)) in cache.plans.iter().zip(firings).enumerate() {
         for tuple in std_firings {
             // α′₌ class values (the reference's `firing_values`): shared
             // variables pin their class to the firing's constant —
@@ -1142,6 +1242,5 @@ pub fn canonical_solution_cached(
     let root_attrs = attrs_of(&arena, &cache.labels, &mut vals, 0);
     tree.set_attrs(Tree::ROOT, root_attrs);
     materialize(&arena, &cache.labels, &mut vals, 0, &mut tree, Tree::ROOT);
-    debug_assert!(m.target_dtd.conforms(&tree), "chase output must conform");
     Ok(tree)
 }

@@ -52,7 +52,9 @@ use crate::consistency::{composition_consistent_cached, consistent_cached, ConsA
 use crate::exchange::{certain_answers_cached, reduced_solution_cached, CertainAnswersError};
 use crate::stds::Mapping;
 use crate::store::{ArtifactStore, Family, LoadError};
-use crate::stream::{StreamJobError, StreamOutcome};
+use crate::stream::{
+    StreamChaseError, StreamChaseOutcome, StreamChasePlan, StreamJobError, StreamOutcome,
+};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -152,10 +154,18 @@ pub struct EngineStats {
     pub stream_index: CacheCounters,
     /// Streaming pattern plans (one per downward-fragment pattern).
     pub stream_plans: CacheCounters,
-    /// Streaming passes run through [`EngineContext::stream_document`].
+    /// Streaming-chase artifacts (one per mapping: chase tables plus
+    /// per-std stream enumerator plans).
+    pub stream_chase: CacheCounters,
+    /// Streaming passes run through [`EngineContext::stream_document`]
+    /// or [`EngineContext::chase_stream`].
     pub stream_jobs: u64,
     /// Deepest open-element stack any streaming pass reached.
     pub stream_peak_depth: u64,
+    /// Total firings enumerated by streaming chases.
+    pub stream_firings: u64,
+    /// Most simultaneously-live valuations any streaming chase held.
+    pub stream_live_peak: u64,
     /// The context's memory budget, if bounded.
     pub memory_budget: Option<u64>,
 }
@@ -169,6 +179,7 @@ impl EngineStats {
             + self.shapes.bytes
             + self.stream_index.bytes
             + self.stream_plans.bytes
+            + self.stream_chase.bytes
     }
 
     /// Slot fills across all families that ran a compilation.
@@ -179,6 +190,7 @@ impl EngineStats {
             + self.shapes.compiled()
             + self.stream_index.compiled()
             + self.stream_plans.compiled()
+            + self.stream_chase.compiled()
     }
 
     /// Slot fills across all families answered from the artifact store.
@@ -189,6 +201,7 @@ impl EngineStats {
             + self.shapes.disk_hits
             + self.stream_index.disk_hits
             + self.stream_plans.disk_hits
+            + self.stream_chase.disk_hits
     }
 }
 
@@ -200,10 +213,12 @@ impl std::fmt::Display for EngineStats {
         writeln!(f, "shapes:   {}", self.shapes)?;
         writeln!(f, "sindex:   {}", self.stream_index)?;
         writeln!(f, "splan:    {}", self.stream_plans)?;
+        writeln!(f, "schase:   {}", self.stream_chase)?;
         writeln!(
             f,
-            "stream:   {} job(s), peak stream depth {}",
-            self.stream_jobs, self.stream_peak_depth
+            "stream:   {} job(s), peak stream depth {}, {} firing(s), \
+             peak live valuations {}",
+            self.stream_jobs, self.stream_peak_depth, self.stream_firings, self.stream_live_peak
         )?;
         match self.memory_budget {
             Some(b) => write!(
@@ -488,10 +503,15 @@ pub struct EngineContext {
     shapes: ShardedCache<ShapeCache>,
     stream_idx: ShardedCache<DtdIndex>,
     stream_plans: ShardedCache<StreamPattern>,
+    stream_chase: ShardedCache<StreamChasePlan>,
     /// Streaming passes run (diagnostics for `batch --stats` / `STATS`).
     stream_jobs: AtomicU64,
     /// Deepest open-element stack any streaming pass reached.
     stream_peak_depth: AtomicU64,
+    /// Total firings enumerated by streaming chases.
+    stream_firings: AtomicU64,
+    /// Most simultaneously-live valuations any streaming chase held.
+    stream_live_peak: AtomicU64,
     /// Approximate ceiling on the accounted bytes of all resident
     /// artifacts; `None` = unbounded (the pre-existing behaviour).
     budget: Option<u64>,
@@ -515,8 +535,11 @@ impl EngineContext {
             shapes: ShardedCache::new(),
             stream_idx: ShardedCache::new(),
             stream_plans: ShardedCache::new(),
+            stream_chase: ShardedCache::new(),
             stream_jobs: AtomicU64::new(0),
             stream_peak_depth: AtomicU64::new(0),
+            stream_firings: AtomicU64::new(0),
+            stream_live_peak: AtomicU64::new(0),
             budget: None,
             store: None,
         }
@@ -618,11 +641,12 @@ impl EngineContext {
                 self.shapes.bytes(),
                 self.stream_idx.bytes(),
                 self.stream_plans.bytes(),
+                self.stream_chase.bytes(),
             ];
             if bytes.iter().sum::<u64>() <= budget {
                 return;
             }
-            let mut order = [0usize, 1, 2, 3, 4, 5];
+            let mut order = [0usize, 1, 2, 3, 4, 5, 6];
             order.sort_by_key(|&i| std::cmp::Reverse(bytes[i]));
             let evicted = order.iter().any(|&i| {
                 match i {
@@ -631,7 +655,8 @@ impl EngineContext {
                     2 => self.automata.evict_one(),
                     3 => self.shapes.evict_one(),
                     4 => self.stream_idx.evict_one(),
-                    _ => self.stream_plans.evict_one(),
+                    5 => self.stream_plans.evict_one(),
+                    _ => self.stream_chase.evict_one(),
                 }
                 .is_some()
             });
@@ -780,6 +805,48 @@ impl EngineContext {
             |v| v.approx_bytes(),
             move || compiled,
         ))
+    }
+
+    /// The shared [`StreamChasePlan`] for `m` (chase tables + per-std
+    /// stream enumerator plans), loading or compiling it on first
+    /// request. The persisted payload is the chase tables; the stream
+    /// plans are recompiled from the canonical source-pattern texts on
+    /// decode.
+    pub fn stream_chase_plan(&self, m: &Mapping) -> Arc<StreamChasePlan> {
+        self.fetch(
+            &self.stream_chase,
+            Family::StreamChase,
+            &m.to_string(),
+            true,
+            |b| StreamChasePlan::from_bytes(b).ok(),
+            |v| v.to_bytes(),
+            |v| v.approx_bytes(),
+            || StreamChasePlan::new(m),
+        )
+    }
+
+    /// Streams `src` once against `m`'s source DTD while enumerating std
+    /// firings, then chases them into the canonical target tree — the
+    /// same tree [`EngineContext::canonical_solution`] builds, without
+    /// ever materialising the source
+    /// (see [`crate::stream::chase_stream`]).
+    pub fn chase_stream<R: std::io::Read>(
+        &self,
+        m: &Mapping,
+        src: R,
+    ) -> Result<StreamChaseOutcome, StreamChaseError> {
+        let idx = self.stream_index(&m.source_dtd);
+        let plan = self.stream_chase_plan(m);
+        self.stream_jobs.fetch_add(1, Ordering::Relaxed);
+        let outcome = crate::stream::chase_stream(&idx, &plan, src)?;
+        self.stream_peak_depth
+            .fetch_max(outcome.stats.peak_depth as u64, Ordering::Relaxed);
+        self.stream_firings
+            .fetch_add(outcome.firings, Ordering::Relaxed);
+        self.stream_live_peak
+            .fetch_max(outcome.peak_live_valuations, Ordering::Relaxed);
+        self.rebalance();
+        Ok(outcome)
     }
 
     /// Streams `src` against `dtd` — and, when `pattern` is given,
@@ -948,8 +1015,11 @@ impl EngineContext {
             shapes: self.shapes.counters(),
             stream_index: self.stream_idx.counters(),
             stream_plans: self.stream_plans.counters(),
+            stream_chase: self.stream_chase.counters(),
             stream_jobs: self.stream_jobs.load(Ordering::Relaxed),
             stream_peak_depth: self.stream_peak_depth.load(Ordering::Relaxed),
+            stream_firings: self.stream_firings.load(Ordering::Relaxed),
+            stream_live_peak: self.stream_live_peak.load(Ordering::Relaxed),
             memory_budget: self.budget,
         }
     }
@@ -1037,6 +1107,25 @@ mod tests {
         let sib = xmlmap_patterns::parse("r[a(x) -> a(y)]").unwrap();
         assert!(ctx.stream_plan(&sib).is_err());
         assert_eq!(ctx.stats().stream_plans.entries, 1);
+    }
+
+    #[test]
+    fn streaming_chase_caches_and_tallies() {
+        let ctx = EngineContext::new();
+        let m = copy_mapping();
+        let doc = r#"<r><a v="1"/><a v="2"/></r>"#;
+        let out = ctx.chase_stream(&m, doc.as_bytes()).unwrap();
+        assert_eq!(out.violation, None);
+        let streamed = out.solution.unwrap().unwrap();
+        let tree = xmlmap_trees::xml::parse(doc).unwrap();
+        assert_eq!(streamed, ctx.canonical_solution(&m, &tree).unwrap());
+        let again = ctx.chase_stream(&m, doc.as_bytes()).unwrap();
+        assert_eq!(again.solution.unwrap().unwrap(), streamed);
+        let s = ctx.stats();
+        assert_eq!((s.stream_chase.misses, s.stream_chase.hits), (1, 1));
+        assert_eq!(s.stream_firings, 4);
+        assert!(s.stream_live_peak >= 2);
+        assert!(s.stream_jobs >= 2);
     }
 
     #[test]

@@ -52,4 +52,7 @@ pub use signature::Signature;
 pub use skolem::{SkolemMapping, SkolemStd, Term, TermPattern};
 pub use stds::{Mapping, Std};
 pub use store::{ArtifactStore, Family, LoadError};
-pub use stream::{stream_document, StreamJobError, StreamOutcome};
+pub use stream::{
+    chase_stream, stream_document, StreamChaseError, StreamChaseOutcome, StreamChasePlan,
+    StreamJobError, StreamOutcome, UnstreamableStd,
+};

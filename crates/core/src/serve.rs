@@ -288,8 +288,9 @@ pub fn stats_json(stats: &EngineStats, requests: u64, connections: u64) -> Strin
     };
     format!(
         "{{\"sat\":{},\"chase\":{},\"automata\":{},\"shapes\":{},\
-         \"stream_index\":{},\"stream_plans\":{},\
+         \"stream_index\":{},\"stream_plans\":{},\"stream_chase\":{},\
          \"stream_jobs\":{},\"stream_peak_depth\":{},\
+         \"stream_firings\":{},\"stream_live_peak\":{},\
          \"memory_budget\":{budget},\"total_bytes\":{},\"total_compiled\":{},\
          \"total_disk_hits\":{},\"requests\":{requests},\"connections\":{connections}}}",
         counters_json(&stats.sat),
@@ -298,8 +299,11 @@ pub fn stats_json(stats: &EngineStats, requests: u64, connections: u64) -> Strin
         counters_json(&stats.shapes),
         counters_json(&stats.stream_index),
         counters_json(&stats.stream_plans),
+        counters_json(&stats.stream_chase),
         stats.stream_jobs,
         stats.stream_peak_depth,
+        stats.stream_firings,
+        stats.stream_live_peak,
         stats.total_bytes(),
         stats.total_compiled(),
         stats.total_disk_hits(),
@@ -1043,6 +1047,8 @@ mod tests {
         let r = Response::parse(wrapped.as_bytes()).unwrap();
         assert_eq!(r.stats.as_deref(), Some(stats.as_str()));
         assert!(stats.contains("\"total_compiled\":0"));
+        assert!(stats.contains("\"stream_firings\":0"));
+        assert!(stats.contains("\"stream_chase\":{"));
     }
 
     #[test]

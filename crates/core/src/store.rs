@@ -55,6 +55,10 @@ pub enum Family {
     /// the family exists so the in-memory cache has a distinct slot
     /// namespace).
     StreamPlan,
+    /// `StreamChasePlan` — per-mapping streaming-chase artifacts (chase
+    /// tables + per-std stream plans; the payload is the chase tables,
+    /// stream plans are recompiled on decode).
+    StreamChase,
 }
 
 impl Family {
@@ -66,6 +70,7 @@ impl Family {
             Family::Shapes => 3,
             Family::StreamIndex => 4,
             Family::StreamPlan => 5,
+            Family::StreamChase => 6,
         }
     }
 
@@ -78,6 +83,7 @@ impl Family {
             Family::Shapes => "shapes",
             Family::StreamIndex => "streamindex",
             Family::StreamPlan => "streamplan",
+            Family::StreamChase => "streamchase",
         }
     }
 }

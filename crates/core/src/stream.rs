@@ -17,12 +17,16 @@
 //! exposes this driver as
 //! [`stream_document`](crate::EngineContext::stream_document).
 
+use crate::chase::compiled::canonical_solution_from_firings;
+use crate::chase::{ChaseCache, ChaseError};
+use crate::stds::Mapping;
 use std::fmt;
 use std::io::Read;
 use std::sync::Arc;
+use xmlmap_codec::CodecError;
 use xmlmap_dtd::{DtdIndex, StreamStats, StreamValidator};
-use xmlmap_patterns::{StreamMatcher, StreamPattern, UnstreamablePattern};
-use xmlmap_trees::{Name, SaxEvent, SaxReader, Value, XmlError};
+use xmlmap_patterns::{StreamEnumerator, StreamMatcher, StreamPattern, UnstreamablePattern};
+use xmlmap_trees::{Name, SaxEvent, SaxReader, Tree, Value, XmlError};
 
 /// What one streaming pass over a document established.
 #[derive(Clone, Debug)]
@@ -146,6 +150,292 @@ pub fn stream_document<R: Read>(
     })
 }
 
+impl StreamOutcome {
+    /// Peak open-element depth of the pass (validator counter).
+    pub fn peak_depth(&self) -> usize {
+        self.stats.peak_depth
+    }
+
+    /// High-water mark of *all* live stream state in bytes: validator
+    /// cursor plus pattern (matcher or enumerator) state.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.stats.peak_state_bytes + self.pattern_state_bytes
+    }
+}
+
+/// One std of a mapping that the streaming chase cannot run: its source
+/// pattern lies outside the streamable downward fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnstreamableStd {
+    /// Index of the std in mapping order.
+    pub index: usize,
+    /// Display text of the offending source pattern.
+    pub source: String,
+    /// Which feature puts it outside the fragment.
+    pub cause: UnstreamablePattern,
+}
+
+impl fmt::Display for UnstreamableStd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "std {} source pattern `{}` is not streamable: {}",
+            self.index, self.source, self.cause
+        )
+    }
+}
+
+impl std::error::Error for UnstreamableStd {}
+
+/// Why a streaming chase could not produce a verdict at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamChaseError {
+    /// The input is not well-formed XML.
+    Parse(XmlError),
+    /// A source pattern lies outside the streamable fragment; the
+    /// tree-path chase (`xmlmap chase`) still handles it.
+    Unstreamable(UnstreamableStd),
+}
+
+impl fmt::Display for StreamChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamChaseError::Parse(e) => write!(f, "{e}"),
+            StreamChaseError::Unstreamable(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamChaseError {}
+
+impl From<XmlError> for StreamChaseError {
+    fn from(e: XmlError) -> StreamChaseError {
+        StreamChaseError::Parse(e)
+    }
+}
+
+/// Compiled artifact for the streaming chase of one mapping: the chase
+/// tables ([`ChaseCache`]) plus one [`StreamPattern`] per std source.
+///
+/// The stream plans are rebuilt from the cache's canonical source-pattern
+/// texts (display round-trips through the parser, so interned variable
+/// ids — and hence enumerator tuple positions — line up with the chase
+/// plans), which keeps the serialized form identical to the chase
+/// cache's. A mapping whose sources stray outside the streamable
+/// fragment still compiles; the failure is carried in the plan and
+/// reported by [`chase_stream`] before any input is read.
+pub struct StreamChasePlan {
+    cache: ChaseCache,
+    plans: Result<Vec<StreamPattern>, UnstreamableStd>,
+}
+
+impl StreamChasePlan {
+    /// Compiles the streaming-chase artifact for `m`.
+    pub fn new(m: &Mapping) -> StreamChasePlan {
+        StreamChasePlan::from_cache(ChaseCache::new(m))
+    }
+
+    /// Builds the per-std stream plans on top of an already-compiled
+    /// chase cache.
+    pub fn from_cache(cache: ChaseCache) -> StreamChasePlan {
+        let plans = (0..cache.std_count())
+            .map(|i| {
+                let text = cache.source_text(i);
+                let pat = xmlmap_patterns::parse(text)
+                    .expect("chase cache stores display-round-trippable pattern text");
+                StreamPattern::compile(&pat).map_err(|cause| UnstreamableStd {
+                    index: i,
+                    source: text.to_string(),
+                    cause,
+                })
+            })
+            .collect();
+        StreamChasePlan { cache, plans }
+    }
+
+    /// Serialized form — exactly the chase cache's; stream plans are
+    /// recompiled on decode.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.cache.to_bytes()
+    }
+
+    /// Decodes a plan serialized by [`to_bytes`](StreamChasePlan::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<StreamChasePlan, CodecError> {
+        Ok(StreamChasePlan::from_cache(ChaseCache::from_bytes(bytes)?))
+    }
+
+    /// Approximate heap footprint in bytes (chase tables + stream plans).
+    pub fn approx_bytes(&self) -> u64 {
+        self.cache.approx_bytes()
+            + match &self.plans {
+                Ok(ps) => ps.iter().map(StreamPattern::approx_bytes).sum::<u64>(),
+                Err(e) => e.source.len() as u64 + 64,
+            }
+    }
+
+    /// The chase tables this plan was built on.
+    pub fn chase_cache(&self) -> &ChaseCache {
+        &self.cache
+    }
+
+    /// `Some` when the mapping cannot be chased in streaming mode (first
+    /// offending std in mapping order).
+    pub fn unstreamable(&self) -> Option<&UnstreamableStd> {
+        self.plans.as_ref().err()
+    }
+}
+
+/// What one streaming chase pass established.
+#[derive(Clone, Debug)]
+pub struct StreamChaseOutcome {
+    /// `None` when the source conforms to the source DTD; otherwise the
+    /// first violation in document order (the pass stops there and the
+    /// chase verdict is withheld).
+    pub violation: Option<String>,
+    /// The chase verdict: `Some` when the pass ran to completion —
+    /// either the canonical target tree or why no solution exists —
+    /// `None` when the validator rejected first.
+    pub solution: Option<Result<Tree, ChaseError>>,
+    /// Validator counters: elements seen, peak open-element depth, and
+    /// the high-water mark of live validator state in bytes.
+    pub stats: StreamStats,
+    /// Total firings enumerated across all stds (after source-condition
+    /// filtering and canonical dedup — the firings the chase consumed).
+    pub firings: u64,
+    /// High-water mark of simultaneously-live valuations across all
+    /// per-std enumerators.
+    pub peak_live_valuations: u64,
+    /// High-water mark of live enumerator state in bytes, summed over
+    /// the per-std enumerators.
+    pub pattern_state_bytes: u64,
+}
+
+impl StreamChaseOutcome {
+    /// Peak open-element depth of the pass (validator counter).
+    pub fn peak_depth(&self) -> usize {
+        self.stats.peak_depth
+    }
+
+    /// High-water mark of *all* live stream state in bytes: validator
+    /// cursor plus every enumerator's state.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.stats.peak_state_bytes + self.pattern_state_bytes
+    }
+}
+
+/// Streams `src` once, validating against `idx` (the mapping's source
+/// DTD) while one [`StreamEnumerator`] per std collects firing
+/// valuations, then chases the firings into the canonical target tree —
+/// the same tree `canonical_solution` builds from a materialised source
+/// (byte-identical, in fact: the enumerators replay the arena kernel's
+/// canonical firing order, so even the fresh-null numbering coincides).
+///
+/// Peak memory is O(depth + live matches + firings + output): the source
+/// tree is never materialised. A conformance violation stops the pass
+/// and withholds the verdict ([`StreamChaseOutcome::violation`]); a
+/// non-streamable source pattern is rejected before any input is read.
+pub fn chase_stream<R: Read>(
+    idx: &Arc<DtdIndex>,
+    plan: &StreamChasePlan,
+    src: R,
+) -> Result<StreamChaseOutcome, StreamChaseError> {
+    let plans = match &plan.plans {
+        Ok(ps) => ps,
+        Err(e) => return Err(StreamChaseError::Unstreamable(e.clone())),
+    };
+    let mut reader = SaxReader::new(src);
+    let mut validator = StreamValidator::new(Arc::clone(idx));
+    let mut enums: Vec<StreamEnumerator<'_>> = plans.iter().map(StreamEnumerator::new).collect();
+    let mut canonical: Vec<(Name, Value)> = Vec::new();
+    while let Some(event) = reader.next_event()? {
+        match event {
+            SaxEvent::Open { label, attrs } => {
+                if let Err(v) = validator.open(&label, &attrs) {
+                    let (line, col) = reader.position();
+                    return Ok(StreamChaseOutcome {
+                        violation: Some(format!(
+                            "invalid at byte {} (line {line}, column {col}): {v}",
+                            reader.offset()
+                        )),
+                        solution: None,
+                        stats: validator.stats(),
+                        firings: 0,
+                        peak_live_valuations: 0,
+                        pattern_state_bytes: 0,
+                    });
+                }
+                // Same attribute canonicalisation as `stream_document`:
+                // the validator accepted the element, so its attribute
+                // set equals the DTD's canonical list.
+                canonical.clear();
+                for want in idx.dtd().attrs(&label) {
+                    let (_, value) = attrs
+                        .iter()
+                        .find(|(a, _)| a == want)
+                        .expect("validator checked the attribute set");
+                    canonical.push((want.clone(), value.clone()));
+                }
+                for en in &mut enums {
+                    en.open(&label, &canonical);
+                }
+            }
+            SaxEvent::Close { .. } => {
+                if let Err(v) = validator.close() {
+                    let (line, col) = reader.position();
+                    return Ok(StreamChaseOutcome {
+                        violation: Some(format!(
+                            "invalid at byte {} (line {line}, column {col}): {v}",
+                            reader.offset()
+                        )),
+                        solution: None,
+                        stats: validator.stats(),
+                        firings: 0,
+                        peak_live_valuations: 0,
+                        pattern_state_bytes: 0,
+                    });
+                }
+                for en in &mut enums {
+                    en.close();
+                }
+            }
+        }
+    }
+    let stats = validator.finish();
+    let peak_live_valuations = enums
+        .iter()
+        .map(StreamEnumerator::peak_live_valuations)
+        .sum();
+    let pattern_state_bytes = enums.iter().map(StreamEnumerator::peak_state_bytes).sum();
+    if let Some(e) = plan.cache.fragment_error() {
+        return Ok(StreamChaseOutcome {
+            violation: None,
+            solution: Some(Err(e.clone())),
+            stats,
+            firings: 0,
+            peak_live_valuations,
+            pattern_state_bytes,
+        });
+    }
+    // Canonicalise each std's firing multiset up front so the firing
+    // counter reports what the chase actually consumes; the kernel's
+    // own canonicalisation pass is idempotent over this.
+    let per_std: Vec<Vec<Box<[Value]>>> = enums
+        .into_iter()
+        .enumerate()
+        .map(|(i, en)| plan.cache.canonical_firings(i, en.finish()))
+        .collect();
+    let firings = per_std.iter().map(|f| f.len() as u64).sum();
+    let solution = canonical_solution_from_firings(&plan.cache, per_std);
+    Ok(StreamChaseOutcome {
+        violation: None,
+        solution: Some(solution),
+        stats,
+        firings,
+        peak_live_valuations,
+        pattern_state_bytes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,5 +523,106 @@ mod tests {
         let idx = idx();
         let err = stream_document(&idx, None, r#"<r><a x="1" y="2"></r>"#.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("mismatched close tag"), "{err}");
+    }
+
+    fn mapping() -> Mapping {
+        Mapping::new(
+            xmlmap_dtd::parse(
+                "root r
+                 r -> a*, b?
+                 a @ x, y",
+            )
+            .unwrap(),
+            xmlmap_dtd::parse(
+                "root t
+                 t -> p*
+                 p @ u, v",
+            )
+            .unwrap(),
+            vec![crate::stds::Std::parse("r/a(x, y) --> t/p(y, x)").unwrap()],
+        )
+    }
+
+    #[test]
+    fn streaming_chase_equals_the_tree_chase() {
+        let m = mapping();
+        let idx = Arc::new(DtdIndex::new(&m.source_dtd));
+        let plan = StreamChasePlan::new(&m);
+        assert!(plan.unstreamable().is_none());
+        let doc = r#"<r><a x="1" y="2"/><a x="1" y="2"/><a x="3" y="4"/><b/></r>"#;
+        let out = chase_stream(&idx, &plan, doc.as_bytes()).unwrap();
+        assert_eq!(out.violation, None);
+        assert_eq!(out.firings, 2); // duplicate firing deduplicated
+        assert!(out.peak_live_valuations >= 2);
+        assert!(out.peak_live_bytes() > 0);
+        let streamed = out.solution.unwrap().unwrap();
+        let tree = xmlmap_trees::xml::parse(doc).unwrap();
+        let chased = crate::chase::canonical_solution(&m, &tree).unwrap();
+        assert_eq!(streamed, chased, "must replay the kernel's firing order");
+    }
+
+    #[test]
+    fn streaming_chase_round_trips_through_bytes() {
+        let m = mapping();
+        let idx = Arc::new(DtdIndex::new(&m.source_dtd));
+        let plan = StreamChasePlan::from_bytes(&StreamChasePlan::new(&m).to_bytes()).unwrap();
+        let doc = r#"<r><a x="5" y="6"/></r>"#;
+        let streamed = chase_stream(&idx, &plan, doc.as_bytes())
+            .unwrap()
+            .solution
+            .unwrap()
+            .unwrap();
+        let tree = xmlmap_trees::xml::parse(doc).unwrap();
+        assert_eq!(
+            streamed,
+            crate::chase::canonical_solution(&m, &tree).unwrap()
+        );
+        assert!(plan.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn conformance_violation_withholds_the_chase_verdict() {
+        let m = mapping();
+        let idx = Arc::new(DtdIndex::new(&m.source_dtd));
+        let plan = StreamChasePlan::new(&m);
+        // b before a*: dead subset at <a>.
+        let doc = r#"<r><b/><a x="1" y="2"/></r>"#;
+        let out = chase_stream(&idx, &plan, doc.as_bytes()).unwrap();
+        assert!(out.violation.is_some());
+        assert!(out.solution.is_none());
+        assert_eq!(out.firings, 0);
+    }
+
+    #[test]
+    fn unstreamable_std_is_rejected_before_reading_input() {
+        let mut m = mapping();
+        m.stds = vec![crate::stds::Std::parse("r[a(x, y) -> a(u, v)] --> t/p(x, u)").unwrap()];
+        let plan = StreamChasePlan::new(&m);
+        let err = plan.unstreamable().expect("sibling order is unstreamable");
+        assert_eq!(err.index, 0);
+        assert_eq!(err.cause, UnstreamablePattern::SiblingOrder);
+        let idx = Arc::new(DtdIndex::new(&m.source_dtd));
+        let got = chase_stream(&idx, &plan, r#"<r/>"#.as_bytes()).unwrap_err();
+        assert!(matches!(got, StreamChaseError::Unstreamable(_)), "{got}");
+    }
+
+    #[test]
+    fn fragment_errors_surface_after_a_conforming_pass() {
+        let mut m = mapping();
+        // Target DTD outside the nested-relational fragment.
+        m.target_dtd = xmlmap_dtd::parse(
+            "root t
+             t -> p, p",
+        )
+        .unwrap();
+        let plan = StreamChasePlan::new(&m);
+        assert!(plan.unstreamable().is_none());
+        let idx = Arc::new(DtdIndex::new(&m.source_dtd));
+        let out = chase_stream(&idx, &plan, r#"<r><a x="1" y="2"/></r>"#.as_bytes()).unwrap();
+        assert_eq!(out.violation, None);
+        assert!(matches!(
+            out.solution,
+            Some(Err(ChaseError::OutsideFragment(_)))
+        ));
     }
 }

@@ -1,16 +1,26 @@
-//! `gendoc` — streams a university-shaped corpus document to a file or
-//! stdout for the streaming bench rows and the CI `stream-smoke` job.
+//! `gendoc` — streams a corpus document to a file or stdout for the
+//! streaming bench rows and the CI `stream-smoke` job.
 //!
 //! ```text
-//! gendoc [--size-scale K] [--students N] [--dtd PATH] [--out PATH]
+//! gendoc [--family university|exchange] [--size-scale K] [--students N]
+//!        [--profs N] [--dtd PATH] [--mapping PATH] [--out PATH]
 //! ```
 //!
-//! The 1x document is the micro-bench workload `university_tree(160, 3)`;
-//! `--size-scale K` emits `160·K` professors (so `--size-scale 100` is the
-//! 100x corpus). The document is streamed in O(depth) memory, so multi-GB
-//! corpora are fine; `--dtd PATH` additionally writes the matching
-//! university DTD for `xmlmap stream`. Generated corpora belong under
-//! `corpora/`, which is gitignored.
+//! The `university` family (default) is the micro-bench workload
+//! `university_tree(160, 3)`; `--size-scale K` emits `160·K` professors
+//! (so `--size-scale 100` is the 100x corpus).
+//!
+//! The `exchange` family feeds the streaming-chase benches and CI: the
+//! university body followed by `40 000·K` inert `pad` records, so
+//! `--size-scale` grows corpus *bytes* (~23 bytes per pad; `K = 100` is
+//! ~92MB) while chase *firings* stay pinned to the professor count —
+//! `--profs` is the firing-density knob. `--mapping PATH` writes the
+//! matching exchange mapping file for `xmlmap stream --chase`.
+//!
+//! Both families are streamed in O(depth) memory, so multi-GB corpora
+//! are fine; `--dtd PATH` additionally writes the family's source DTD
+//! for `xmlmap stream`. Generated corpora belong under `corpora/`,
+//! which is gitignored.
 
 use std::io::Write;
 
@@ -18,12 +28,23 @@ use std::io::Write;
 const BASE_PROFESSORS: usize = 160;
 /// Students per professor (the micro-bench university workload).
 const BASE_STUDENTS: usize = 3;
+/// Pads in the 1x exchange document (~0.9MB of inert records).
+const BASE_PADS: usize = 40_000;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Family {
+    University,
+    Exchange,
+}
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut family = Family::University;
     let mut scale: usize = 1;
     let mut students = BASE_STUDENTS;
+    let mut profs: Option<usize> = None;
     let mut dtd_path: Option<String> = None;
+    let mut mapping_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -33,6 +54,13 @@ fn run() -> Result<(), String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match arg.as_str() {
+            "--family" => {
+                family = match value("--family")?.as_str() {
+                    "university" => Family::University,
+                    "exchange" => Family::Exchange,
+                    other => return Err(format!("--family: unknown family `{other}`")),
+                }
+            }
             "--size-scale" => {
                 scale = value("--size-scale")?
                     .parse()
@@ -43,35 +71,71 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--students: {e}"))?
             }
+            "--profs" => {
+                profs = Some(
+                    value("--profs")?
+                        .parse()
+                        .map_err(|e| format!("--profs: {e}"))?,
+                )
+            }
             "--dtd" => dtd_path = Some(value("--dtd")?),
+            "--mapping" => mapping_path = Some(value("--mapping")?),
             "--out" => out_path = Some(value("--out")?),
             other => {
                 return Err(format!(
                     "unknown argument `{other}`\n\
-                     usage: gendoc [--size-scale K] [--students N] [--dtd PATH] [--out PATH]"
+                     usage: gendoc [--family university|exchange] [--size-scale K] \
+                     [--students N] [--profs N] [--dtd PATH] [--mapping PATH] [--out PATH]"
                 ))
             }
         }
     }
     if let Some(path) = &dtd_path {
-        std::fs::write(path, xmlmap_gen::university_dtd().to_string())
+        let dtd = match family {
+            Family::University => xmlmap_gen::university_dtd(),
+            Family::Exchange => xmlmap_gen::exchange_source_dtd(),
+        };
+        std::fs::write(path, dtd.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &mapping_path {
+        if family != Family::Exchange {
+            return Err("--mapping is only meaningful with --family exchange".to_string());
+        }
+        std::fs::write(path, xmlmap_gen::exchange_mapping().to_string())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
-    let professors = BASE_PROFESSORS * scale;
+    // University: professors scale with the corpus. Exchange: pads scale
+    // (bytes), professors stay pinned (firings) unless --profs overrides.
+    let (professors, pads) = match family {
+        Family::University => (profs.unwrap_or(BASE_PROFESSORS * scale), 0),
+        Family::Exchange => (profs.unwrap_or(BASE_PROFESSORS), BASE_PADS * scale),
+    };
+    let write = |mut out: &mut dyn Write| match family {
+        Family::University => xmlmap_gen::write_university_xml(professors, students, &mut out),
+        Family::Exchange => xmlmap_gen::write_exchange_xml(professors, students, pads, &mut out),
+    };
     match &out_path {
         Some(path) => {
             let file =
                 std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
             let mut out = std::io::BufWriter::new(file);
-            xmlmap_gen::write_university_xml(professors, students, &mut out)
+            write(&mut out)
                 .and_then(|()| out.flush())
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
-            eprintln!("gendoc: wrote {professors} professors ({students} students each) to {path}");
+            match family {
+                Family::University => eprintln!(
+                    "gendoc: wrote {professors} professors ({students} students each) to {path}"
+                ),
+                Family::Exchange => eprintln!(
+                    "gendoc: wrote {professors} professors ({students} students each) \
+                     and {pads} pads to {path}"
+                ),
+            }
         }
         None => {
             let stdout = std::io::stdout();
             let mut out = std::io::BufWriter::new(stdout.lock());
-            xmlmap_gen::write_university_xml(professors, students, &mut out)
+            write(&mut out)
                 .and_then(|()| out.flush())
                 .map_err(|e| format!("stdout: {e}"))?;
         }

@@ -208,6 +208,87 @@ pub fn university_target_dtd() -> Dtd {
     .expect("static DTD")
 }
 
+/// The exchange-corpus source DTD: the university DTD extended with a
+/// tail of inert `pad` records (`r -> prof*, pad*`). Pads conform but
+/// match no std source, so corpus **bytes** scale with the pad count
+/// while chase **firings** stay proportional to the professor count —
+/// the knob the flat-RSS streaming-chase benches and CI turn.
+pub fn exchange_source_dtd() -> Dtd {
+    xmlmap_dtd::parse(
+        "root r
+         r -> prof*, pad*
+         prof -> teach, supervise
+         teach -> year
+         year -> course, course
+         supervise -> student*
+         prof @ name
+         student @ sid
+         year @ y
+         course @ cno
+         pad @ a, b",
+    )
+    .expect("static DTD")
+}
+
+/// The exchange mapping: the paper's two university stds over
+/// [`exchange_source_dtd`] (pads are simply never matched) into the
+/// university target DTD. `Display` round-trips through
+/// `Mapping::parse`, so `gendoc --mapping` can write it to a file for
+/// `xmlmap stream --chase`.
+pub fn exchange_mapping() -> xmlmap_core::Mapping {
+    let std1 = xmlmap_core::Std::parse(
+        "r[prof(x)[teach[year(y)[course(cn1), course(cn2)]]]] \
+         --> r[course(cn1, y)[taughtby(x)], course(cn2, y)[taughtby(x)]]",
+    )
+    .expect("static std");
+    let std2 = xmlmap_core::Std::parse(
+        "r[prof(x)[supervise[student(s)]]] --> r[student(s)[supervisor(x)]]",
+    )
+    .expect("static std");
+    xmlmap_core::Mapping::new(
+        exchange_source_dtd(),
+        university_target_dtd(),
+        vec![std1, std2],
+    )
+}
+
+/// Deterministically builds an exchange document: the university body
+/// for `professors`/`students` followed by `pads` inert pad records.
+pub fn exchange_tree(professors: usize, students: usize, pads: usize) -> Tree {
+    let mut t = university_tree(professors, students);
+    for i in 0..pads {
+        t.add_child(
+            Tree::ROOT,
+            "pad",
+            [
+                ("a", Value::str(format!("a{}", i % 10))),
+                ("b", Value::str(format!("b{}", i % 10))),
+            ],
+        );
+    }
+    t
+}
+
+/// Streams the exchange document straight to `out` — byte-for-byte the
+/// `xmlmap_trees::xml::to_string` serialisation of [`exchange_tree`] —
+/// in O(depth) space, so the ~90MB CI corpus never materialises a tree.
+pub fn write_exchange_xml<W: std::io::Write>(
+    professors: usize,
+    students: usize,
+    pads: usize,
+    out: &mut W,
+) -> std::io::Result<()> {
+    if professors == 0 && pads == 0 {
+        return writeln!(out, "<r/>");
+    }
+    writeln!(out, "<r>")?;
+    write_professors(professors, students, out)?;
+    for i in 0..pads {
+        writeln!(out, "  <pad a=\"a{0}\" b=\"b{0}\"/>", i % 10)?;
+    }
+    writeln!(out, "</r>")
+}
+
 /// Streams the university document for `professors` professors straight
 /// to `out` — byte-for-byte the `xmlmap_trees::xml::to_string`
 /// serialisation of [`university_tree`] — without ever materialising the
@@ -222,6 +303,15 @@ pub fn write_university_xml<W: std::io::Write>(
         return writeln!(out, "<r/>");
     }
     writeln!(out, "<r>")?;
+    write_professors(professors, students, out)?;
+    writeln!(out, "</r>")
+}
+
+fn write_professors<W: std::io::Write>(
+    professors: usize,
+    students: usize,
+    out: &mut W,
+) -> std::io::Result<()> {
     for p in 0..professors {
         writeln!(out, "  <prof name=\"p{p}\">")?;
         writeln!(out, "    <teach>")?;
@@ -241,7 +331,7 @@ pub fn write_university_xml<W: std::io::Write>(
         }
         writeln!(out, "  </prof>")?;
     }
-    writeln!(out, "</r>")
+    Ok(())
 }
 
 #[cfg(test)]
@@ -261,6 +351,35 @@ mod tests {
                 "professors={p} students={s}"
             );
         }
+    }
+
+    #[test]
+    fn streamed_exchange_matches_the_tree_serialisation() {
+        for (p, s, pads) in [(0, 0, 0), (0, 0, 4), (1, 0, 0), (3, 2, 11), (7, 3, 25)] {
+            let mut streamed = Vec::new();
+            write_exchange_xml(p, s, pads, &mut streamed).unwrap();
+            assert_eq!(
+                String::from_utf8(streamed).unwrap(),
+                xmlmap_trees::xml::to_string(&exchange_tree(p, s, pads)),
+                "professors={p} students={s} pads={pads}"
+            );
+        }
+    }
+
+    #[test]
+    fn exchange_trees_conform_and_pads_are_inert() {
+        let d = exchange_source_dtd();
+        let m = exchange_mapping();
+        for (p, s, pads) in [(0, 0, 3), (2, 1, 0), (4, 2, 50)] {
+            let t = exchange_tree(p, s, pads);
+            assert!(d.conforms(&t), "professors={p} students={s} pads={pads}");
+            assert_eq!(t.size(), 1 + p * (6 + s) + pads);
+        }
+        // Pads add bytes but no firings: the same chase solution (modulo
+        // nulls) comes out regardless of the pad count.
+        let lean = xmlmap_core::canonical_solution(&m, &exchange_tree(3, 2, 0)).expect("chases");
+        let padded = xmlmap_core::canonical_solution(&m, &exchange_tree(3, 2, 40)).expect("chases");
+        assert!(xmlmap_trees::isomorphic_mod_nulls(&lean, &padded));
     }
 
     #[test]

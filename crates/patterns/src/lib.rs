@@ -48,7 +48,9 @@ pub use sat::{
     satisfiable_with_negations, BudgetExceeded, TypeEngine, DEFAULT_BUDGET,
 };
 pub use sat_compiled::{SatCache, SatEngine};
-pub use stream::{matches_stream, StreamMatcher, StreamPattern, UnstreamablePattern};
+pub use stream::{
+    matches_stream, StreamEnumerator, StreamMatcher, StreamPattern, UnstreamablePattern,
+};
 
 #[cfg(test)]
 mod proptests {

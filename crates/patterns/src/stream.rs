@@ -29,9 +29,19 @@
 //! Wildcard, child (`/`), descendant (`//`), and variables repeated
 //! *within* one tuple (a local equality test) all stream. Everything else
 //! falls back to the arena engines with a clear diagnostic.
+//!
+//! [`StreamEnumerator`] extends the boolean acceptor to a *valuation
+//! enumerator* (DESIGN.md §8.8): alongside the bitsets, each open element
+//! carries the complete match tuples rooted in its already-closed
+//! children, so every subtree's matches are emitted exactly when it
+//! closes and state stays O(depth + live matches). The streamable
+//! fragment makes this exact: variables partition across pattern nodes,
+//! so a subtree match is a tuple over the subtree's own variables and
+//! matches of independent obligations compose by Cartesian join.
 
 use crate::ast::{Pattern, Var};
 use crate::compiled::{CItem, CompiledPattern};
+use std::cmp::Ordering;
 use std::fmt;
 use std::io::Read;
 use xmlmap_dtd::index::{get_bit, set_bit};
@@ -90,6 +100,12 @@ pub struct StreamPattern {
     nodes: Vec<PlanNode>,
     /// Words per obligation bitset.
     words: usize,
+    /// Per pattern node: the interned variable ids bound anywhere in its
+    /// subtree (sorted, deduplicated). In the streamable fragment these
+    /// sets partition the variables across sibling obligations, which is
+    /// what lets [`StreamEnumerator`] compose subtree matches by copying
+    /// exactly these tuple positions.
+    sub_vars: Vec<Vec<u32>>,
 }
 
 impl StreamPattern {
@@ -150,7 +166,27 @@ impl StreamPattern {
             })
             .collect::<Vec<_>>();
         let words = nodes.len().div_ceil(64).max(1);
-        Ok(StreamPattern { pat, nodes, words })
+        // Subtree variable sets, bottom-up over the post-order node array
+        // (children precede parents, so member sets are already final).
+        let mut sub_vars: Vec<Vec<u32>> = Vec::with_capacity(pat.nodes.len());
+        for node in &pat.nodes {
+            let mut vs = node.vars.clone();
+            for item in &node.items {
+                match item {
+                    CItem::Seq { members, .. } => vs.extend_from_slice(&sub_vars[members[0]]),
+                    CItem::Descendant(d) => vs.extend_from_slice(&sub_vars[*d]),
+                }
+            }
+            vs.sort_unstable();
+            vs.dedup();
+            sub_vars.push(vs);
+        }
+        Ok(StreamPattern {
+            pat,
+            nodes,
+            words,
+            sub_vars,
+        })
     }
 
     /// The underlying compiled kernel (interned variables etc.).
@@ -169,6 +205,11 @@ impl StreamPattern {
                         + n.child_members.capacity() as u64 * 4
                         + n.desc_members.capacity() as u64 * 4
                 })
+                .sum::<u64>()
+            + self
+                .sub_vars
+                .iter()
+                .map(|vs| 24 + vs.capacity() as u64 * 4)
                 .sum::<u64>()
     }
 }
@@ -303,6 +344,293 @@ impl<'p> StreamMatcher<'p> {
     }
 }
 
+/// Placeholder for tuple positions a subtree does not bind. Never visible
+/// in a complete match: the pattern root's subtree covers every variable,
+/// so every position of an emitted root tuple has been overwritten.
+const FILLER: Value = Value::Null(u64::MAX);
+
+/// Per-depth enumerator state for one open element: the boolean
+/// obligation bitsets (exactly [`StreamMatcher`]'s) plus the match
+/// tuples witnessed in the element's already-closed children.
+struct EFrame {
+    local_ok: Vec<u64>,
+    child_ok: Vec<u64>,
+    sub_any: Vec<u64>,
+    /// Per pattern node: this element's local binding (tuple position
+    /// `vars[k]` ← attribute `k`), when the local test passed and the
+    /// node binds variables.
+    local: Vec<Option<Box<[Value]>>>,
+    /// Per pattern node `p`: complete matches of `p`'s subtree rooted at
+    /// an already-closed child of this element.
+    child: Vec<Vec<Box<[Value]>>>,
+    /// … rooted strictly below a child.
+    deeper: Vec<Vec<Box<[Value]>>>,
+}
+
+/// Complete matches of pattern node `pi`'s subtree rooted at the closing
+/// element: the Cartesian join of the element's local binding with one
+/// witness per variable-binding child/descendant obligation
+/// (variable-free obligations are certified by the boolean gate, so they
+/// contribute no factor — and no spurious multiplicity). Deduplicated,
+/// because distinct children can witness identical valuations.
+fn rooted_tuples(plan: &StreamPattern, frame: &EFrame, pi: usize) -> Vec<Box<[Value]>> {
+    let width = plan.pat.var_count();
+    let p = &plan.nodes[pi];
+    let mut acc: Vec<Box<[Value]>> = vec![match &frame.local[pi] {
+        Some(t) => t.clone(),
+        None => vec![FILLER; width].into_boxed_slice(),
+    }];
+    let factors = p
+        .child_members
+        .iter()
+        .map(|&m| (m as usize, false))
+        .chain(p.desc_members.iter().map(|&d| (d as usize, true)));
+    for (m, with_deeper) in factors {
+        if plan.sub_vars[m].is_empty() {
+            continue; // certified by the boolean gate
+        }
+        // A proper descendant is a child or strictly below one.
+        let deeper: &[Box<[Value]>] = if with_deeper { &frame.deeper[m] } else { &[] };
+        let mut out = Vec::with_capacity(acc.len() * (frame.child[m].len() + deeper.len()));
+        for t in &acc {
+            for u in frame.child[m].iter().chain(deeper) {
+                let mut merged = t.clone();
+                for &k in &plan.sub_vars[m] {
+                    merged[k as usize] = u[k as usize].clone();
+                }
+                out.push(merged);
+            }
+        }
+        acc = out;
+    }
+    acc.sort_unstable();
+    acc.dedup();
+    acc
+}
+
+/// A push-based streaming *valuation* enumerator over one document: like
+/// [`StreamMatcher`], but each close emits the complete match tuples
+/// rooted in the closing subtree instead of a bit.
+///
+/// Feed [`open`](StreamEnumerator::open)/[`close`](StreamEnumerator::close)
+/// in document order, then collect the root matches from
+/// [`finish`](StreamEnumerator::finish). Tuples are indexed by interned
+/// variable id ([`CompiledPattern::var_id`]) and come out sorted in
+/// alphabetical variable order and deduplicated — exactly the rows of
+/// [`crate::Matcher::all_match_tuples`] on the same (normalised)
+/// document. Attribute values pair with pattern tuples positionally, so
+/// feed attributes in canonical order (as the schema-aware driver in
+/// `xmlmap-core` does).
+pub struct StreamEnumerator<'p> {
+    plan: &'p StreamPattern,
+    /// Frame storage; `stack[..depth]` live, the rest pooled.
+    stack: Vec<EFrame>,
+    depth: usize,
+    scratch: Vec<u64>,
+    /// Root matches, harvested when the document root closes.
+    matches: Vec<Box<[Value]>>,
+    done: bool,
+    peak_depth: usize,
+    /// Currently-live match tuples (local bindings + witnessed subtree
+    /// matches), and its high-water mark.
+    live: u64,
+    peak_live: u64,
+}
+
+impl<'p> StreamEnumerator<'p> {
+    /// A fresh enumerator over `plan`.
+    pub fn new(plan: &'p StreamPattern) -> StreamEnumerator<'p> {
+        StreamEnumerator {
+            plan,
+            stack: Vec::new(),
+            depth: 0,
+            scratch: vec![0; plan.words],
+            matches: Vec::new(),
+            done: false,
+            peak_depth: 0,
+            live: 0,
+            peak_live: 0,
+        }
+    }
+
+    /// Deepest nesting seen so far.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// High-water mark of live valuations (local bindings plus witnessed
+    /// subtree matches held for open ancestors).
+    pub fn peak_live_valuations(&self) -> u64 {
+        self.peak_live
+    }
+
+    /// High-water mark of live enumerator state in bytes: the per-depth
+    /// obligation bitsets plus the live valuation tuples.
+    pub fn peak_state_bytes(&self) -> u64 {
+        let tuple = 16 + self.plan.pat.var_count() as u64 * std::mem::size_of::<Value>() as u64;
+        (self.peak_depth as u64 * 3 + 1) * self.plan.words as u64 * 8 + self.peak_live * tuple
+    }
+
+    /// Processes a start tag: evaluates every pattern node's local test
+    /// and records the local variable binding where it passes.
+    pub fn open(&mut self, label: &Name, attrs: &[(Name, Value)]) {
+        let words = self.plan.words;
+        let n = self.plan.nodes.len();
+        if self.depth == self.stack.len() {
+            self.stack.push(EFrame {
+                local_ok: vec![0; words],
+                child_ok: vec![0; words],
+                sub_any: vec![0; words],
+                local: vec![None; n],
+                child: vec![Vec::new(); n],
+                deeper: vec![Vec::new(); n],
+            });
+        }
+        let width = self.plan.pat.var_count();
+        let frame = &mut self.stack[self.depth];
+        frame.local_ok.iter_mut().for_each(|w| *w = 0);
+        frame.child_ok.iter_mut().for_each(|w| *w = 0);
+        frame.sub_any.iter_mut().for_each(|w| *w = 0);
+        // Pooled frames come back empty: `close` drains every tuple set.
+        debug_assert!(frame.local.iter().all(Option::is_none));
+        debug_assert!(frame.child.iter().chain(&frame.deeper).all(Vec::is_empty));
+        for (pi, p) in self.plan.nodes.iter().enumerate() {
+            if !p.label.accepts(label) {
+                continue;
+            }
+            if let Some(arity) = p.arity {
+                if attrs.len() != arity {
+                    continue;
+                }
+            }
+            if p.eq_pairs
+                .iter()
+                .any(|&(i, j)| attrs[i as usize].1 != attrs[j as usize].1)
+            {
+                continue;
+            }
+            set_bit(&mut frame.local_ok, pi);
+            let vars = &self.plan.pat.nodes[pi].vars;
+            if !vars.is_empty() {
+                let mut t = vec![FILLER; width].into_boxed_slice();
+                for (k, &id) in vars.iter().enumerate() {
+                    t[id as usize] = attrs[k].1.clone();
+                }
+                frame.local[pi] = Some(t);
+                self.live += 1;
+            }
+        }
+        self.depth += 1;
+        self.peak_depth = self.peak_depth.max(self.depth);
+        self.peak_live = self.peak_live.max(self.live);
+    }
+
+    /// Processes an end tag: resolves the boolean gate exactly as
+    /// [`StreamMatcher::close`], emits the rooted match tuples for every
+    /// gated pattern node, and folds both into the parent frame.
+    pub fn close(&mut self) {
+        assert!(self.depth > 0, "close without matching open");
+        let plan = self.plan;
+        let n = plan.nodes.len();
+        let words = plan.words;
+        {
+            let frame = &self.stack[self.depth - 1];
+            self.scratch.iter_mut().for_each(|w| *w = 0);
+            for (pi, p) in plan.nodes.iter().enumerate() {
+                if !get_bit(&frame.local_ok, pi) {
+                    continue;
+                }
+                let children_ok = p
+                    .child_members
+                    .iter()
+                    .all(|&m| get_bit(&frame.child_ok, m as usize));
+                let descendants_ok = p
+                    .desc_members
+                    .iter()
+                    .all(|&d| get_bit(&frame.sub_any, d as usize));
+                if children_ok && descendants_ok {
+                    set_bit(&mut self.scratch, pi);
+                }
+            }
+        }
+        self.depth -= 1;
+        if self.depth == 0 {
+            // The document root: only matches rooted *here* are pattern
+            // matches (the arena kernel anchors at the tree root too).
+            let matched = get_bit(&self.scratch, plan.pat.root());
+            let frame = &mut self.stack[0];
+            let rooted = if matched {
+                rooted_tuples(plan, frame, plan.pat.root())
+            } else {
+                Vec::new()
+            };
+            self.live += rooted.len() as u64;
+            self.peak_live = self.peak_live.max(self.live);
+            for pi in 0..n {
+                if frame.local[pi].take().is_some() {
+                    self.live -= 1;
+                }
+                self.live -= (frame.child[pi].len() + frame.deeper[pi].len()) as u64;
+                frame.child[pi].clear();
+                frame.deeper[pi].clear();
+            }
+            self.matches = rooted;
+            self.done = true;
+            return;
+        }
+        let (parents, closed) = self.stack.split_at_mut(self.depth);
+        let parent = &mut parents[self.depth - 1];
+        let frame = &mut closed[0];
+        // Emit every gated node's rooted tuples before draining anything:
+        // a node's witnesses live in the sets of its members, which have
+        // smaller post-order indices.
+        for pi in 0..n {
+            if get_bit(&self.scratch, pi) {
+                let rooted = rooted_tuples(plan, frame, pi);
+                self.live += rooted.len() as u64;
+                parent.child[pi].extend(rooted);
+            }
+        }
+        for pi in 0..n {
+            // Local bindings die with the element; witnessed subtree
+            // matches move (children of this element are strictly below
+            // a child of the parent).
+            if frame.local[pi].take().is_some() {
+                self.live -= 1;
+            }
+            parent.deeper[pi].append(&mut frame.child[pi]);
+            parent.deeper[pi].append(&mut frame.deeper[pi]);
+        }
+        for w in 0..words {
+            parent.child_ok[w] |= self.scratch[w];
+            parent.sub_any[w] |= self.scratch[w] | frame.sub_any[w];
+        }
+        self.peak_live = self.peak_live.max(self.live);
+    }
+
+    /// The complete root matches; valid once the document root has
+    /// closed. Non-empty iff the document matches — a variable-free
+    /// pattern that matches yields exactly one empty tuple, like
+    /// [`crate::Matcher::all_match_tuples`].
+    pub fn finish(mut self) -> Vec<Box<[Value]>> {
+        assert!(self.done, "finish before the document root closed");
+        // Canonical row order: value order in alphabetical variable
+        // order, replayed from the arena kernel so the two enumerations
+        // are comparable (and consumable) verbatim.
+        let vars = self.plan.pat.vars();
+        let mut perm: Vec<usize> = (0..vars.len()).collect();
+        perm.sort_by(|&a, &b| vars[a].cmp(&vars[b]));
+        self.matches.sort_unstable_by(|a, b| {
+            perm.iter()
+                .map(|&i| a[i].cmp(&b[i]))
+                .find(|c| *c != Ordering::Equal)
+                .unwrap_or(Ordering::Equal)
+        });
+        self.matches.dedup();
+        self.matches
+    }
+}
+
 /// One-shot convenience: does the document on `src` match `plan` at its
 /// root? Attributes are paired positionally in document order (use the
 /// schema-aware driver in `xmlmap-core` for canonical-order pairing).
@@ -377,6 +705,102 @@ mod tests {
         // The diagnostics name the feature.
         assert!(sib_err.to_string().contains("sibling-order"));
         assert!(join_err.to_string().contains("shared across pattern nodes"));
+    }
+
+    fn both_tuple_sets(doc: &str, pattern: &str) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+        let p = parse(pattern).unwrap();
+        let plan = StreamPattern::compile(&p).unwrap();
+        let mut en = StreamEnumerator::new(&plan);
+        let mut reader = SaxReader::new(doc.as_bytes());
+        while let Some(ev) = reader.next_event().unwrap() {
+            match ev {
+                SaxEvent::Open { label, attrs } => en.open(&label, &attrs),
+                SaxEvent::Close { .. } => en.close(),
+            }
+        }
+        let streamed: Vec<Vec<Value>> = en.finish().into_iter().map(|t| t.into_vec()).collect();
+        let tree = xmlmap_trees::xml::parse(doc).unwrap();
+        let arena: Vec<Vec<Value>> = crate::compiled::Matcher::new(&tree, plan.compiled())
+            .all_match_tuples()
+            .into_iter()
+            .map(|t| t.into_iter().cloned().collect())
+            .collect();
+        (streamed, arena)
+    }
+
+    #[test]
+    fn enumerated_valuations_equal_the_arena_kernel() {
+        for pattern in [
+            "r/prof(x)",
+            "r//course(c)",
+            "r[prof(x)[teach//course(c), supervise/student(s)]]",
+            "r/_//_(y)",
+            "r//prof(x)[supervise/course(c)]",
+            "r/prof(x, y)",
+            "r/prof",
+            "r//year(y)[course(c1), course(c2)]",
+            "r//_",
+        ] {
+            let (streamed, arena) = both_tuple_sets(DOC, pattern);
+            assert_eq!(streamed, arena, "tuple sets diverge for {pattern}");
+        }
+    }
+
+    #[test]
+    fn enumeration_handles_repeats_and_multiplicity() {
+        // Two identical witnesses must collapse to one row; a variable-free
+        // matching pattern yields exactly one empty tuple.
+        let doc = r#"<r><a x="1" y="1"/><a x="1" y="1"/><a x="2" y="3"/></r>"#;
+        let (streamed, arena) = both_tuple_sets(doc, "r/a(v, v)");
+        assert_eq!(streamed, arena);
+        assert_eq!(streamed, vec![vec![Value::str("1")]]);
+        let (streamed, arena) = both_tuple_sets(doc, "r/a");
+        assert_eq!(streamed, arena);
+        assert_eq!(streamed, vec![Vec::new()]);
+        let (streamed, arena) = both_tuple_sets(doc, "r/b");
+        assert_eq!(streamed, arena);
+        assert!(streamed.is_empty());
+    }
+
+    #[test]
+    fn enumeration_joins_descendant_and_child_obligations() {
+        let (streamed, arena) =
+            both_tuple_sets(DOC, "r[prof(x)[teach[year(y)[course(c1), course(c2)]]]]");
+        assert_eq!(streamed, arena);
+        // 2 course choices per slot (the kernel allows both orders and the
+        // diagonal): the join must reproduce them all.
+        assert_eq!(streamed.len(), 4);
+        let deep = format!(
+            "<r>{}<c v=\"hit\"/>{}<c v=\"top\"/></r>",
+            "<a>".repeat(120),
+            "</a>".repeat(120)
+        );
+        let (streamed, arena) = both_tuple_sets(&deep, "r//c(x)");
+        assert_eq!(streamed, arena);
+        assert_eq!(streamed.len(), 2);
+    }
+
+    #[test]
+    fn enumerator_counters_track_depth_and_live_state() {
+        let deep = format!(
+            "<r>{}<c v=\"hit\"/>{}</r>",
+            "<a>".repeat(50),
+            "</a>".repeat(50)
+        );
+        let p = parse("r//c(x)").unwrap();
+        let plan = StreamPattern::compile(&p).unwrap();
+        let mut en = StreamEnumerator::new(&plan);
+        let mut reader = SaxReader::new(deep.as_bytes());
+        while let Some(ev) = reader.next_event().unwrap() {
+            match ev {
+                SaxEvent::Open { label, attrs } => en.open(&label, &attrs),
+                SaxEvent::Close { .. } => en.close(),
+            }
+        }
+        assert_eq!(en.peak_depth(), 52);
+        assert!(en.peak_live_valuations() >= 1);
+        assert!(en.peak_state_bytes() > 0);
+        assert_eq!(en.finish().len(), 1);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! xmlmap subschema <dtd-file> <dtd-file>         every D1 doc conforms to D2?
 //! xmlmap stream    <dtd-file> [--pattern P] [--stats] <xml-file|->
 //!                                                O(depth) streaming validation
+//! xmlmap stream    --chase <mapping-file> [--stats] <xml-file|->
+//!                                                streaming chase: canonical
+//!                                                solution without the tree
 //! xmlmap batch     <jobfile> [--workers N] [--stats]
 //!                  [--cache-budget BYTES] [--cache-dir DIR]
 //!                                                run a job list in parallel
@@ -37,7 +40,15 @@
 //! within-tuple repeated variables); sibling-order operators and
 //! cross-node variable joins are rejected with a diagnostic pointing at
 //! the arena evaluator (`xmlmap match`). Exit status 0 = valid (and
-//! matching), 1 = invalid or non-matching, 2 = parse/usage errors. For `batch` (jobfile syntax:
+//! matching), 1 = invalid or non-matching, 2 = parse/usage errors.
+//!
+//! `stream --chase` runs the *streaming chase*: the same single pass
+//! enumerates std firings (one valuation enumerator per std) and chases
+//! them into the canonical solution, printing the reduced target XML —
+//! byte-identical to `xmlmap chase` on the same inputs — in
+//! O(depth + firings) memory, never materialising the source tree.
+//! Every std source pattern must lie in the streamable fragment; with
+//! `--stats`, firing/live-valuation/depth counters go to stderr. For `batch` (jobfile syntax:
 //! `xmlmap::core::batch::parse_jobfile`), exit status is 0 when every job
 //! completed, 1 when some job failed, 2 for usage/jobfile errors; jobs run
 //! on `--workers` threads (default: the available parallelism) over one
@@ -395,11 +406,15 @@ fn run_client_command(args: &[&str]) -> Result<bool, String> {
 
 /// `xmlmap stream <dtd-file> [--pattern P] [--stats] <xml-file|->` —
 /// O(depth) streaming validation (and optional membership) that never
-/// builds the document tree.
+/// builds the document tree. With `--chase <mapping-file>` the pass
+/// instead enumerates std firings and chases them into the canonical
+/// solution (printed as reduced XML, exactly like `xmlmap chase`)
+/// without ever materialising the source.
 fn run_stream_command(ctx: &EngineContext, args: &[&str]) -> Result<bool, String> {
     let mut schema: Option<&str> = None;
     let mut doc: Option<&str> = None;
     let mut pattern_text: Option<&str> = None;
+    let mut chase_mapping: Option<&str> = None;
     let mut stats = false;
     let mut it = args.iter();
     while let Some(&arg) = it.next() {
@@ -410,15 +425,36 @@ fn run_stream_command(ctx: &EngineContext, args: &[&str]) -> Result<bool, String
                         .ok_or_else(|| "--pattern needs a pattern".to_string())?,
                 );
             }
+            "--chase" => {
+                chase_mapping = Some(
+                    *it.next()
+                        .ok_or_else(|| "--chase needs a mapping file".to_string())?,
+                );
+            }
             "--stats" => stats = true,
-            _ if schema.is_none() => schema = Some(arg),
+            _ if chase_mapping.is_none() && schema.is_none() => schema = Some(arg),
             _ if doc.is_none() => doc = Some(arg),
             _ => return Err(format!("stream: unexpected argument `{arg}`")),
         }
     }
+    if let Some(map) = chase_mapping {
+        if pattern_text.is_some() || schema.is_some() {
+            return Err(
+                "stream: --chase takes a mapping and a document; it cannot be combined \
+                 with a schema operand or --pattern"
+                    .to_string(),
+            );
+        }
+        let doc = doc.ok_or_else(|| {
+            "usage: xmlmap stream --chase <mapping-file> [--stats] <xml-file|->".to_string()
+        })?;
+        return run_stream_chase(ctx, map, doc, stats);
+    }
     let (Some(schema), Some(doc)) = (schema, doc) else {
         return Err(
-            "usage: xmlmap stream <dtd-file> [--pattern P] [--stats] <xml-file|->".to_string(),
+            "usage: xmlmap stream <dtd-file> [--pattern P] [--stats] <xml-file|->\n\
+             \x20      xmlmap stream --chase <mapping-file> [--stats] <xml-file|->"
+                .to_string(),
         );
     };
     let dtd = xmlmap::dtd::parse(&read(schema)?).map_err(|e| e.to_string())?;
@@ -457,6 +493,53 @@ fn run_stream_command(ctx: &EngineContext, args: &[&str]) -> Result<bool, String
         }
         Some(false) => {
             println!("valid, does NOT match: {shape}");
+            Ok(false)
+        }
+    }
+}
+
+/// The `--chase` arm of `xmlmap stream`: one pass enumerates firings and
+/// the chase builds the canonical solution, printed reduced — the exact
+/// bytes `xmlmap chase` prints for the same (mapping, document) pair.
+fn run_stream_chase(
+    ctx: &EngineContext,
+    mapping_path: &str,
+    doc: &str,
+    stats: bool,
+) -> Result<bool, String> {
+    let m = load_mapping(mapping_path)?;
+    let outcome = if doc == "-" {
+        let stdin = std::io::stdin();
+        ctx.chase_stream(&m, stdin.lock())
+    } else {
+        let file = std::fs::File::open(doc).map_err(|e| format!("cannot read {doc}: {e}"))?;
+        ctx.chase_stream(&m, std::io::BufReader::new(file))
+    }
+    .map_err(|e| format!("{doc}: {e}"))?;
+    if stats {
+        print_engine_stats(ctx, "stream --chase");
+        eprintln!(
+            "-- stream: {} firing(s), peak live valuations {}, \
+             {} elements, peak depth {}, peak stream state {} bytes",
+            outcome.firings,
+            outcome.peak_live_valuations,
+            outcome.stats.elements,
+            outcome.peak_depth(),
+            outcome.peak_live_bytes()
+        );
+    }
+    if let Some(violation) = &outcome.violation {
+        println!("{violation}");
+        return Ok(false);
+    }
+    match outcome.solution.expect("no violation implies a verdict") {
+        Ok(solution) => {
+            let reduced = xmlmap::core::reduce_solution(&m, &solution);
+            print!("{}", xmlmap::trees::xml::to_string(&reduced));
+            Ok(true)
+        }
+        Err(e) => {
+            eprintln!("no solution: {e}");
             Ok(false)
         }
     }

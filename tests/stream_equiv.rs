@@ -12,17 +12,25 @@
 //!   or relabelled subtrees;
 //! * membership for streamable downward patterns — defined only on
 //!   conforming documents (the streaming pass early-rejects otherwise,
-//!   which is asserted too).
+//!   which is asserted too);
+//! * firing enumeration — the valuation multisets that
+//!   [`StreamEnumerator`] emits in one pass equal the arena evaluator's
+//!   `Matcher::all_match_tuples`, tuple for tuple;
+//! * the streaming chase — `chase_stream` over serialised bytes produces
+//!   a solution `isomorphic_mod_nulls`-equal to `canonical_solution` on
+//!   the parsed tree (same error verdict-for-verdict when the mapping
+//!   falls outside the fragment), and withholds the verdict entirely when
+//!   a corrupted document fails conformance mid-stream.
 //!
-//! Roughly 550 cases run in the default `cargo test`.
+//! Roughly 850 cases run in the default `cargo test`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use xmlmap::dtd::{Dtd, DtdIndex};
 use xmlmap::gen::{random_tree, university_dtd, TreeGenConfig};
-use xmlmap::patterns::{self, StreamPattern};
-use xmlmap::trees::{xml, Name, NodeId, Tree, Value};
+use xmlmap::patterns::{self, CompiledPattern, Matcher, StreamEnumerator, StreamPattern};
+use xmlmap::trees::{isomorphic_mod_nulls, xml, Name, NodeId, Tree, Value};
 
 /// Keep generated documents comfortably arena-sized.
 fn config() -> TreeGenConfig {
@@ -192,6 +200,161 @@ fn membership_is_withheld_when_conformance_fails() {
         assert_eq!(out.matched, None, "no verdict on a rejected document");
         rejected += 1;
     }
+}
+
+/// Feeds the (already attribute-normalised) tree to a [`StreamEnumerator`]
+/// as an open/close event stream, exactly like the one-pass driver does.
+fn enumerate(plan: &StreamPattern, t: &Tree) -> Vec<Box<[Value]>> {
+    fn drive(t: &Tree, n: NodeId, en: &mut StreamEnumerator) {
+        en.open(t.label(n), t.attrs(n));
+        for &c in t.children(n) {
+            drive(t, c, en);
+        }
+        en.close();
+    }
+    let mut en = StreamEnumerator::new(plan);
+    drive(t, Tree::ROOT, &mut en);
+    en.finish()
+}
+
+#[test]
+fn firing_enumeration_matches_the_arena_evaluator() {
+    let dtd = university_dtd();
+    let probes = [
+        "r/prof(x)",
+        "r//course(c)",
+        "r//student(s)",
+        "r/prof(x)[teach[year(y)]]",
+        "r[prof(x)[supervise[student(s)]]]",
+        "r//year(y)[course(c1), course(c2)]",
+        "r//supervise[student(s1), student(s2)]",
+        "r//_(v)",
+        "r/prof(x)[teach[year(y)[course(c)]], supervise]",
+        "r/prof(p)[teach[year(y)[course(c)]], supervise[student(s)]]",
+    ];
+    let plans: Vec<(&str, CompiledPattern, StreamPattern)> = probes
+        .iter()
+        .map(|p| {
+            let pat = patterns::parse(p).unwrap();
+            let plan = StreamPattern::compile(&pat).expect("downward probes stream");
+            (*p, CompiledPattern::new(&pat), plan)
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0xf1a5);
+    let (mut cases, mut nonempty) = (0usize, 0usize);
+    for _ in 0..15 {
+        let mut doc = random_tree(&dtd, &config(), &mut rng);
+        dtd.normalize_attrs(&mut doc).unwrap();
+        for (probe, compiled, plan) in &plans {
+            let expected = Matcher::new(&doc, compiled).all_match_tuples();
+            let streamed = enumerate(plan, &doc);
+            assert_eq!(
+                streamed.len(),
+                expected.len(),
+                "tuple count disagreement for `{probe}` on\n{}",
+                xml::to_string(&doc)
+            );
+            for (s, e) in streamed.iter().zip(&expected) {
+                assert!(
+                    s.iter().zip(e.iter()).all(|(a, &b)| a == b),
+                    "tuple disagreement: streamed {s:?} vs arena {e:?}"
+                );
+            }
+            cases += 1;
+            if !expected.is_empty() {
+                nonempty += 1;
+            }
+        }
+    }
+    assert_eq!(cases, 150);
+    assert!(
+        nonempty > 0 && nonempty < cases,
+        "degenerate mix: {nonempty}/{cases}"
+    );
+}
+
+#[test]
+fn streaming_chase_matches_the_tree_chase_on_random_mappings() {
+    let mut rng = StdRng::seed_from_u64(0xc4a5e);
+    let gen_config = xmlmap::gen::MappingGenConfig {
+        stds: 2,
+        depth: 3,
+        branch_probability: 0.7,
+    };
+    let (mut cases, mut solutions, mut fragment_errors, mut unstreamable) =
+        (0usize, 0usize, 0usize, 0usize);
+    while cases < 100 {
+        let source_dtd = xmlmap::gen::random_nr_dtd(3, 2, 0.7, &mut rng);
+        let target_dtd = xmlmap::gen::random_nr_dtd(3, 2, 0.7, &mut rng);
+        let Some(m) =
+            xmlmap::gen::random_nr_mapping(&source_dtd, &target_dtd, &gen_config, &mut rng)
+        else {
+            continue;
+        };
+        let plan = xmlmap::core::StreamChasePlan::new(&m);
+        if plan.unstreamable().is_some() {
+            // Generated source patterns are downward and condition-free,
+            // but variable sharing across factors can be unstreamable.
+            unstreamable += 1;
+            continue;
+        }
+        let idx = Arc::new(DtdIndex::new(&m.source_dtd));
+        for _ in 0..5 {
+            let doc = random_tree(&m.source_dtd, &config(), &mut rng);
+            let bytes = xml::to_string(&doc).into_bytes();
+            let out = xmlmap::core::chase_stream(&idx, &plan, bytes.as_slice()).unwrap();
+            assert_eq!(out.violation, None, "generated docs conform");
+            let expected = xmlmap::core::canonical_solution(&m, &doc);
+            match (out.solution.expect("verdict on a conforming doc"), expected) {
+                (Ok(streamed), Ok(tree)) => {
+                    assert!(
+                        isomorphic_mod_nulls(&streamed, &tree),
+                        "solution disagreement on\n{}\nstream:\n{}\ntree:\n{}",
+                        m,
+                        xml::to_string(&streamed),
+                        xml::to_string(&tree)
+                    );
+                    solutions += 1;
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a, b, "error disagreement on\n{m}");
+                    fragment_errors += 1;
+                }
+                (a, b) => panic!("verdict disagreement on\n{m}\nstream {a:?} vs tree {b:?}"),
+            }
+            cases += 1;
+        }
+    }
+    assert!(solutions > 50, "only {solutions} solved cases");
+    assert!(
+        unstreamable < 60,
+        "too many unstreamable mappings ({unstreamable}) — suspicious generator drift"
+    );
+    let _ = fragment_errors; // either mix is fine; parity is what matters
+}
+
+#[test]
+fn streaming_chase_withholds_the_verdict_on_rejected_documents() {
+    let m = xmlmap::gen::exchange_mapping();
+    let ctx = xmlmap::core::EngineContext::new();
+    let mut rng = StdRng::seed_from_u64(0xdead);
+    let mut rejected = 0usize;
+    while rejected < 50 {
+        let doc = perturb(
+            &xmlmap::gen::exchange_tree(rng.gen_range(1..6), rng.gen_range(0..4), 8),
+            &mut rng,
+        );
+        if tree_conforms(&m.source_dtd, &doc) {
+            continue;
+        }
+        let bytes = xml::to_string(&doc).into_bytes();
+        let out = ctx.chase_stream(&m, bytes.as_slice()).unwrap();
+        assert!(out.violation.is_some());
+        assert_eq!(out.firings, 0, "no firings reported on a rejected doc");
+        assert!(out.solution.is_none(), "no verdict on a rejected document");
+        rejected += 1;
+    }
+    assert_eq!(ctx.stats().stream_chase.misses, 1, "plan compiled once");
 }
 
 #[test]
