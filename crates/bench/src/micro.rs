@@ -575,6 +575,49 @@ pub fn run_suite() -> Vec<(&'static str, f64)> {
             live_1x
         );
     });
+    // Incremental-chase row (DESIGN.md §8.9): one single-op update against
+    // a live delta session vs a from-scratch re-chase of the same 100x
+    // exchange document. The edit rewrites an inert pad attribute, so the
+    // session's refire frontier skips every std and only the (small)
+    // target re-materializes; the one-shot self-assert pins the ≥5x
+    // headline of the EXPERIMENTS.md updates/sec table.
+    let mut ex_tree_100x = {
+        let text = std::fs::read_to_string(&ex_100x).expect("bench corpus");
+        xmlmap_trees::xml::parse(&text).expect("bench corpus")
+    };
+    ex_map
+        .source_dtd
+        .normalize_attrs(&mut ex_tree_100x)
+        .expect("conforms");
+    let started = std::time::Instant::now();
+    let expected_100x =
+        xmlmap_core::canonical_solution(&ex_map, &ex_tree_100x).expect("in fragment");
+    let rechase = started.elapsed();
+    let mut session = xmlmap_core::IncrementalChase::new(&ex_map, ex_tree_100x);
+    // Flip the first pad's `a` attribute back and forth (its seeded value
+    // is `a0`), so every iteration really edits the document.
+    let flips = [
+        xmlmap_core::parse_updates("settext 160 a a7").expect("static update"),
+        xmlmap_core::parse_updates("settext 160 a a0").expect("static update"),
+    ];
+    let started = std::time::Instant::now();
+    session.apply(&flips[0][0]).expect("valid update");
+    assert!(
+        session.canonical_solution().expect("in fragment") == expected_100x,
+        "a pad edit must not change the solution"
+    );
+    let delta_update = started.elapsed();
+    assert!(
+        delta_update <= rechase.max(Duration::from_millis(5)) / 5,
+        "single-op delta update ({delta_update:?}) is not ≥5x faster than re-chase ({rechase:?})"
+    );
+    let mut flip = 0usize;
+    bench("chase/delta_vs_rechase", &mut || {
+        flip ^= 1;
+        session.apply(&flips[flip][0]).expect("valid update");
+        let sol = session.canonical_solution().expect("in fragment");
+        assert!(sol == expected_100x, "delta vs re-chase solutions differ");
+    });
     let _ = std::fs::remove_dir_all(&stream_dir);
 
     out

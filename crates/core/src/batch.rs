@@ -119,6 +119,20 @@ pub enum JobKind {
         /// Resolved path of the source document to stream.
         path: PathBuf,
     },
+    /// Open an incremental-chase session over `source`, apply an update
+    /// script, and report the final solution verdict. Self-contained (the
+    /// session lives and dies inside the job), so batches stay
+    /// deterministic across worker counts; long-lived sessions belong to
+    /// `xmlmap serve`'s `DELTA` verbs.
+    DeltaApply {
+        /// The mapping.
+        mapping: Arc<Mapping>,
+        /// The initial source document.
+        source: Tree,
+        /// The parsed update script (parse errors surface at jobfile
+        /// parse time, like every other malformed job).
+        updates: Arc<Vec<crate::chase::Update>>,
+    },
     /// Is `(source, target)` in the semantic composition `⟦m12⟧ ∘ ⟦m23⟧`?
     CompositionMember {
         /// First mapping.
@@ -320,6 +334,40 @@ pub fn run_job(ctx: &EngineContext, job: &BatchJob) -> JobResult {
                 }
             },
         },
+        JobKind::DeltaApply {
+            mapping,
+            source,
+            updates,
+        } => {
+            let mut session = ctx.delta_session(mapping, source.clone());
+            match session.apply_all(updates) {
+                Err(e) => {
+                    ctx.record_delta(session.stats());
+                    JobResult::Failed { error: e }
+                }
+                Ok(applied) => {
+                    let stats = session.stats();
+                    ctx.record_delta(stats);
+                    let shape = format!(
+                        "{applied} update(s), {} refire(s), {} skip(s)",
+                        stats.refires, stats.skips
+                    );
+                    match session.canonical_solution() {
+                        Ok(solution) => JobResult::Answer {
+                            yes: true,
+                            detail: format!(
+                                "delta-chased ({shape}, target has {} nodes)",
+                                solution.size()
+                            ),
+                        },
+                        Err(e) => JobResult::Answer {
+                            yes: false,
+                            detail: format!("no solution after updates ({shape}): {e}"),
+                        },
+                    }
+                }
+            }
+        }
         JobKind::CompositionMember {
             m12,
             m23,
@@ -401,6 +449,7 @@ pub fn render_results(labeled: &[(String, JobResult)]) -> String {
 /// compose-member <m12> <m23> <source.xml> <target.xml> [max-middle]
 /// stream         <d.dtd> <doc.xml> [pattern...]
 /// chase-stream   <mapping> <source.xml>
+/// delta-apply    <mapping> <source.xml> <updatefile>
 /// ```
 ///
 /// A `stream` job validates `doc.xml` against the schema (and, when the
@@ -416,6 +465,13 @@ pub fn render_results(labeled: &[(String, JobResult)]) -> String {
 /// materialising the source tree. Every std source pattern must lie in
 /// the streamable downward fragment; anything else fails at parse time
 /// with a diagnostic naming the offending std.
+///
+/// A `delta-apply` job opens an incremental-chase session over the
+/// source document, applies the whole update script
+/// ([`crate::chase::parse_updates`] syntax; parse errors fail the
+/// jobfile), and reports whether the *final* document has a canonical
+/// solution. Each job's session is private to the job, so results stay
+/// byte-identical across worker counts.
 ///
 /// Mappings and DTDs are interned by path, so a 200-line jobfile over one
 /// mapping parses it once and every job shares the `Arc`. Documents are
@@ -460,6 +516,25 @@ impl JobParser {
         JobParser {
             loader: Loader::new(dir),
         }
+    }
+
+    /// Loads a mapping through the parser's interning loader. The serve
+    /// daemon's `DELTA OPEN` verb uses this so delta sessions share the
+    /// same per-path mapping instances as ordinary job lines.
+    pub fn load_mapping(&mut self, path: &str) -> Result<Arc<Mapping>, String> {
+        self.loader.mapping(path)
+    }
+
+    /// Loads a document and normalizes its attribute order against `dtd`
+    /// (the same loading path job lines use).
+    pub fn load_tree(&mut self, path: &str, dtd: &Dtd) -> Result<Tree, String> {
+        self.loader.tree(path, dtd)
+    }
+
+    /// Reads a raw file relative to the parser's root directory
+    /// (updatefiles for `DELTA APPLY`).
+    pub fn read_file(&self, path: &str) -> Result<String, String> {
+        self.loader.read(path)
     }
 
     /// Parses one job line (comments and blank lines are errors here —
@@ -606,6 +681,17 @@ fn parse_line(line: &str, loader: &mut Loader) -> Result<JobKind, String> {
             }
             Ok(JobKind::ChaseStream { mapping, path })
         }
+        ["delta-apply", map, src, upd] => {
+            let mapping = loader.mapping(map)?;
+            let source = loader.tree(src, &mapping.source_dtd)?;
+            let updates = crate::chase::parse_updates(&loader.read(upd)?)
+                .map_err(|e| format!("{upd}: {e}"))?;
+            Ok(JobKind::DeltaApply {
+                mapping,
+                source,
+                updates: Arc::new(updates),
+            })
+        }
         [op, ..]
             if [
                 "member",
@@ -615,6 +701,7 @@ fn parse_line(line: &str, loader: &mut Loader) -> Result<JobKind, String> {
                 "compose-member",
                 "stream",
                 "chase-stream",
+                "delta-apply",
             ]
             .contains(op) =>
         {
@@ -792,6 +879,49 @@ mod tests {
             "{}",
             err[0]
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_apply_jobs_run_and_report() {
+        let dir = fixture(&[
+            ("copy.map", COPY_MAP),
+            ("src.xml", r#"<r><a v="1"/></r>"#),
+            (
+                "storm.upd",
+                "insert . 1 <a v=\"2\"/>\nsettext 0 v 9\ndelete 1\n",
+            ),
+            ("bad.upd", "insert . 0 <a v=\"2\"/>\ndelete 5\n"),
+            ("unparsable.upd", "frob . 0\n"),
+        ]);
+        let jobs = parse_jobfile(
+            "delta-apply copy.map src.xml storm.upd\n\
+             delta-apply copy.map src.xml bad.upd\n",
+            &dir,
+        )
+        .unwrap();
+        let ctx = EngineContext::new();
+        let results = run_batch(&ctx, &jobs, 1);
+        assert_eq!(
+            results[0],
+            JobResult::Answer {
+                yes: true,
+                detail: "delta-chased (3 update(s), 4 refire(s), 0 skip(s), target has 2 nodes)"
+                    .to_string()
+            }
+        );
+        assert!(
+            matches!(&results[1], JobResult::Failed { error } if error.contains("no child 5")),
+            "{:?}",
+            results[1]
+        );
+        let stats = ctx.stats();
+        assert_eq!(stats.delta_sessions, 2);
+        assert_eq!(stats.delta.misses, 1);
+        // Unparsable update scripts fail the jobfile, running nothing.
+        let err = parse_jobfile("delta-apply copy.map src.xml unparsable.upd\n", &dir).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("unknown update op"), "{}", err[0]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

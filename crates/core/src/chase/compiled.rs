@@ -107,57 +107,57 @@ pub struct ChaseCache {
     /// Static fragment error (not nested-relational / not tree-shaped /
     /// not fully specified), reported before any firing is examined —
     /// in the same order the reference engine checks.
-    fragment_err: Option<ChaseError>,
+    pub(super) fragment_err: Option<ChaseError>,
     /// Slot tables and attribute lists per target label.
-    labels: Vec<LabelInfo>,
+    pub(super) labels: Vec<LabelInfo>,
     /// Index of the target DTD's root label in `labels`.
-    root: u32,
+    pub(super) root: u32,
     /// One compiled plan per std, in mapping order.
-    plans: Vec<StdPlan>,
+    pub(super) plans: Vec<StdPlan>,
 }
 
 /// Slot table for one target label: the nested-relational production as an
 /// ordered list of `(child label, multiplicity)` cursors, plus the label's
 /// attribute names.
-struct LabelInfo {
-    name: Name,
-    attrs: Vec<Name>,
+pub(super) struct LabelInfo {
+    pub(super) name: Name,
+    pub(super) attrs: Vec<Name>,
     /// `(labels index of the child, multiplicity)`, in production order.
-    slots: Vec<(u32, Mult)>,
+    pub(super) slots: Vec<(u32, Mult)>,
 }
 
 /// Compiled form of one std: source matcher inputs, α′₌ classes, and the
 /// flattened target-instantiation program.
-struct StdPlan {
-    source: CompiledPattern,
+pub(super) struct StdPlan {
+    pub(super) source: CompiledPattern,
     /// Canonical display text of the source pattern. [`CompiledPattern`]
     /// does not retain its source, and the serialized form rebuilds the
     /// matcher by reparsing this text (display round-trips through the
     /// pattern parser), so interned variable ids come out identical.
-    source_text: String,
+    pub(super) source_text: String,
     /// Source conditions over interned source-variable ids; `None` marks a
     /// comparison over a variable the pattern never binds — it never
     /// holds, so the std has no firings at all.
-    src_conds: Vec<Option<(CompOp, u32, u32)>>,
+    pub(super) src_conds: Vec<Option<(CompOp, u32, u32)>>,
     /// For each target-pattern variable in first-occurrence order: its α′₌
     /// class and, if shared with the source pattern, the source id.
-    tvar_classes: Vec<(u32, Option<u32>)>,
+    pub(super) tvar_classes: Vec<(u32, Option<u32>)>,
     /// Number of α′₌ classes (over target-pattern and condition variables).
-    class_count: u32,
+    pub(super) class_count: u32,
     /// `≠` obligations in class space, with their display form.
-    neqs: Vec<(u32, u32, String)>,
+    pub(super) neqs: Vec<(u32, u32, String)>,
     /// Root-label error (wildcard root / root mismatch), raised when the
     /// std first fires — after the firing's α′₌ resolution, like the
     /// reference.
-    pre_fail: Option<ChaseError>,
+    pub(super) pre_fail: Option<ChaseError>,
     /// Instantiation program, in the reference's preorder traversal order.
-    ops: Vec<PlanOp>,
+    pub(super) ops: Vec<PlanOp>,
     /// Number of plan nodes (target-pattern nodes); node 0 is the root.
-    plan_nodes: u32,
+    pub(super) plan_nodes: u32,
 }
 
 /// One step of a firing's instantiation walk.
-enum PlanOp {
+pub(super) enum PlanOp {
     /// Unify the α′₌ class values `classes[k]` into attribute slot `k` of
     /// the arena node bound to plan node `node`.
     Unify { node: u32, classes: Box<[u32]> },

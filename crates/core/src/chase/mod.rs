@@ -37,9 +37,11 @@
 //! invented nulls differ.
 
 pub mod compiled;
+pub mod delta;
 pub mod reference;
 
 pub use compiled::{canonical_solution, canonical_solution_cached, ChaseCache};
+pub use delta::{parse_updates, DeltaPlan, DeltaStats, IncrementalChase, TouchProfile, Update};
 
 /// Why the chase failed — equivalently, why `source` has no solution.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -47,7 +47,10 @@
 
 use crate::abscons::{abscons_structural_cached, AbsConsAnswer};
 use crate::bounded::ShapeCache;
-use crate::chase::{canonical_solution_cached, ChaseCache, ChaseError};
+use crate::chase::delta::DeltaStats;
+use crate::chase::{
+    canonical_solution_cached, ChaseCache, ChaseError, DeltaPlan, IncrementalChase,
+};
 use crate::consistency::{composition_consistent_cached, consistent_cached, ConsAnswer, ConsError};
 use crate::exchange::{certain_answers_cached, reduced_solution_cached, CertainAnswersError};
 use crate::stds::Mapping;
@@ -157,6 +160,9 @@ pub struct EngineStats {
     /// Streaming-chase artifacts (one per mapping: chase tables plus
     /// per-std stream enumerator plans).
     pub stream_chase: CacheCounters,
+    /// Incremental-chase artifacts (one per mapping: chase tables plus
+    /// per-std touch profiles).
+    pub delta: CacheCounters,
     /// Streaming passes run through [`EngineContext::stream_document`]
     /// or [`EngineContext::chase_stream`].
     pub stream_jobs: u64,
@@ -166,6 +172,15 @@ pub struct EngineStats {
     pub stream_firings: u64,
     /// Most simultaneously-live valuations any streaming chase held.
     pub stream_live_peak: u64,
+    /// Incremental-chase sessions opened through
+    /// [`EngineContext::delta_session`].
+    pub delta_sessions: u64,
+    /// Updates applied by incremental-chase sessions.
+    pub delta_updates: u64,
+    /// Std re-enumerations those updates forced (the refire frontier).
+    pub delta_refires: u64,
+    /// Stds the per-update region analysis proved unaffected.
+    pub delta_skips: u64,
     /// The context's memory budget, if bounded.
     pub memory_budget: Option<u64>,
 }
@@ -180,6 +195,7 @@ impl EngineStats {
             + self.stream_index.bytes
             + self.stream_plans.bytes
             + self.stream_chase.bytes
+            + self.delta.bytes
     }
 
     /// Slot fills across all families that ran a compilation.
@@ -191,6 +207,7 @@ impl EngineStats {
             + self.stream_index.compiled()
             + self.stream_plans.compiled()
             + self.stream_chase.compiled()
+            + self.delta.compiled()
     }
 
     /// Slot fills across all families answered from the artifact store.
@@ -202,6 +219,7 @@ impl EngineStats {
             + self.stream_index.disk_hits
             + self.stream_plans.disk_hits
             + self.stream_chase.disk_hits
+            + self.delta.disk_hits
     }
 }
 
@@ -214,11 +232,18 @@ impl std::fmt::Display for EngineStats {
         writeln!(f, "sindex:   {}", self.stream_index)?;
         writeln!(f, "splan:    {}", self.stream_plans)?;
         writeln!(f, "schase:   {}", self.stream_chase)?;
+        writeln!(f, "delta:    {}", self.delta)?;
         writeln!(
             f,
             "stream:   {} job(s), peak stream depth {}, {} firing(s), \
              peak live valuations {}",
             self.stream_jobs, self.stream_peak_depth, self.stream_firings, self.stream_live_peak
+        )?;
+        writeln!(
+            f,
+            "dchase:   {} session(s), {} update(s), {} refired std(s), \
+             {} skipped std(s)",
+            self.delta_sessions, self.delta_updates, self.delta_refires, self.delta_skips
         )?;
         match self.memory_budget {
             Some(b) => write!(
@@ -504,6 +529,7 @@ pub struct EngineContext {
     stream_idx: ShardedCache<DtdIndex>,
     stream_plans: ShardedCache<StreamPattern>,
     stream_chase: ShardedCache<StreamChasePlan>,
+    delta: ShardedCache<DeltaPlan>,
     /// Streaming passes run (diagnostics for `batch --stats` / `STATS`).
     stream_jobs: AtomicU64,
     /// Deepest open-element stack any streaming pass reached.
@@ -512,6 +538,14 @@ pub struct EngineContext {
     stream_firings: AtomicU64,
     /// Most simultaneously-live valuations any streaming chase held.
     stream_live_peak: AtomicU64,
+    /// Incremental-chase sessions opened.
+    delta_sessions: AtomicU64,
+    /// Updates applied by incremental-chase sessions.
+    delta_updates: AtomicU64,
+    /// Std re-enumerations those updates forced.
+    delta_refires: AtomicU64,
+    /// Stds the per-update region analysis proved unaffected.
+    delta_skips: AtomicU64,
     /// Approximate ceiling on the accounted bytes of all resident
     /// artifacts; `None` = unbounded (the pre-existing behaviour).
     budget: Option<u64>,
@@ -536,10 +570,15 @@ impl EngineContext {
             stream_idx: ShardedCache::new(),
             stream_plans: ShardedCache::new(),
             stream_chase: ShardedCache::new(),
+            delta: ShardedCache::new(),
             stream_jobs: AtomicU64::new(0),
             stream_peak_depth: AtomicU64::new(0),
             stream_firings: AtomicU64::new(0),
             stream_live_peak: AtomicU64::new(0),
+            delta_sessions: AtomicU64::new(0),
+            delta_updates: AtomicU64::new(0),
+            delta_refires: AtomicU64::new(0),
+            delta_skips: AtomicU64::new(0),
             budget: None,
             store: None,
         }
@@ -642,11 +681,12 @@ impl EngineContext {
                 self.stream_idx.bytes(),
                 self.stream_plans.bytes(),
                 self.stream_chase.bytes(),
+                self.delta.bytes(),
             ];
             if bytes.iter().sum::<u64>() <= budget {
                 return;
             }
-            let mut order = [0usize, 1, 2, 3, 4, 5, 6];
+            let mut order = [0usize, 1, 2, 3, 4, 5, 6, 7];
             order.sort_by_key(|&i| std::cmp::Reverse(bytes[i]));
             let evicted = order.iter().any(|&i| {
                 match i {
@@ -656,7 +696,8 @@ impl EngineContext {
                     3 => self.shapes.evict_one(),
                     4 => self.stream_idx.evict_one(),
                     5 => self.stream_plans.evict_one(),
-                    _ => self.stream_chase.evict_one(),
+                    6 => self.stream_chase.evict_one(),
+                    _ => self.delta.evict_one(),
                 }
                 .is_some()
             });
@@ -823,6 +864,41 @@ impl EngineContext {
             |v| v.approx_bytes(),
             || StreamChasePlan::new(m),
         )
+    }
+
+    /// The shared [`DeltaPlan`] for `m` (chase tables + per-std touch
+    /// profiles), loading or compiling it on first request. The persisted
+    /// payload is the chase tables; the touch profiles are recomputed from
+    /// the canonical source-pattern texts on decode.
+    pub fn delta_plan(&self, m: &Mapping) -> Arc<DeltaPlan> {
+        self.fetch(
+            &self.delta,
+            Family::DeltaChase,
+            &m.to_string(),
+            true,
+            |b| DeltaPlan::from_bytes(b).ok(),
+            |v| v.to_bytes(),
+            |v| v.approx_bytes(),
+            || DeltaPlan::new(m),
+        )
+    }
+
+    /// Opens an [`IncrementalChase`] session over the shared [`DeltaPlan`]
+    /// for `m`. Call [`EngineContext::record_delta`] with the session's
+    /// final [`DeltaStats`] to fold its work into the context counters.
+    pub fn delta_session(&self, m: &Mapping, doc: Tree) -> IncrementalChase {
+        let plan = self.delta_plan(m);
+        self.delta_sessions.fetch_add(1, Ordering::Relaxed);
+        IncrementalChase::with_plan(m.clone(), doc, plan)
+    }
+
+    /// Folds one session's update/refire/skip totals into the context.
+    pub fn record_delta(&self, stats: DeltaStats) {
+        self.delta_updates
+            .fetch_add(stats.updates, Ordering::Relaxed);
+        self.delta_refires
+            .fetch_add(stats.refires, Ordering::Relaxed);
+        self.delta_skips.fetch_add(stats.skips, Ordering::Relaxed);
     }
 
     /// Streams `src` once against `m`'s source DTD while enumerating std
@@ -1016,10 +1092,15 @@ impl EngineContext {
             stream_index: self.stream_idx.counters(),
             stream_plans: self.stream_plans.counters(),
             stream_chase: self.stream_chase.counters(),
+            delta: self.delta.counters(),
             stream_jobs: self.stream_jobs.load(Ordering::Relaxed),
             stream_peak_depth: self.stream_peak_depth.load(Ordering::Relaxed),
             stream_firings: self.stream_firings.load(Ordering::Relaxed),
             stream_live_peak: self.stream_live_peak.load(Ordering::Relaxed),
+            delta_sessions: self.delta_sessions.load(Ordering::Relaxed),
+            delta_updates: self.delta_updates.load(Ordering::Relaxed),
+            delta_refires: self.delta_refires.load(Ordering::Relaxed),
+            delta_skips: self.delta_skips.load(Ordering::Relaxed),
             memory_budget: self.budget,
         }
     }
@@ -1126,6 +1207,37 @@ mod tests {
         assert_eq!(s.stream_firings, 4);
         assert!(s.stream_live_peak >= 2);
         assert!(s.stream_jobs >= 2);
+    }
+
+    #[test]
+    fn delta_sessions_share_one_plan_and_tally() {
+        let ctx = EngineContext::new();
+        let m = copy_mapping();
+        let doc = xmlmap_trees::xml::parse(r#"<r><a v="1"/></r>"#).unwrap();
+        let mut s1 = ctx.delta_session(&m, doc.clone());
+        let mut s2 = ctx.delta_session(&m, doc.clone());
+        assert_eq!(
+            s1.canonical_solution().unwrap(),
+            s2.canonical_solution().unwrap()
+        );
+        s1.insert_subtree(
+            Tree::ROOT,
+            1,
+            &xmlmap_trees::xml::parse(r#"<a v="2"/>"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            s1.canonical_solution().unwrap(),
+            ctx.canonical_solution(&m, s1.doc()).unwrap()
+        );
+        ctx.record_delta(s1.stats());
+        ctx.record_delta(s2.stats());
+        let stats = ctx.stats();
+        assert_eq!((stats.delta.misses, stats.delta.hits), (1, 1));
+        assert_eq!(stats.delta_sessions, 2);
+        assert_eq!(stats.delta_updates, 1);
+        assert_eq!(stats.delta_refires, 3); // 1 initial per session + 1 refire
+        assert!(stats.total_bytes() > 0);
     }
 
     #[test]

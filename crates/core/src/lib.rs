@@ -33,7 +33,10 @@ pub use bounded::{
     abscons_violation_bounded, consistent_bounded, solution_exists, solution_exists_cached,
     tree_shapes, BoundedOutcome, ShapeCache,
 };
-pub use chase::{canonical_solution, canonical_solution_cached, ChaseCache, ChaseError};
+pub use chase::{
+    canonical_solution, canonical_solution_cached, parse_updates, ChaseCache, ChaseError,
+    DeltaPlan, DeltaStats, IncrementalChase, Update,
+};
 pub use compose::{compose, composition_member, composition_member_cached, ComposeError};
 pub use cond::{all_hold, parse_conditions, CompOp, Comparison};
 pub use consistency::{

@@ -61,10 +61,33 @@
 //!   read off a socket, writes those responses, flushes the shape caches
 //!   to the artifact store, and returns an exit-0 summary.
 //!
+//! ## Delta sessions
+//!
+//! Beyond stateless job lines, the daemon holds named incremental-chase
+//! sessions ([`crate::chase::delta`]) that live across requests:
+//!
+//! ```text
+//! DELTA OPEN <name> <mapping> <doc>   open a session over doc
+//! DELTA APPLY <name> <updatefile>     apply an update script incrementally
+//! DELTA SOLUTION <name>               current reduced canonical solution
+//! DELTA CLOSE <name>                  drop the session, tally its stats
+//! ```
+//!
+//! Paths resolve against the server root exactly like job-line paths.
+//! `SOLUTION` returns the reduced canonical solution serialized as XML in
+//! the response detail, or a `yes:false` answer when the updated source
+//! has no solution — the same verdict a from-scratch `xmlmap chase` of
+//! the session's current document would produce. Each session guards its
+//! state with its own lock, so applies to distinct sessions proceed in
+//! parallel; sessions still open at shutdown are tallied into the engine
+//! stats during the drain.
+//!
 //! See DESIGN.md §8.6 for the architecture discussion.
 
 use crate::batch::{run_job, JobParser, JobResult};
+use crate::chase::{parse_updates, IncrementalChase};
 use crate::engine::{CacheCounters, EngineContext, EngineStats};
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -291,6 +314,8 @@ pub fn stats_json(stats: &EngineStats, requests: u64, connections: u64) -> Strin
          \"stream_index\":{},\"stream_plans\":{},\"stream_chase\":{},\
          \"stream_jobs\":{},\"stream_peak_depth\":{},\
          \"stream_firings\":{},\"stream_live_peak\":{},\
+         \"delta\":{},\"delta_sessions\":{},\"delta_updates\":{},\
+         \"delta_refires\":{},\"delta_skips\":{},\
          \"memory_budget\":{budget},\"total_bytes\":{},\"total_compiled\":{},\
          \"total_disk_hits\":{},\"requests\":{requests},\"connections\":{connections}}}",
         counters_json(&stats.sat),
@@ -304,6 +329,11 @@ pub fn stats_json(stats: &EngineStats, requests: u64, connections: u64) -> Strin
         stats.stream_peak_depth,
         stats.stream_firings,
         stats.stream_live_peak,
+        counters_json(&stats.delta),
+        stats.delta_sessions,
+        stats.delta_updates,
+        stats.delta_refires,
+        stats.delta_skips,
         stats.total_bytes(),
         stats.total_compiled(),
         stats.total_disk_hits(),
@@ -400,6 +430,12 @@ impl Conn {
     }
 }
 
+/// The daemon's table of named delta-chase sessions. The outer lock is
+/// held only for lookup/insert/remove; each session's own lock
+/// serializes its updates, so traffic on distinct sessions runs in
+/// parallel across the worker pool.
+type DeltaSessions = Mutex<HashMap<String, Arc<Mutex<IncrementalChase>>>>;
+
 /// One dispatched request.
 struct Request {
     id: u64,
@@ -436,13 +472,15 @@ pub fn serve(
     let rx = Mutex::new(rx);
     let counters = Counters::default();
     let parser = Mutex::new(JobParser::new(&cfg.root));
+    let sessions: DeltaSessions = Mutex::new(HashMap::new());
 
     let accept_result: io::Result<()> = std::thread::scope(|scope| {
         let rx = &rx;
         let counters = &counters;
         let parser = &parser;
+        let sessions = &sessions;
         for _ in 0..workers {
-            scope.spawn(move || worker_loop(ctx, parser, rx, counters));
+            scope.spawn(move || worker_loop(ctx, parser, sessions, rx, counters));
         }
         let mut conns = Vec::new();
         let mut accept_err = None;
@@ -480,6 +518,11 @@ pub fn serve(
             None => Ok(()),
         }
     });
+    // Sessions never explicitly closed still count: tally them now, while
+    // the workers are gone and every lock is free.
+    for (_, session) in sessions.into_inner().unwrap() {
+        ctx.record_delta(session.lock().unwrap().stats());
+    }
     ctx.flush_disk_cache();
     #[cfg(unix)]
     if let Endpoint::Unix(path) = endpoint {
@@ -554,6 +597,7 @@ fn conn_loop(
 fn worker_loop(
     ctx: &EngineContext,
     parser: &Mutex<JobParser>,
+    sessions: &DeltaSessions,
     rx: &Mutex<Receiver<Request>>,
     counters: &Counters,
 ) {
@@ -562,7 +606,7 @@ fn worker_loop(
             Ok(r) => r,
             Err(_) => return,
         };
-        let (json, failed) = execute(ctx, parser, counters, &request);
+        let (json, failed) = execute(ctx, parser, sessions, counters, &request);
         if failed {
             counters.failed.fetch_add(1, Ordering::Relaxed);
         }
@@ -575,6 +619,7 @@ fn worker_loop(
 fn execute(
     ctx: &EngineContext,
     parser: &Mutex<JobParser>,
+    sessions: &DeltaSessions,
     counters: &Counters,
     request: &Request,
 ) -> (String, bool) {
@@ -638,6 +683,13 @@ fn execute(
         );
         return (json, false);
     }
+    if line == "DELTA" || line.starts_with("DELTA ") {
+        let (json, failed) = execute_delta(ctx, parser, sessions, request, line, start);
+        if request.deadline.is_some_and(|d| Instant::now() > d) {
+            return expired("during execution");
+        }
+        return (json, failed);
+    }
     let job = match parser.lock().unwrap().parse(line) {
         Ok(job) => job,
         Err(e) => {
@@ -678,6 +730,156 @@ fn execute(
                 json_escape(&error)
             ),
             true,
+        ),
+    }
+}
+
+/// Runs one `DELTA` session verb to a response JSON string; the bool is
+/// "this is an error response". Session-not-found, duplicate-open, and
+/// update-script failures are error responses; a chase failure on
+/// `SOLUTION` is a `yes:false` *answer*, matching the batch driver's
+/// verdict shape for chase jobs.
+fn execute_delta(
+    ctx: &EngineContext,
+    parser: &Mutex<JobParser>,
+    sessions: &DeltaSessions,
+    request: &Request,
+    line: &str,
+    start: Instant,
+) -> (String, bool) {
+    let fail = |error: String| {
+        (
+            format!(
+                "{{\"id\":{},\"ok\":false,\"error\":\"{}\",\"elapsed_us\":{}}}",
+                request.id,
+                json_escape(&error),
+                start.elapsed().as_micros()
+            ),
+            true,
+        )
+    };
+    let answer = |yes: bool, detail: String| {
+        (
+            format!(
+                "{{\"id\":{},\"ok\":true,\"yes\":{yes},\"detail\":\"{}\",\"elapsed_us\":{},\
+                 \"compiled\":0,\"disk_loaded\":0}}",
+                request.id,
+                json_escape(&detail),
+                start.elapsed().as_micros()
+            ),
+            false,
+        )
+    };
+    let session_of =
+        |name: &str| {
+            sessions.lock().unwrap().get(name).cloned().ok_or_else(|| {
+                format!("no delta session named `{name}` (open one with DELTA OPEN)")
+            })
+        };
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    match fields.as_slice() {
+        ["DELTA", "OPEN", name, map, doc] => {
+            if sessions.lock().unwrap().contains_key(*name) {
+                return fail(format!(
+                    "delta session `{name}` is already open (DELTA CLOSE it first)"
+                ));
+            }
+            let (mapping, source) = {
+                let mut parser = parser.lock().unwrap();
+                let mapping = match parser.load_mapping(map) {
+                    Ok(m) => m,
+                    Err(e) => return fail(e),
+                };
+                let source = match parser.load_tree(doc, &mapping.source_dtd) {
+                    Ok(t) => t,
+                    Err(e) => return fail(e),
+                };
+                (mapping, source)
+            };
+            let session = ctx.delta_session(&mapping, source);
+            let detail = format!(
+                "opened `{name}` ({} std(s), {}conforming source)",
+                mapping.stds.len(),
+                if session.source_conforms() {
+                    ""
+                } else {
+                    "non-"
+                }
+            );
+            let mut table = sessions.lock().unwrap();
+            if table.contains_key(*name) {
+                return fail(format!(
+                    "delta session `{name}` is already open (DELTA CLOSE it first)"
+                ));
+            }
+            table.insert(name.to_string(), Arc::new(Mutex::new(session)));
+            answer(true, detail)
+        }
+        ["DELTA", "APPLY", name, updatefile] => {
+            let session = match session_of(name) {
+                Ok(s) => s,
+                Err(e) => return fail(e),
+            };
+            let script = match parser.lock().unwrap().read_file(updatefile) {
+                Ok(s) => s,
+                Err(e) => return fail(e),
+            };
+            let updates = match parse_updates(&script) {
+                Ok(u) => u,
+                Err(e) => return fail(format!("{updatefile}: {e}")),
+            };
+            let mut session = session.lock().unwrap();
+            let before = session.stats();
+            match session.apply_all(&updates) {
+                Ok(applied) => {
+                    let d = session.stats();
+                    answer(
+                        true,
+                        format!(
+                            "applied {applied} update(s) ({} refire(s), {} skip(s), {} replay(s))",
+                            d.refires - before.refires,
+                            d.skips - before.skips,
+                            d.replays - before.replays
+                        ),
+                    )
+                }
+                Err(e) => fail(format!("delta session `{name}`: {e}")),
+            }
+        }
+        ["DELTA", "SOLUTION", name] => {
+            let session = match session_of(name) {
+                Ok(s) => s,
+                Err(e) => return fail(e),
+            };
+            let mut session = session.lock().unwrap();
+            match session.canonical_solution() {
+                Ok(solution) => {
+                    let reduced = crate::exchange::reduce_solution(session.mapping(), &solution);
+                    answer(true, xmlmap_trees::xml::to_string(&reduced))
+                }
+                Err(e) => answer(false, format!("no solution: {e}")),
+            }
+        }
+        ["DELTA", "CLOSE", name] => {
+            let session = match sessions.lock().unwrap().remove(*name) {
+                Some(s) => s,
+                None => {
+                    return fail(format!(
+                        "no delta session named `{name}` (open one with DELTA OPEN)"
+                    ))
+                }
+            };
+            let stats = session.lock().unwrap().stats();
+            ctx.record_delta(stats);
+            answer(
+                true,
+                format!("closed `{name}` after {} update(s)", stats.updates),
+            )
+        }
+        _ => fail(
+            "bad DELTA request: expected OPEN <name> <mapping> <doc>, \
+             APPLY <name> <updatefile>, SOLUTION <name>, or CLOSE <name>"
+                .to_string(),
         ),
     }
 }
@@ -1049,6 +1251,8 @@ mod tests {
         assert!(stats.contains("\"total_compiled\":0"));
         assert!(stats.contains("\"stream_firings\":0"));
         assert!(stats.contains("\"stream_chase\":{"));
+        assert!(stats.contains("\"delta\":{"));
+        assert!(stats.contains("\"delta_sessions\":0"));
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub enum Family {
     /// tables + per-std stream plans; the payload is the chase tables,
     /// stream plans are recompiled on decode).
     StreamChase,
+    /// `DeltaPlan` — per-mapping incremental-chase artifacts (chase
+    /// tables + per-std touch profiles; the payload is the chase tables,
+    /// profiles are recomputed from the source-pattern texts on decode).
+    DeltaChase,
 }
 
 impl Family {
@@ -71,6 +75,7 @@ impl Family {
             Family::StreamIndex => 4,
             Family::StreamPlan => 5,
             Family::StreamChase => 6,
+            Family::DeltaChase => 7,
         }
     }
 
@@ -84,6 +89,7 @@ impl Family {
             Family::StreamIndex => "streamindex",
             Family::StreamPlan => "streamplan",
             Family::StreamChase => "streamchase",
+            Family::DeltaChase => "deltachase",
         }
     }
 }

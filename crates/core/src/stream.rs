@@ -477,6 +477,55 @@ mod tests {
     }
 
     #[test]
+    fn outcome_accessors_report_exact_peaks() {
+        // A fixed 3-level document under a 3-level DTD: the peak open
+        // depth is exactly 3 (r > m > a), and peak_live_bytes is exactly
+        // the validator high-water mark plus the pattern share.
+        let idx = Arc::new(DtdIndex::new(
+            &xmlmap_dtd::parse("root r\nr -> m*\nm -> a*\na @ x").unwrap(),
+        ));
+        let doc = r#"<r><m><a x="1"/><a x="2"/></m><m/></r>"#;
+        let out = stream_document(&idx, None, doc.as_bytes()).unwrap();
+        assert_eq!(out.violation, None);
+        assert_eq!(out.peak_depth(), 3);
+        assert_eq!(out.pattern_state_bytes, 0, "no pattern, no pattern state");
+        assert_eq!(
+            out.peak_live_bytes(),
+            out.stats.peak_state_bytes,
+            "without a pattern the live peak is the validator's alone"
+        );
+
+        let p = plan("r/m/a(u)");
+        let with_pattern = stream_document(&idx, Some(&p), doc.as_bytes()).unwrap();
+        assert_eq!(with_pattern.peak_depth(), 3);
+        assert!(with_pattern.pattern_state_bytes > 0);
+        assert_eq!(
+            with_pattern.peak_live_bytes(),
+            with_pattern.stats.peak_state_bytes + with_pattern.pattern_state_bytes
+        );
+
+        // The chase outcome exposes the same accessors: same document,
+        // one std mapping each `a` to a `b` — exactly 2 firings.
+        let m = crate::stds::Mapping::parse(
+            "[source]\nroot r\nr -> m*\nm -> a*\na @ x\n\
+             [target]\nroot r\nr -> b*\nb @ w\n\
+             [stds]\nr/m/a(x) --> r/b(x)\n",
+        )
+        .unwrap();
+        let chase_plan = StreamChasePlan::new(&m);
+        assert!(chase_plan.unstreamable().is_none());
+        let chased = chase_stream(&idx, &chase_plan, doc.as_bytes()).unwrap();
+        assert_eq!(chased.violation, None);
+        assert_eq!(chased.peak_depth(), 3);
+        assert_eq!(chased.firings, 2);
+        assert_eq!(
+            chased.peak_live_bytes(),
+            chased.stats.peak_state_bytes + chased.pattern_state_bytes
+        );
+        assert!(chased.peak_live_bytes() > chased.stats.peak_state_bytes);
+    }
+
+    #[test]
     fn attribute_order_is_canonicalised_for_the_matcher() {
         let idx = idx();
         // Document order y-then-x; canonical (DTD) order is x-then-y.

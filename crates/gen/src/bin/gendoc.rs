@@ -4,6 +4,7 @@
 //! ```text
 //! gendoc [--family university|exchange] [--size-scale K] [--students N]
 //!        [--profs N] [--dtd PATH] [--mapping PATH] [--out PATH]
+//!        [--updates N --updates-out PATH [--update-seed S]]
 //! ```
 //!
 //! The `university` family (default) is the micro-bench workload
@@ -16,6 +17,13 @@
 //! ~92MB) while chase *firings* stay pinned to the professor count —
 //! `--profs` is the firing-density knob. `--mapping PATH` writes the
 //! matching exchange mapping file for `xmlmap stream --chase`.
+//!
+//! `--updates N` (exchange only) additionally writes a deterministic
+//! seeded update storm of `N` operations in the `xmlmap delta`
+//! updatefile grammar to `--updates-out PATH` — mostly conformance- and
+//! count-preserving pad edits the incremental chase skips, with a seeded
+//! fraction of professor delete/reinsert pairs that retract and replay
+//! firings. `--update-seed S` (default 42) varies the storm.
 //!
 //! Both families are streamed in O(depth) memory, so multi-GB corpora
 //! are fine; `--dtd PATH` additionally writes the family's source DTD
@@ -46,6 +54,9 @@ fn run() -> Result<(), String> {
     let mut dtd_path: Option<String> = None;
     let mut mapping_path: Option<String> = None;
     let mut out_path: Option<String> = None;
+    let mut updates: usize = 0;
+    let mut updates_path: Option<String> = None;
+    let mut update_seed: u64 = 42;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -81,11 +92,23 @@ fn run() -> Result<(), String> {
             "--dtd" => dtd_path = Some(value("--dtd")?),
             "--mapping" => mapping_path = Some(value("--mapping")?),
             "--out" => out_path = Some(value("--out")?),
+            "--updates" => {
+                updates = value("--updates")?
+                    .parse()
+                    .map_err(|e| format!("--updates: {e}"))?
+            }
+            "--updates-out" => updates_path = Some(value("--updates-out")?),
+            "--update-seed" => {
+                update_seed = value("--update-seed")?
+                    .parse()
+                    .map_err(|e| format!("--update-seed: {e}"))?
+            }
             other => {
                 return Err(format!(
                     "unknown argument `{other}`\n\
                      usage: gendoc [--family university|exchange] [--size-scale K] \
-                     [--students N] [--profs N] [--dtd PATH] [--mapping PATH] [--out PATH]"
+                     [--students N] [--profs N] [--dtd PATH] [--mapping PATH] [--out PATH] \
+                     [--updates N --updates-out PATH [--update-seed S]]"
                 ))
             }
         }
@@ -110,6 +133,32 @@ fn run() -> Result<(), String> {
         Family::University => (profs.unwrap_or(BASE_PROFESSORS * scale), 0),
         Family::Exchange => (profs.unwrap_or(BASE_PROFESSORS), BASE_PADS * scale),
     };
+    if updates > 0 {
+        if family != Family::Exchange {
+            return Err("--updates is only meaningful with --family exchange".to_string());
+        }
+        if professors == 0 || pads == 0 {
+            return Err("--updates needs at least one professor and one pad".to_string());
+        }
+        let path = updates_path
+            .as_ref()
+            .ok_or("--updates needs --updates-out PATH")?;
+        let file = std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let mut out = std::io::BufWriter::new(file);
+        xmlmap_gen::write_exchange_updates(
+            professors,
+            students,
+            pads,
+            updates,
+            update_seed,
+            &mut out,
+        )
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("gendoc: wrote {updates} update(s) (seed {update_seed}) to {path}");
+    } else if updates_path.is_some() {
+        return Err("--updates-out needs --updates N".to_string());
+    }
     let write = |mut out: &mut dyn Write| match family {
         Family::University => xmlmap_gen::write_university_xml(professors, students, &mut out),
         Family::Exchange => xmlmap_gen::write_exchange_xml(professors, students, pads, &mut out),

@@ -14,6 +14,6 @@ pub mod trees;
 pub use mappings::{random_nr_dtd, random_nr_mapping, MappingGenConfig};
 pub use trees::{
     exchange_mapping, exchange_source_dtd, exchange_tree, random_tree, university_dtd,
-    university_target_dtd, university_tree, write_exchange_xml, write_university_xml,
-    TreeGenConfig,
+    university_target_dtd, university_tree, write_exchange_updates, write_exchange_xml,
+    write_university_xml, TreeGenConfig,
 };

@@ -289,6 +289,103 @@ pub fn write_exchange_xml<W: std::io::Write>(
     writeln!(out, "</r>")
 }
 
+/// Streams a deterministic update storm for the exchange document shaped
+/// by [`write_exchange_xml`]: `count` operation lines in the `xmlmap
+/// delta` updatefile grammar, drawn from a seeded generator. Every
+/// operation (or delete/reinsert pair) preserves conformance *and* the
+/// root's child count, so the emitted child indices stay valid no matter
+/// where in the storm they execute. Most operations rewrite inert pad
+/// records — the incremental chase skips every std on those — while a
+/// seeded fraction deletes and reinserts a whole professor subtree,
+/// exercising firing retraction and replay.
+///
+/// Panics if `count > 0` while `professors` or `pads` is zero: the storm
+/// needs both kinds of record to aim at.
+pub fn write_exchange_updates<W: std::io::Write>(
+    professors: usize,
+    students: usize,
+    pads: usize,
+    count: usize,
+    seed: u64,
+    out: &mut W,
+) -> std::io::Result<()> {
+    assert!(
+        count == 0 || (professors > 0 && pads > 0),
+        "the exchange update storm needs at least one professor and one pad"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    writeln!(
+        out,
+        "# {count} update(s) over the exchange corpus (seed {seed})"
+    )?;
+    let mut emitted = 0usize;
+    while emitted < count {
+        let pair_ok = count - emitted >= 2;
+        match rng.gen_range(0..10u32) {
+            // Pad delete/reinsert: a no-refire structural edit.
+            7 if pair_ok => {
+                let pos = professors + rng.gen_range(0..pads);
+                writeln!(out, "delete {pos}")?;
+                writeln!(
+                    out,
+                    "insert . {pos} <pad a=\"a{}\" b=\"b{}\"/>",
+                    rng.gen_range(0..10u32),
+                    rng.gen_range(0..10u32)
+                )?;
+                emitted += 2;
+            }
+            // Professor delete/reinsert: retracts this professor's
+            // firings, then replays them.
+            8 | 9 if pair_ok => {
+                let p = rng.gen_range(0..professors);
+                writeln!(out, "delete {p}")?;
+                writeln!(out, "insert . {p} {}", professor_xml(p, students))?;
+                emitted += 2;
+            }
+            // Pad attribute rewrite: the skip fast path.
+            _ => {
+                let pos = professors + rng.gen_range(0..pads);
+                let (attr, prefix) = if rng.gen_bool(0.5) {
+                    ("a", 'a')
+                } else {
+                    ("b", 'b')
+                };
+                writeln!(
+                    out,
+                    "settext {pos} {attr} {prefix}{}",
+                    rng.gen_range(0..10u32)
+                )?;
+                emitted += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One professor subtree as single-line XML — the exact content
+/// [`write_professors`] gives professor `p`, so a delete/reinsert pair
+/// restores the document byte-for-byte.
+fn professor_xml(p: usize, students: usize) -> String {
+    let mut s = format!(
+        "<prof name=\"p{p}\"><teach><year y=\"y{}\"><course cno=\"c{}\"/>\
+         <course cno=\"c{}\"/></year></teach>",
+        p % 4,
+        2 * p,
+        2 * p + 1
+    );
+    if students == 0 {
+        s.push_str("<supervise/>");
+    } else {
+        s.push_str("<supervise>");
+        for st in 0..students {
+            s.push_str(&format!("<student sid=\"s{p}_{st}\"/>"));
+        }
+        s.push_str("</supervise>");
+    }
+    s.push_str("</prof>");
+    s
+}
+
 /// Streams the university document for `professors` professors straight
 /// to `out` — byte-for-byte the `xmlmap_trees::xml::to_string`
 /// serialisation of [`university_tree`] — without ever materialising the
@@ -380,6 +477,32 @@ mod tests {
         let lean = xmlmap_core::canonical_solution(&m, &exchange_tree(3, 2, 0)).expect("chases");
         let padded = xmlmap_core::canonical_solution(&m, &exchange_tree(3, 2, 40)).expect("chases");
         assert!(xmlmap_trees::isomorphic_mod_nulls(&lean, &padded));
+    }
+
+    #[test]
+    fn update_storms_apply_cleanly_and_match_a_full_rechase() {
+        let (p, s, pads) = (4, 2, 12);
+        let mut script = Vec::new();
+        write_exchange_updates(p, s, pads, 60, 0xD317A, &mut script).unwrap();
+        let script = String::from_utf8(script).unwrap();
+        // Same seed, same bytes: the storm is deterministic.
+        let mut again = Vec::new();
+        write_exchange_updates(p, s, pads, 60, 0xD317A, &mut again).unwrap();
+        assert_eq!(String::from_utf8(again).unwrap(), script);
+
+        let updates = xmlmap_core::parse_updates(&script).unwrap();
+        assert_eq!(updates.len(), 60, "comments don't count as operations");
+        let m = exchange_mapping();
+        let mut session = xmlmap_core::IncrementalChase::new(&m, exchange_tree(p, s, pads));
+        for u in &updates {
+            session.apply(u).unwrap();
+        }
+        // Every operation preserved conformance and the child count.
+        assert!(exchange_source_dtd().conforms(session.doc()));
+        assert_eq!(session.doc().children(Tree::ROOT).len(), p + pads);
+        let full = xmlmap_core::canonical_solution(&m, session.doc()).unwrap();
+        let incremental = session.canonical_solution().unwrap();
+        assert_eq!(incremental, full);
     }
 
     #[test]

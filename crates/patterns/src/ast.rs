@@ -222,6 +222,30 @@ impl Pattern {
         })
     }
 
+    /// The set of concrete labels the pattern can test, or `None` if any
+    /// node uses the wildcard (in which case the pattern can match nodes
+    /// of every label and no finite footprint exists). A match valuation
+    /// can only involve tree nodes whose labels are in this set, so an
+    /// edit whose region is disjoint from the footprint cannot create or
+    /// destroy matches of a purely downward pattern — the basis of the
+    /// delta-chase refire analysis.
+    pub fn label_footprint(&self) -> Option<BTreeSet<Name>> {
+        fn go(p: &Pattern, out: &mut BTreeSet<Name>) -> bool {
+            match &p.label {
+                LabelTest::Wildcard => return false,
+                LabelTest::Label(l) => {
+                    out.insert(l.clone());
+                }
+            }
+            p.list.iter().all(|item| match item {
+                ListItem::Seq { members, .. } => members.iter().all(|m| go(m, out)),
+                ListItem::Descendant(d) => go(d, out),
+            })
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut out).then_some(out)
+    }
+
     /// Is this pattern *fully specified* (grammar (5)): no wildcard, no
     /// descendant, no horizontal operators?
     pub fn is_fully_specified(&self) -> bool {
@@ -353,6 +377,32 @@ mod tests {
         );
         assert!(fol.uses_following_sibling());
         assert!(!fol.uses_next_sibling());
+    }
+
+    #[test]
+    fn label_footprint_collects_all_labels() {
+        let labels: Vec<String> = pi3()
+            .label_footprint()
+            .unwrap()
+            .iter()
+            .map(|l| l.to_string())
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "course",
+                "prof",
+                "r",
+                "student",
+                "supervise",
+                "teach",
+                "year"
+            ]
+        );
+        // A wildcard anywhere kills the footprint.
+        let w = Pattern::leaf("r", Vec::<Var>::new()).descendant(Pattern::wildcard(["z"]));
+        assert_eq!(w.label_footprint(), None);
+        assert_eq!(Pattern::wildcard(Vec::<Var>::new()).label_footprint(), None);
     }
 
     #[test]

@@ -330,6 +330,38 @@ impl Tree {
         total
     }
 
+    /// Grafts a copy of `sub` under `parent` at child position `pos`
+    /// (existing children from `pos` on shift right); returns the id of
+    /// the copied root. Panics if `pos` exceeds the current child count.
+    pub fn graft_at(&mut self, parent: NodeId, pos: usize, sub: &Tree) -> NodeId {
+        let count = self.nodes[parent.index()].children.len();
+        assert!(pos <= count, "graft_at: position {pos} out of {count}");
+        let id = self.graft_node(parent, sub, Tree::ROOT);
+        // graft_node appended the new root last; rotate it into place.
+        let kids = &mut self.nodes[parent.index()].children;
+        let last = kids.pop().expect("graft_node pushed a child");
+        kids.insert(pos, last);
+        id
+    }
+
+    /// Detaches the subtree rooted at `n` from its parent. The nodes stay
+    /// in the arena (ids remain stable and the detached subtree can still
+    /// be read through them) but are no longer reachable from the root —
+    /// traversals, conformance checks and serialisation all start at
+    /// [`Tree::ROOT`] and never see them. Panics on the root.
+    pub fn detach(&mut self, n: NodeId) {
+        let p = self.nodes[n.index()]
+            .parent
+            .expect("detach: cannot detach the root");
+        let kids = &mut self.nodes[p.index()].children;
+        let pos = kids
+            .iter()
+            .position(|&c| c == n)
+            .expect("node is a child of its parent");
+        kids.remove(pos);
+        self.nodes[n.index()].parent = None;
+    }
+
     /// Extracts the subtree rooted at `n` as a standalone tree.
     pub fn subtree(&self, n: NodeId) -> Tree {
         let data = &self.nodes[n.index()];
@@ -533,6 +565,48 @@ mod tests {
         let mut host = Tree::new("r");
         let copied = host.graft(Tree::ROOT, &sub);
         assert_eq!(host.subtree(copied), sub);
+    }
+
+    #[test]
+    fn detach_and_graft_at() {
+        let (mut t, ids) = intro_tree();
+        let [prof, teach, year, _c1, _c2, sup, _stu] = ids[..] else {
+            unreachable!()
+        };
+        let arena_before = t.size();
+        let teach_copy = t.subtree(teach);
+        t.detach(teach);
+        // The parent no longer lists the subtree; the arena keeps it.
+        assert_eq!(t.children(prof), &[sup]);
+        assert_eq!(t.parent(teach), None);
+        assert_eq!(t.size(), arena_before);
+        // Traversal from the root never reaches detached nodes.
+        assert!(t.nodes().all(|n| n != teach && n != year));
+        // Re-insert the same subtree at the front: structure round-trips.
+        let back = t.graft_at(prof, 0, &teach_copy);
+        assert_eq!(t.children(prof).len(), 2);
+        assert_eq!(t.children(prof)[0], back);
+        assert_eq!(t.subtree(back), teach_copy);
+        // Middle and end positions.
+        let solo = Tree::new("extra");
+        let mid = t.graft_at(prof, 1, &solo);
+        assert_eq!(t.children(prof), &[back, mid, sup]);
+        let end = t.graft_at(prof, 3, &solo);
+        assert_eq!(t.children(prof), &[back, mid, sup, end]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn graft_at_past_end_panics() {
+        let mut t = Tree::new("r");
+        t.graft_at(Tree::ROOT, 1, &Tree::new("a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot detach the root")]
+    fn detach_root_panics() {
+        let mut t = Tree::new("r");
+        t.detach(Tree::ROOT);
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! xmlmap match     <pattern> <xml-file>          evaluate π(T)
 //! xmlmap check     <mapping-file> <src> <tgt>    (T,T') ∈ ⟦M⟧ ?
 //! xmlmap chase     <mapping-file> <src>          print a canonical solution
+//! xmlmap delta     <mapping-file> <src> <updatefile> [--dump-source FILE]
+//!                                                incremental chase: apply an
+//!                                                update script, print the
+//!                                                final canonical solution
 //! xmlmap certain   <mapping-file> <src> <query>  certain answers
 //! xmlmap consistent <mapping-file>               CONS(σ)
 //! xmlmap abscons   <mapping-file>                ABSCONS(σ)
@@ -58,6 +62,16 @@
 //! evicting least-recently-used entries past the limit; `--cache-dir`
 //! attaches a persistent compiled-artifact store so a later run against
 //! the same schemas skips compilation entirely.
+//!
+//! `delta` opens an incremental-chase session (`xmlmap::core::chase::
+//! delta`) over the source document, applies the updatefile — one op per
+//! line: `insert <path> <pos> <xml>`, `delete <path>`, `settext <path>
+//! <attr> <value>`, with `/`-separated child-index paths and `.` for the
+//! root — re-matching only the stds whose compiled plans can reach each
+//! edited region, and prints the final reduced solution: the exact bytes
+//! `xmlmap chase` prints for the mutated document. `--dump-source FILE`
+//! additionally writes the mutated source XML (for differential checks).
+//! Exit status mirrors `chase`: 0 with a solution, 1 without.
 //!
 //! `serve` keeps one shared context alive across any number of requests:
 //! it listens on a unix socket (or, with `--tcp`, a TCP address), fans
@@ -545,6 +559,63 @@ fn run_stream_chase(
     }
 }
 
+/// `xmlmap delta <mapping> <src> <updatefile>` — open an incremental
+/// session, run the update script, print the final reduced solution
+/// (byte-identical to `xmlmap chase` on the mutated document).
+fn run_delta_command(ctx: &EngineContext, args: &[&str]) -> Result<bool, String> {
+    let mut operands: Vec<&str> = Vec::new();
+    let mut dump_source: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--dump-source" => {
+                dump_source = Some(
+                    *it.next()
+                        .ok_or_else(|| "--dump-source needs a file".to_string())?,
+                );
+            }
+            _ if operands.len() < 3 => operands.push(arg),
+            _ => return Err(format!("delta: unexpected argument `{arg}`")),
+        }
+    }
+    let [mapping_path, src_path, updates_path] = operands.as_slice() else {
+        return Err(
+            "usage: xmlmap delta <mapping-file> <src> <updatefile> [--dump-source FILE]"
+                .to_string(),
+        );
+    };
+    let m = load_mapping(mapping_path)?;
+    let mut src = load_tree(src_path)?;
+    let _ = m.source_dtd.normalize_attrs(&mut src);
+    let updates = xmlmap::core::parse_updates(&read(updates_path)?)
+        .map_err(|e| format!("{updates_path}: {e}"))?;
+    let mut session = ctx.delta_session(&m, src);
+    let applied = session
+        .apply_all(&updates)
+        .map_err(|e| format!("{updates_path}: {e}"))?;
+    ctx.record_delta(session.stats());
+    let s = session.stats();
+    eprintln!(
+        "delta: {applied} update(s), {} std refire(s), {} skip(s), {} replay(s)",
+        s.refires, s.skips, s.replays
+    );
+    if let Some(path) = dump_source {
+        std::fs::write(path, xmlmap::trees::xml::to_string(session.doc()))
+            .map_err(|e| format!("--dump-source {path}: {e}"))?;
+    }
+    match session.canonical_solution() {
+        Ok(solution) => {
+            let reduced = xmlmap::core::reduce_solution(&m, &solution);
+            print!("{}", xmlmap::trees::xml::to_string(&reduced));
+            Ok(true)
+        }
+        Err(e) => {
+            eprintln!("no solution: {e}");
+            Ok(false)
+        }
+    }
+}
+
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
@@ -608,6 +679,7 @@ fn run() -> Result<bool, String> {
                 }
             }
         }
+        ["delta", rest @ ..] => run_delta_command(&ctx, rest),
         ["certain", mapping_path, src_path, query_text] => {
             let m = load_mapping(mapping_path)?;
             let mut src = load_tree(src_path)?;
@@ -728,7 +800,7 @@ fn run() -> Result<bool, String> {
             }
             Ok(true)
         }
-        _ => Err("usage: xmlmap <validate|match|check|chase|certain|consistent|abscons|compose|subschema|stream|batch|serve|client> …\n\
+        _ => Err("usage: xmlmap <validate|match|check|chase|delta|certain|consistent|abscons|compose|subschema|stream|batch|serve|client> …\n\
                   see `xmlmap` module docs for argument lists"
             .to_string()),
     }

@@ -1,0 +1,284 @@
+//! Differential tests for the incremental delta-chase
+//! (`core::chase::delta`): after **every** update in a storm, the live
+//! session's [`IncrementalChase::canonical_solution`] must equal a
+//! from-scratch [`canonical_solution`] of the mutated document —
+//! byte-identical trees (same null labels), identical `ChaseError`
+//! verdicts — across random nested-relational mappings, random update
+//! storms, adversarial retraction scenarios, and the batch driver's
+//! `delta-apply` jobs under different worker counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use xmlmap::core::{
+    canonical_solution, canonical_solution_cached, parse_updates, render_batch, run_batch,
+    BatchJob, ChaseCache, ChaseError, EngineContext, IncrementalChase, JobKind, Mapping, Update,
+};
+use xmlmap::gen::{self, MappingGenConfig, TreeGenConfig};
+use xmlmap::trees::{xml, NodeId, Tree, Value};
+
+/// Child-index path of `n` (the delta update addressing scheme).
+fn path_of(t: &Tree, mut n: NodeId) -> Vec<usize> {
+    let mut path = Vec::new();
+    while let Some(p) = t.parent(n) {
+        let i = t.children(p).iter().position(|&c| c == n).unwrap();
+        path.push(i);
+        n = p;
+    }
+    path.reverse();
+    path
+}
+
+/// Deep copy of the subtree rooted at `n` as a standalone tree.
+fn subtree_of(t: &Tree, n: NodeId) -> Tree {
+    fn copy(t: &Tree, from: NodeId, sub: &mut Tree, to: NodeId) {
+        for &c in t.children(from) {
+            let nc = sub.add_child(to, t.label(c).clone(), t.attrs(c).iter().cloned());
+            copy(t, c, sub, nc);
+        }
+    }
+    let mut sub = Tree::with_root_attrs(t.label(n).clone(), t.attrs(n).iter().cloned());
+    copy(t, n, &mut sub, Tree::ROOT);
+    sub
+}
+
+/// One random structurally-valid update against the current document:
+/// delete a non-root subtree, duplicate a subtree as a new sibling, or
+/// rewrite an attribute. Duplications routinely break DTD conformance
+/// (a `One`/`Opt` slot gains a second child) — deliberately, so storms
+/// exercise the error-verdict path too.
+fn random_update(doc: &Tree, rng: &mut StdRng) -> Option<Update> {
+    let non_root: Vec<NodeId> = doc.nodes().filter(|&n| n != Tree::ROOT).collect();
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let n = *non_root.get(rng.gen_range(0..non_root.len().max(1)))?;
+            Some(Update::DeleteSubtree {
+                path: path_of(doc, n),
+            })
+        }
+        1 => {
+            let n = *non_root.get(rng.gen_range(0..non_root.len().max(1)))?;
+            let parent = doc.parent(n).unwrap();
+            let pos = rng.gen_range(0..=doc.children(parent).len());
+            Some(Update::InsertSubtree {
+                parent: path_of(doc, parent),
+                pos,
+                subtree: subtree_of(doc, n),
+            })
+        }
+        _ => {
+            let with_attrs: Vec<NodeId> =
+                doc.nodes().filter(|&n| !doc.attrs(n).is_empty()).collect();
+            let n = *with_attrs.get(rng.gen_range(0..with_attrs.len().max(1)))?;
+            let attrs = doc.attrs(n);
+            let (attr, _) = &attrs[rng.gen_range(0..attrs.len())];
+            Some(Update::ReplaceText {
+                path: path_of(doc, n),
+                attr: attr.clone(),
+                value: Value::str(format!("v{}", rng.gen_range(0..6u32))),
+            })
+        }
+    }
+}
+
+/// The main differential sweep: ~400 random (mapping, document, storm)
+/// cases, parity with a full re-chase asserted after **every** operation.
+#[test]
+fn random_update_storms_track_the_full_chase() {
+    let mut storm_rng = StdRng::seed_from_u64(0xD317A);
+    let mut cases = 0usize;
+    let mut ops_applied = 0usize;
+    let mut err_verdicts = 0usize;
+    let mut seed = 0u64;
+    while cases < 400 {
+        seed += 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = gen::random_nr_dtd(3, 2, 0.6, &mut rng);
+        let dt = gen::random_nr_dtd(3, 2, 0.6, &mut rng);
+        let config = MappingGenConfig {
+            stds: 3,
+            depth: 3,
+            branch_probability: 0.6,
+        };
+        let Some(m) = gen::random_nr_mapping(&ds, &dt, &config, &mut rng) else {
+            continue;
+        };
+        let doc = gen::random_tree(
+            &ds,
+            &TreeGenConfig {
+                continue_probability: 0.6,
+                max_nodes: 80,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let cache = ChaseCache::new(&m);
+        let mut session = IncrementalChase::new(&m, doc);
+        for _ in 0..storm_rng.gen_range(1..=50usize) {
+            let Some(u) = random_update(session.doc(), &mut storm_rng) else {
+                break;
+            };
+            session
+                .apply(&u)
+                .expect("structurally valid updates are accepted");
+            ops_applied += 1;
+            let full = canonical_solution_cached(&m, session.doc(), &cache);
+            err_verdicts += usize::from(full.is_err());
+            let incremental = session.canonical_solution();
+            assert_eq!(
+                incremental, full,
+                "case {seed}: delta chase diverged from full re-chase"
+            );
+        }
+        cases += 1;
+    }
+    assert!(ops_applied >= 2_000, "storms were real: {ops_applied} ops");
+    assert!(
+        err_verdicts > 0,
+        "storms never hit an error verdict — coverage regressed"
+    );
+}
+
+/// Deleting a subtree and reinserting the identical subtree restores the
+/// original canonical solution byte-for-byte: no stale nulls leak out of
+/// the retraction, and the replayed firings reproduce the exact labels a
+/// from-scratch chase invents.
+#[test]
+fn delete_then_reinsert_restores_the_solution_without_null_leaks() {
+    let m = gen::exchange_mapping();
+    let original = gen::exchange_tree(5, 2, 8);
+    let prof = subtree_of(&original, original.children(Tree::ROOT)[2]);
+    let mut session = IncrementalChase::new(&m, original.clone());
+    let before = session.canonical_solution().expect("exchange doc chases");
+
+    session
+        .apply(&Update::DeleteSubtree { path: vec![2] })
+        .unwrap();
+    assert_eq!(
+        session.canonical_solution(),
+        canonical_solution(&m, session.doc()),
+        "parity holds mid-flight, with the professor gone"
+    );
+    session
+        .apply(&Update::InsertSubtree {
+            parent: vec![],
+            pos: 2,
+            subtree: prof,
+        })
+        .unwrap();
+    assert_eq!(
+        xml::to_string(session.doc()),
+        xml::to_string(&original),
+        "the reinsert restored the document"
+    );
+    let after = session.canonical_solution().expect("chases again");
+    assert_eq!(after, before, "solution restored byte-for-byte");
+}
+
+/// An update can retract a unification that merged two slot cursors: two
+/// constants forced into one rigid slot is a `ValueConflict`, and deleting
+/// one of the sources must heal the session back to a solution — the same
+/// verdict trajectory a from-scratch chase reports at every step.
+#[test]
+fn retracting_a_merging_update_heals_a_value_conflict() {
+    let m = Mapping::parse(
+        "[source]\nroot r\nr -> a*\na @ v\n\
+         [target]\nroot r\nr -> b\nb @ w\n\
+         [stds]\nr/a(x) --> r/b(x)\n",
+    )
+    .unwrap();
+    let mut session = IncrementalChase::new(&m, xml::parse(r#"<r><a v="1"/></r>"#).unwrap());
+    assert!(session.canonical_solution().is_ok());
+
+    session
+        .apply(&Update::InsertSubtree {
+            parent: vec![],
+            pos: 1,
+            subtree: xml::parse(r#"<a v="2"/>"#).unwrap(),
+        })
+        .unwrap();
+    let conflict = session.canonical_solution();
+    assert!(
+        matches!(conflict, Err(ChaseError::ValueConflict(_))),
+        "two constants in one rigid slot: {conflict:?}"
+    );
+    assert_eq!(conflict, canonical_solution(&m, session.doc()));
+
+    session
+        .apply(&Update::DeleteSubtree { path: vec![1] })
+        .unwrap();
+    let healed = session.canonical_solution().expect("conflict retracted");
+    assert_eq!(healed, canonical_solution(&m, session.doc()).unwrap());
+    assert_eq!(healed.attrs(healed.children(Tree::ROOT)[0])[0].1, {
+        Value::str("1")
+    });
+}
+
+/// Updates that break DTD conformance flip the verdict to
+/// `SourceNotConforming` — identically on both engines — and conformance-
+/// restoring updates flip it back.
+#[test]
+fn conformance_verdicts_agree_through_break_and_repair() {
+    let m = Mapping::parse(
+        "[source]\nroot r\nr -> a\na @ v\n\
+         [target]\nroot r\nr -> b*\nb @ w\n\
+         [stds]\nr/a(x) --> r/b(x)\n",
+    )
+    .unwrap();
+    let mut session = IncrementalChase::new(&m, xml::parse(r#"<r><a v="7"/></r>"#).unwrap());
+    assert!(session.source_conforms());
+
+    session
+        .apply(&Update::DeleteSubtree { path: vec![0] })
+        .unwrap();
+    assert!(!session.source_conforms());
+    assert_eq!(
+        session.canonical_solution(),
+        Err(ChaseError::SourceNotConforming)
+    );
+    assert_eq!(
+        canonical_solution(&m, session.doc()),
+        Err(ChaseError::SourceNotConforming)
+    );
+
+    session
+        .apply(&Update::InsertSubtree {
+            parent: vec![],
+            pos: 0,
+            subtree: xml::parse(r#"<a v="8"/>"#).unwrap(),
+        })
+        .unwrap();
+    assert!(session.source_conforms());
+    let healed = session.canonical_solution().expect("conforms again");
+    assert_eq!(healed, canonical_solution(&m, session.doc()).unwrap());
+}
+
+/// `delta-apply` batch jobs render byte-identically on 1, 2, and 8
+/// workers: each job owns its session, so scheduling order cannot bleed
+/// into results.
+#[test]
+fn delta_apply_batches_are_deterministic_across_worker_counts() {
+    let mapping = Arc::new(gen::exchange_mapping());
+    let mut jobs = Vec::new();
+    for seed in 0..12u64 {
+        let mut script = Vec::new();
+        gen::write_exchange_updates(4, 2, 10, 21, seed, &mut script).unwrap();
+        let updates = parse_updates(std::str::from_utf8(&script).unwrap()).unwrap();
+        jobs.push(BatchJob {
+            label: format!("delta storm {seed}"),
+            kind: JobKind::DeltaApply {
+                mapping: mapping.clone(),
+                source: gen::exchange_tree(4, 2, 10),
+                updates: Arc::new(updates),
+            },
+        });
+    }
+    let render = |workers: usize| {
+        let ctx = EngineContext::new();
+        render_batch(&jobs, &run_batch(&ctx, &jobs, workers))
+    };
+    let one = render(1);
+    assert!(one.contains("delta-chased"), "jobs ran: {one}");
+    assert_eq!(one, render(2), "2 workers diverge from serial");
+    assert_eq!(one, render(8), "8 workers diverge from serial");
+}

@@ -346,6 +346,100 @@ fn shutdown_mid_request_drains_in_flight_work() {
 }
 
 #[test]
+fn delta_sessions_live_across_requests_and_match_a_full_chase() {
+    use xmlmap::core::{canonical_solution, reduce_solution, Mapping};
+    use xmlmap::trees::xml;
+
+    let fx = Fixture::new("delta");
+    fx.file(
+        "upd.txt",
+        "insert . 2 <a v=\"3\"/>\ndelete 0\nsettext 0 v 9\n",
+    );
+    // The same edits by hand: [a1, a2] -> insert a3 -> drop a1 -> a2.v = 9.
+    let final_source = xml::parse(r#"<r><a v="9"/><a v="3"/></r>"#).unwrap();
+    let mapping = Mapping::parse(COPY_MAP).unwrap();
+    let expected = xml::to_string(&reduce_solution(
+        &mapping,
+        &canonical_solution(&mapping, &final_source).unwrap(),
+    ));
+
+    let ctx = EngineContext::new();
+    with_server(
+        &fx,
+        &ctx,
+        |_| {},
+        |endpoint, _| {
+            let mut client = connect(endpoint);
+            let open = client
+                .roundtrip("DELTA OPEN s1 copy.map src.xml", 0)
+                .unwrap();
+            match open.result {
+                JobResult::Answer { yes: true, detail } => {
+                    assert!(detail.contains("opened `s1`"), "got: {detail}")
+                }
+                other => panic!("OPEN failed: {other:?}"),
+            }
+            // Opening the same name again is refused.
+            let dup = client
+                .roundtrip("DELTA OPEN s1 copy.map src.xml", 0)
+                .unwrap();
+            assert!(
+                matches!(dup.result, JobResult::Failed { ref error } if error.contains("already open")),
+                "duplicate open must fail: {dup:?}"
+            );
+            // The pristine solution first, then the updated one.
+            let before = client.roundtrip("DELTA SOLUTION s1", 0).unwrap();
+            match before.result {
+                JobResult::Answer { yes: true, detail } => {
+                    assert!(detail.contains("w=\"1\"") && detail.contains("w=\"2\""));
+                }
+                other => panic!("SOLUTION failed: {other:?}"),
+            }
+            let apply = client.roundtrip("DELTA APPLY s1 upd.txt", 0).unwrap();
+            match apply.result {
+                JobResult::Answer { yes: true, detail } => {
+                    assert!(detail.contains("applied 3 update(s)"), "got: {detail}")
+                }
+                other => panic!("APPLY failed: {other:?}"),
+            }
+            let after = client.roundtrip("DELTA SOLUTION s1", 0).unwrap();
+            match after.result {
+                JobResult::Answer { yes: true, detail } => assert_eq!(
+                    detail, expected,
+                    "incremental solution equals a full re-chase"
+                ),
+                other => panic!("SOLUTION failed: {other:?}"),
+            }
+            // Ordinary job lines interleave with session traffic.
+            let probe = client.roundtrip("consistent copy.map", 0).unwrap();
+            assert!(matches!(probe.result, JobResult::Answer { yes: true, .. }));
+            // Close tallies the session into the engine stats.
+            let close = client.roundtrip("DELTA CLOSE s1", 0).unwrap();
+            match close.result {
+                JobResult::Answer { yes: true, detail } => {
+                    assert!(detail.contains("closed `s1` after 3 update(s)"), "{detail}")
+                }
+                other => panic!("CLOSE failed: {other:?}"),
+            }
+            let gone = client.roundtrip("DELTA SOLUTION s1", 0).unwrap();
+            assert!(
+                matches!(gone.result, JobResult::Failed { ref error } if error.contains("no delta session")),
+                "closed session must be gone: {gone:?}"
+            );
+            let stats = client.stats().unwrap();
+            assert!(stats.contains("\"delta_sessions\":1"), "stats: {stats}");
+            assert!(stats.contains("\"delta_updates\":3"), "stats: {stats}");
+            // Malformed verbs are per-request errors, not dropped frames.
+            let bad = client.roundtrip("DELTA FROB s1", 0).unwrap();
+            assert!(
+                matches!(bad.result, JobResult::Failed { ref error } if error.contains("bad DELTA request")),
+                "got: {bad:?}"
+            );
+        },
+    );
+}
+
+#[test]
 fn stats_reports_provenance_and_warm_restart_compiles_nothing() {
     let fx = Fixture::new("warm");
     let store = fx.dir.join("cache");
